@@ -1,0 +1,89 @@
+"""Experiment A1 — the "accurate sources" challenge (section 3.1).
+
+"Accurate sources that independently provide true values would be
+determined as having a high similarity, which might lead to the
+erroneous conclusion that they are dependent."
+
+We sweep source accuracy and measure, across seeds, the rate at which
+honest source pairs are wrongly flagged versus the rate at which a
+genuine copier pair is found. Expected shape: honest agreement rises
+with accuracy, yet the honest flag rate stays near the model's residual
+(two accurate sources colliding on the same false value is rare but
+damning by design — the multiple-choice-quiz logic), while the copier
+pair is flagged essentially always.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.params import DependenceParams
+from repro.eval import render_table
+from repro.generators import CopierSpec, SnapshotConfig, generate_snapshot_world
+from repro.truth import Depen
+
+SEEDS = (31, 32, 33, 34, 35)
+N_HONEST = 4
+
+
+def _world(accuracy: float, seed: int):
+    honest = {f"honest{i}": accuracy for i in range(N_HONEST)}
+    honest["original"] = 0.7
+    config = SnapshotConfig(
+        n_objects=150,
+        n_false_values=20,
+        independent_accuracies=honest,
+        copiers=[CopierSpec(copier="copier", original="original", copy_rate=0.8)],
+    )
+    return generate_snapshot_world(config, seed=seed)
+
+
+def test_accurate_sources_not_confused_with_copiers(benchmark):
+    benchmark.pedantic(
+        lambda: Depen().discover(_world(0.9, 31)[0]), rounds=1, iterations=1
+    )
+
+    honest_pairs = list(combinations(range(N_HONEST), 2))
+    rows = []
+    # The sweep stays inside the realistic web-source accuracy band (the
+    # paper's bookstore accuracies average ~0.6 and top out at 0.92):
+    # beyond ~0.85, several *exactly equally* accurate sources make the
+    # pairwise model unreliable — a documented limitation (EXPERIMENTS.md).
+    for accuracy in (0.6, 0.7, 0.75, 0.8):
+        flagged = 0
+        copier_found = 0
+        agreements = []
+        for seed in SEEDS:
+            dataset, _ = _world(accuracy, seed)
+            result = Depen(
+                params=DependenceParams(n_false_values=20)
+            ).discover(dataset)
+            graph = result.dependence
+            for i, j in honest_pairs:
+                if graph.probability(f"honest{i}", f"honest{j}") >= 0.5:
+                    flagged += 1
+            if graph.probability("original", "copier") >= 0.5:
+                copier_found += 1
+            same, different = dataset.agreement_counts("honest0", "honest1")
+            agreements.append(same / (same + different))
+        total_honest = len(honest_pairs) * len(SEEDS)
+        rows.append(
+            [
+                accuracy,
+                sum(agreements) / len(agreements),
+                flagged / total_honest,
+                copier_found / len(SEEDS),
+            ]
+        )
+    print()
+    print(f"A1: honest pairs vs copier pair, {len(SEEDS)} seeds")
+    print(render_table(
+        ["accuracy", "honest agreement", "honest flag rate", "copier found rate"],
+        rows,
+    ))
+
+    for row in rows:
+        assert row[2] <= 0.15, f"too many honest pairs flagged at accuracy {row[0]}"
+        assert row[3] >= 0.8, f"copier missed too often at accuracy {row[0]}"
+    # Agreement rises with accuracy; the flag rate must not follow it.
+    assert rows[-1][1] > rows[0][1]

@@ -1,0 +1,70 @@
+"""Experiment A2 — the "partial dependence" challenge (section 3.1).
+
+"Even if a data source copies from another source, it may copy only a
+subset of the information … the similarity between the sources might not
+always be high, leading to the erroneous conclusion that the sources are
+likely to be independent."
+
+We sweep the copied fraction (the copier's coverage of the original) and
+record the dependence posterior and the accuracy-split direction
+evidence. Expected shape: detection stays strong well below full
+copying, and the copier's accuracy split exceeds the original's.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import DependenceParams
+from repro.dependence.partial import direction_evidence
+from repro.eval import render_table
+from repro.generators import CopierSpec, SnapshotConfig, generate_snapshot_world
+from repro.truth import Depen
+
+
+def _world(coverage: float):
+    config = SnapshotConfig(
+        n_objects=200,
+        n_false_values=20,
+        independent_accuracies={"a": 0.75, "b": 0.75, "original": 0.6},
+        copiers=[
+            CopierSpec(
+                copier="copier",
+                original="original",
+                copy_rate=0.9,
+                coverage=coverage,
+                own_accuracy=0.9,
+            )
+        ],
+    )
+    return generate_snapshot_world(config, seed=13)
+
+
+def test_partial_copier_detection(benchmark):
+    benchmark.pedantic(
+        lambda: Depen().discover(_world(0.5)[0]), rounds=1, iterations=1
+    )
+
+    rows = []
+    for coverage in (0.25, 0.5, 0.75, 1.0):
+        dataset, _ = _world(coverage)
+        result = Depen(params=DependenceParams(n_false_values=20)).discover(dataset)
+        posterior = result.dependence.probability("original", "copier")
+        evidence = direction_evidence(
+            dataset, "copier", "original", result.distributions
+        )
+        copier_split = evidence.split1.split_strength
+        original_split = evidence.split2.split_strength
+        rows.append([coverage, posterior, copier_split, original_split])
+    print()
+    print("A2: partial copying — detection vs copied fraction")
+    print(render_table(
+        ["copied fraction", "P(dependent)", "copier split", "original split"],
+        rows,
+    ))
+
+    for row in rows:
+        assert row[1] > 0.5, f"partial copier missed at coverage {row[0]}"
+    # The splits are informational here: this generator's copiers have
+    # no private remainder (their inventory is a subset of the
+    # original's), so the copier side of the split is structurally
+    # empty; the dedicated unit tests cover the intuition-2 signature
+    # on worlds where the copier has private coverage.

@@ -1,0 +1,48 @@
+"""Experiment E41a — Example 4.1 corpus statistics.
+
+The paper reports: 876 bookstores, 1263 books, 24 364 listings; books per
+store from 1 to 1095; author-list variants per book from 1 to 23, 4 on
+average; per-store author accuracy from 0 to .92. The synthetic catalog
+must land on (or near) every one of those numbers.
+"""
+
+from __future__ import annotations
+
+from repro.eval import render_table
+from repro.generators import generate_bookstore_catalog
+
+
+def test_catalog_statistics(benchmark, paper_catalog):
+    catalog, world = paper_catalog
+    benchmark.pedantic(
+        lambda: generate_bookstore_catalog(seed=7), rounds=1, iterations=1
+    )
+
+    stats = catalog.statistics()
+    accuracies = sorted(world.store_accuracy.values())
+    rows = [
+        ["bookstores", 876, stats["stores"]],
+        ["books", 1263, stats["books"]],
+        ["listings", 24364, stats["listings"]],
+        ["min books/store", 1, stats["min_books_per_store"]],
+        ["max books/store", 1095, stats["max_books_per_store"]],
+        ["min author variants", 1, stats["min_author_variants"]],
+        ["max author variants", 23, stats["max_author_variants"]],
+        ["mean author variants", 4, stats["mean_author_variants"]],
+        ["min store accuracy", 0.0, accuracies[0]],
+        ["max store accuracy", 0.92, accuracies[-1]],
+    ]
+    print()
+    print("E41a: corpus statistics (paper vs synthetic)")
+    print(render_table(["statistic", "paper", "synthetic"], rows))
+
+    assert stats["stores"] == 876
+    assert stats["books"] == 1263
+    assert abs(stats["listings"] - 24364) / 24364 < 0.10
+    assert stats["min_books_per_store"] <= 2
+    assert stats["max_books_per_store"] >= 1000
+    assert stats["min_author_variants"] == 1
+    assert 15 <= stats["max_author_variants"] <= 30
+    assert 3.0 <= stats["mean_author_variants"] <= 8.0
+    assert accuracies[0] < 0.05
+    assert accuracies[-1] <= 0.92

@@ -1,0 +1,77 @@
+"""Experiment E41b — Example 4.1's dependent bookstore pairs.
+
+The paper: "A preliminary analysis of data from different bookstores
+reveals 471 pairs of bookstores that provide information on at least the
+same 10 books and are very likely to be dependent."
+
+We reproduce the analysis over the calibrated synthetic catalog (480
+planted dependent pairs), comparing the naive uniform false-value model
+against linkage + the popularity-aware (empirical) model. Expected
+shape: the naive analysis over-flags by an order of magnitude; the
+empirical model lands in the paper's ballpark and ranks planted pairs
+far above chance.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import DependenceParams, IterationParams
+from repro.eval import detection_score, render_table
+from repro.truth import Depen
+
+
+def _run(claims, model):
+    algo = Depen(
+        params=DependenceParams(false_value_model=model),
+        min_overlap=10,
+        iteration=IterationParams(max_rounds=4),
+    )
+    return algo.discover(claims).dependence
+
+
+def test_dependent_pair_discovery(benchmark, paper_catalog, canonical_author_claims):
+    catalog, world = paper_catalog
+    planted = world.dependent_pairs()
+    raw_claims = catalog.field_claims("authors")
+
+    graph_empirical = benchmark.pedantic(
+        lambda: _run(canonical_author_claims, "empirical"),
+        rounds=1,
+        iterations=1,
+    )
+    graph_uniform = _run(raw_claims, "uniform")
+
+    rows = []
+    results = {}
+    for label, graph in (
+        ("raw + uniform n", graph_uniform),
+        ("linkage + empirical", graph_empirical),
+    ):
+        detected = graph.detected_pairs(0.5)
+        score = detection_score(detected, planted)
+        ranked = sorted(graph, key=lambda p: (-p.p_dependent, p.s1, p.s2))
+        k = len(planted)
+        topk = {frozenset((p.s1, p.s2)) for p in ranked[:k]}
+        p_at_k = len(topk & planted) / k
+        rows.append(
+            [label, len(graph), score.detected, score.precision, score.recall, p_at_k]
+        )
+        results[label] = (score, p_at_k)
+    print()
+    print(f"E41b: dependent store pairs (paper: 471 'very likely dependent'; planted: {len(planted)})")
+    print(render_table(
+        ["analysis", "pairs>=10 books", "detected", "precision", "recall", "p@planted"],
+        rows,
+    ))
+
+    naive_score, naive_p = results["raw + uniform n"]
+    smart_score, smart_p = results["linkage + empirical"]
+    # Shape: the refined analysis detects the right order of magnitude
+    # (paper: 471) where the naive one over-flags by thousands, and its
+    # ranking is much better than chance.
+    assert naive_score.detected > 2000
+    assert 300 <= smart_score.detected <= 1400
+    assert smart_score.recall >= 0.6
+    assert smart_p >= 0.5
+    assert smart_p > naive_p
+    chance = len(planted) / max(1, len(graph_empirical))
+    assert smart_p > 5 * chance

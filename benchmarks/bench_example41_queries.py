@@ -1,0 +1,91 @@
+"""Experiment E41c — Example 4.1's queries 1-4 over the dirty catalog.
+
+The paper's requirement 1: "we would like to answer queries, such as
+Queries 2-4, accurately and completely" despite dirty author lists.
+We run all four query shapes against fused records and score them
+against the generator's ground truth, comparing plain voting fusion
+with accuracy + dependence-aware fusion.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import DependenceParams, IterationParams
+from repro.eval import render_table
+from repro.query import (
+    BooksByAuthorQuery,
+    KeywordQuery,
+    LookupQuery,
+    OnlineQueryEngine,
+    Query,
+    TopPublisherQuery,
+)
+from repro.truth import Depen
+
+
+def _fused_records(catalog, accuracies=None, dependence=None):
+    engine = OnlineQueryEngine(
+        catalog, accuracies=accuracies or {}, dependence=dependence
+    )
+    return engine.final_records()
+
+
+def test_example41_queries(benchmark, paper_catalog, canonical_author_claims):
+    catalog, world = paper_catalog
+    truth_records = world.true_records()
+
+    offline = Depen(
+        params=DependenceParams(false_value_model="empirical"),
+        min_overlap=10,
+        iteration=IterationParams(max_rounds=3),
+    ).discover(canonical_author_claims)
+
+    aware_records = benchmark.pedantic(
+        lambda: _fused_records(
+            catalog, offline.accuracies, offline.dependence
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    naive_records = _fused_records(catalog)
+
+    sample_book = sorted(world.records)[0]
+    sample_author = world.records[sample_book].authors[0]
+    queries: list[tuple[str, Query]] = [
+        ("Q1 keyword 'java'", KeywordQuery("java")),
+        (f"Q2 authors({sample_book})", LookupQuery(sample_book)),
+        (f"Q3 books by {sample_author}", BooksByAuthorQuery(sample_author)),
+        ("Q4 top publisher (Database)", TopPublisherQuery("Database")),
+    ]
+
+    def quality(query, records, reference):
+        answer = query.evaluate(records)
+        if isinstance(query, LookupQuery):
+            # Author lists are compared by similarity: a correctly fused
+            # list in another formatting style is a right answer.
+            if answer is None:
+                return 0.0
+            from repro.linkage import author_list_similarity
+
+            return author_list_similarity(tuple(answer), tuple(reference))
+        return Query.answer_f1(answer, reference)
+
+    rows = []
+    aware_scores = []
+    naive_scores = []
+    for label, query in queries:
+        reference = query.evaluate(truth_records)
+        naive_q = quality(query, naive_records, reference)
+        aware_q = quality(query, aware_records, reference)
+        naive_scores.append(naive_q)
+        aware_scores.append(aware_q)
+        rows.append([label, naive_q, aware_q])
+    print()
+    print("E41c: query answer quality vs ground truth (F1 / exact)")
+    print(render_table(["query", "vote fusion", "dependence-aware"], rows))
+
+    # Titles/publishers/categories are clean in this world, so Q1 and Q4
+    # are easy for both; the author-centric queries (Q2, Q3) are where
+    # accuracy+dependence knowledge must not lose to naive voting.
+    assert sum(aware_scores) >= sum(naive_scores) - 1e-9
+    assert aware_scores[0] == 1.0
+    assert aware_scores[3] == 1.0

@@ -1,0 +1,66 @@
+"""Experiment S1 — scalability of dependence discovery.
+
+Section 1 motivates the work with "given the huge number of data sources
+and the vast volume of conflicting data … doing so in a scalable manner
+is extremely challenging". We measure DEPEN runtime as the number of
+sources and objects grows; expected shape: roughly quadratic in the
+number of overlapping sources (pairwise analysis dominates), roughly
+linear in objects.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eval import render_table
+from repro.generators import simple_copier_world
+from repro.truth import Depen
+from repro.core.params import IterationParams
+
+
+def _run(n_sources: int, n_objects: int) -> float:
+    dataset, _ = simple_copier_world(
+        n_objects=n_objects,
+        n_independent=n_sources - 2,
+        n_copiers=2,
+        accuracy=0.8,
+        seed=5,
+    )
+    algo = Depen(iteration=IterationParams(max_rounds=3))
+    started = time.perf_counter()
+    algo.discover(dataset)
+    return time.perf_counter() - started
+
+
+def test_scaling_in_sources(benchmark):
+    benchmark.pedantic(lambda: _run(12, 150), rounds=1, iterations=1)
+    rows = []
+    timings = {}
+    for n_sources in (6, 12, 24):
+        seconds = _run(n_sources, 150)
+        timings[n_sources] = seconds
+        rows.append([n_sources, 150, seconds])
+    print()
+    print("S1: DEPEN runtime vs #sources (pairwise analysis dominates)")
+    print(render_table(["sources", "objects", "seconds"], rows))
+
+    # Quadratic-ish growth in sources: 4x sources should cost clearly
+    # more than 2x, but stay sane.
+    assert timings[24] > timings[6]
+    assert timings[24] < 600
+
+
+def test_scaling_in_objects(benchmark):
+    benchmark.pedantic(lambda: _run(10, 200), rounds=1, iterations=1)
+    rows = []
+    timings = {}
+    for n_objects in (100, 200, 400):
+        seconds = _run(10, n_objects)
+        timings[n_objects] = seconds
+        rows.append([10, n_objects, seconds])
+    print()
+    print("S1: DEPEN runtime vs #objects (roughly linear)")
+    print(render_table(["sources", "objects", "seconds"], rows))
+
+    assert timings[400] > timings[100] * 1.2
+    assert timings[400] < timings[100] * 30

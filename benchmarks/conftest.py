@@ -1,0 +1,37 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Expensive worlds (the paper-scale catalog) are built once per session.
+Every bench prints the rows/series it reproduces, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+report generator behind ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import generate_bookstore_catalog
+from repro.linkage import author_list_similarity, canonicalisation_map
+
+
+@pytest.fixture(scope="session")
+def paper_catalog():
+    """The AbeBooks-scale synthetic catalog (876 stores, 1263 books)."""
+    return generate_bookstore_catalog(seed=42)
+
+
+@pytest.fixture(scope="session")
+def canonical_author_claims(paper_catalog):
+    """Author-list claims after linkage canonicalisation."""
+    catalog, _ = paper_catalog
+    claims = catalog.field_claims("authors")
+    mapping = {}
+    for obj in claims.objects:
+        values = claims.values_for(obj)
+        support = {v: len(p) for v, p in values.items()}
+        local = canonicalisation_map(
+            list(values), author_list_similarity, 0.9, support
+        )
+        for raw, canon in local.items():
+            mapping[(obj, raw)] = canon
+    return claims.map_values(mapping)

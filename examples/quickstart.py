@@ -1,0 +1,46 @@
+"""Quickstart: copy-aware truth discovery in a dozen lines.
+
+Builds the paper's Table 1 (five sources reporting researcher
+affiliations, two of them copying a third), runs naive voting and the
+copy-aware DEPEN algorithm, and prints what each believes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClaimDataset, Depen, NaiveVote
+
+# {object: {source: value}} — S4 and S5 copy S3, only S1 is fully right.
+AFFILIATIONS = {
+    "Suciu": {"S1": "UW", "S2": "MSR", "S3": "UW", "S4": "UW", "S5": "UWisc"},
+    "Halevy": {"S1": "Google", "S2": "Google", "S3": "UW", "S4": "UW", "S5": "UW"},
+    "Balazinska": {"S1": "UW", "S2": "UW", "S3": "UW", "S4": "UW", "S5": "UW"},
+    "Dalvi": {"S1": "Yahoo!", "S2": "Yahoo!", "S3": "UW", "S4": "UW", "S5": "UW"},
+    "Dong": {"S1": "AT&T", "S2": "Google", "S3": "UW", "S4": "UW", "S5": "UW"},
+}
+
+
+def main() -> None:
+    dataset = ClaimDataset.from_table(AFFILIATIONS)
+
+    vote = NaiveVote().discover(dataset)
+    depen = Depen().discover(dataset)
+
+    print(f"{'object':<12} {'naive vote':<10} {'depen':<10} confidence")
+    for obj in dataset.objects:
+        print(
+            f"{obj:<12} {str(vote.decisions[obj]):<10} "
+            f"{str(depen.decisions[obj]):<10} {depen.confidence(obj):.3f}"
+        )
+
+    print("\ndetected dependent pairs (posterior >= 0.5):")
+    for pair in sorted(tuple(sorted(p)) for p in depen.dependence.detected_pairs()):
+        a, b = pair
+        print(f"  {a} ~ {b}   P = {depen.dependence.probability(a, b):.3f}")
+
+    print("\nestimated source accuracies:")
+    for source, accuracy in sorted(depen.accuracies.items()):
+        print(f"  {source}: {accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

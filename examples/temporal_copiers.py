@@ -1,0 +1,95 @@
+"""Temporal reasoning: out-of-date is not false; lazy copiers trail.
+
+Starts from the paper's Table 3 (update histories of researcher
+affiliations) and shows the three temporal conclusions of Example 3.2:
+
+* the current truth is recovered from the freshest credible updates;
+* S2 and S3 hold *out-of-date*, not false, values;
+* S3 is a lazy copier of S1 (it always trails), while the slow S2 is
+  exonerated by its early updates.
+
+Then repeats the analysis on a synthetic evolving world where a
+uniformly slow source would fool the raw order model, and the
+freshness adjustment sorts it out.
+
+Run:  python examples/temporal_copiers.py
+"""
+
+from repro.core.params import TemporalParams
+from repro.datasets.paper_tables import table3_dataset
+from repro.dependence.temporal import discover_temporal_dependence
+from repro.generators import (
+    TemporalConfig,
+    TemporalCopierSpec,
+    TemporalSourceSpec,
+    generate_temporal_world,
+)
+from repro.temporal import TemporalTruthDiscovery
+
+
+def table3_demo() -> None:
+    print("=== Table 3: affiliation histories ===")
+    dataset = table3_dataset()
+    result = TemporalTruthDiscovery().discover(dataset)
+
+    print("  inferred current truth:")
+    for obj, value in sorted(result.current_truth.items()):
+        print(f"    {obj:<12} {value}")
+
+    print("\n  per-source value status (current / outdated / false):")
+    for source in dataset.sources:
+        counts = result.status_counts(source)
+        quality = result.quality[source]
+        print(
+            f"    {source}: {counts['current']}/{counts['outdated']}/"
+            f"{counts['false']}   coverage {quality.coverage:.2f}"
+            f"   mean lag {quality.mean_lag:.2f}"
+        )
+
+    print("\n  temporal dependence:")
+    for pair in sorted(result.dependence, key=lambda p: -p.p_dependent):
+        copier = pair.likely_copier()
+        print(
+            f"    {pair.s1} ~ {pair.s2}: P = {pair.p_dependent:.3f}"
+            f"   copier: {copier or '-'}"
+        )
+
+
+def synthetic_demo() -> None:
+    print("\n=== Synthetic: slow provider vs lazy copier ===")
+    config = TemporalConfig(
+        n_objects=60,
+        time_span=40.0,
+        transitions_per_object=2.5,
+        n_false_values=10,
+        sources=[
+            TemporalSourceSpec("fresh", lag=0.3, error_rate=0.1),
+            TemporalSourceSpec("slow", lag=3.0, error_rate=0.1),
+            TemporalSourceSpec("mid1", lag=1.0, error_rate=0.1),
+            TemporalSourceSpec("mid2", lag=1.5, error_rate=0.1),
+            TemporalSourceSpec("mid3", lag=0.7, error_rate=0.1),
+        ],
+        copiers=[
+            TemporalCopierSpec("lazy", "fresh", poll_interval=3.0, copy_rate=0.8)
+        ],
+    )
+    dataset, world = generate_temporal_world(config, seed=11)
+
+    raw = discover_temporal_dependence(dataset, TemporalParams())
+    adjusted = discover_temporal_dependence(
+        dataset,
+        TemporalParams(freshness_adjustment=1.0),
+        leave_pair_out=True,
+    )
+    print("  pair                raw model   freshness-adjusted")
+    for a, b in (("fresh", "lazy"), ("fresh", "slow"), ("fresh", "mid3")):
+        print(
+            f"  {a:<7} ~ {b:<8}  {raw.probability(a, b):.3f}       "
+            f"{adjusted.probability(a, b):.3f}"
+        )
+    print("  (planted copier: lazy -> fresh; slow is independent but slow)")
+
+
+if __name__ == "__main__":
+    table3_demo()
+    synthetic_demo()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` can fall back to the legacy ``setup.py develop``
+path on environments without the ``wheel`` package (PEP 660 editable
+installs require building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

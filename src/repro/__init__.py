@@ -1,0 +1,79 @@
+"""repro — source-dependence discovery and copy-aware truth discovery.
+
+A from-scratch reproduction of *"Sailing the Information Ocean with
+Awareness of Currents: Discovery and Application of Source Dependence"*
+(Berti-Équille, Das Sarma, Dong, Marian, Srivastava — CIDR 2009).
+
+The package is organised by the paper's structure:
+
+``repro.core``
+    Claims, datasets (snapshot and temporal), ground-truth worlds,
+    model parameters.
+``repro.truth``
+    Truth discovery: naive voting, ACCU, TruthFinder, and the
+    copy-aware DEPEN algorithm.
+``repro.dependence``
+    Dependence discovery: snapshot Bayes, partial-copier accuracy
+    splits, rater (dis)similarity dependence, temporal copy detection.
+``repro.temporal``
+    Lifespan inference, source quality (coverage/exactness/freshness),
+    temporal truth discovery.
+``repro.opinions``
+    Rating matrices, dependence-aware consensus, opinion pooling.
+``repro.linkage``
+    String similarity, author-list handling, representation clustering,
+    joint linkage + truth discovery.
+``repro.fusion`` / ``repro.query`` / ``repro.recommend``
+    The application layers of section 4: data fusion, online query
+    answering with source ordering, source recommendation.
+``repro.generators``
+    Synthetic worlds: copier networks, rating worlds, temporal worlds,
+    and the AbeBooks-scale bookstore catalog.
+``repro.eval`` / ``repro.datasets``
+    Metrics, the experiment harness, and the paper's worked examples
+    (Tables 1-3) as data.
+"""
+
+from repro.core import (
+    Claim,
+    ClaimDataset,
+    DependenceEdge,
+    DependenceKind,
+    DependenceParams,
+    IterationParams,
+    OpinionParams,
+    Rating,
+    TemporalClaim,
+    TemporalDataset,
+    TemporalParams,
+    TemporalWorld,
+    World,
+)
+from repro.dependence import DependenceGraph, discover_dependence
+from repro.truth import Accu, Depen, NaiveVote, TruthFinder, TruthResult
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Accu",
+    "Claim",
+    "ClaimDataset",
+    "Depen",
+    "DependenceEdge",
+    "DependenceGraph",
+    "DependenceKind",
+    "DependenceParams",
+    "IterationParams",
+    "NaiveVote",
+    "OpinionParams",
+    "Rating",
+    "TemporalClaim",
+    "TemporalDataset",
+    "TemporalParams",
+    "TemporalWorld",
+    "TruthFinder",
+    "TruthResult",
+    "World",
+    "__version__",
+    "discover_dependence",
+]

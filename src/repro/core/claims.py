@@ -1,0 +1,157 @@
+"""Claim records — the atomic unit of information in the library.
+
+Section 2.1 of the paper models a structured data source as a set of
+4-tuples ``(o_i, v_i, t_i, p_i)``: an identifier, the value the source
+associates with it, the time of the assertion, and the probability the
+source attaches to it. Two concrete record types cover the two settings
+the paper analyses:
+
+* :class:`Claim` — the *snapshot* setting (section 3.2, "Snapshot
+  Dependence"): no temporal information, one value per (source, object).
+* :class:`TemporalClaim` — the *temporal* setting ("Temporal
+  Dependence"): each record carries the time at which the source started
+  asserting the value, so a (source, object) pair maps to an update
+  history.
+
+Both are frozen dataclasses: claims are immutable facts about what a
+source said, and datasets index them heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DataError
+from repro.core.types import (
+    ObjectId,
+    SourceId,
+    Value,
+    check_object_id,
+    check_probability,
+    check_source_id,
+    check_timestamp,
+    check_value,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """A single snapshot assertion: *source* says *object* has *value*.
+
+    ``probability`` is the confidence the source itself attaches to the
+    value (paper section 2.1); sources that do not provide probabilities
+    get the default of ``1.0``, exactly as the paper prescribes.
+    """
+
+    source: SourceId
+    object: ObjectId
+    value: Value
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_source_id(self.source)
+        check_object_id(self.object)
+        check_value(self.value)
+        check_probability(self.probability, "claim probability")
+
+    @property
+    def key(self) -> tuple[SourceId, ObjectId]:
+        """The (source, object) pair this claim is about."""
+        return (self.source, self.object)
+
+    def with_value(self, value: Value) -> "Claim":
+        """Return a copy of this claim asserting a different value.
+
+        Used by the record-linkage layer when canonicalising
+        representations, and by generators when corrupting claims.
+        """
+        return Claim(self.source, self.object, value, self.probability)
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalClaim:
+    """A timestamped assertion: from ``time`` on, *source* said *value*.
+
+    The timestamp is the moment the source *adopted* the value (e.g. the
+    year a website changed a researcher's affiliation, as in Table 3 of
+    the paper). A source's history for one object is the sequence of its
+    temporal claims ordered by time; each value is implicitly asserted
+    until the next update by the same source.
+    """
+
+    source: SourceId
+    object: ObjectId
+    value: Value
+    time: float
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_source_id(self.source)
+        check_object_id(self.object)
+        check_value(self.value)
+        check_timestamp(self.time, "claim time")
+        check_probability(self.probability, "claim probability")
+
+    @property
+    def key(self) -> tuple[SourceId, ObjectId]:
+        """The (source, object) pair this claim is about."""
+        return (self.source, self.object)
+
+    def as_snapshot(self) -> Claim:
+        """Drop the timestamp, yielding a snapshot :class:`Claim`."""
+        return Claim(self.source, self.object, self.value, self.probability)
+
+
+@dataclass(frozen=True, slots=True)
+class Rating:
+    """An opinion-style claim with no underlying true value.
+
+    The paper distinguishes factual conflicts (one underlying truth) from
+    differences of opinion such as movie ratings (Table 2), where the goal
+    is an unbiased *consensus* rather than a truth. A :class:`Rating`
+    mirrors :class:`Claim` but is kept as a separate type so the two kinds
+    of data cannot be mixed by accident.
+    """
+
+    rater: SourceId
+    item: ObjectId
+    score: Value
+
+    def __post_init__(self) -> None:
+        check_source_id(self.rater)
+        check_object_id(self.item)
+        check_value(self.score)
+
+    @property
+    def key(self) -> tuple[SourceId, ObjectId]:
+        """The (rater, item) pair this rating is about."""
+        return (self.rater, self.item)
+
+
+@dataclass(frozen=True, slots=True)
+class ValuePeriod:
+    """One entry of a value timeline: ``value`` held during [start, end).
+
+    ``end`` may be ``None`` for the currently-true value. Used by ground
+    truth worlds and by lifespan inference (``repro.temporal.lifespan``).
+    """
+
+    value: Value
+    start: float
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        check_value(self.value)
+        check_timestamp(self.start, "period start")
+        if self.end is not None:
+            check_timestamp(self.end, "period end")
+            if self.end <= self.start:
+                raise DataError(
+                    f"period end {self.end} must be after start {self.start}"
+                )
+
+    def contains(self, t: float) -> bool:
+        """Whether time ``t`` falls inside this period."""
+        if t < self.start:
+            return False
+        return self.end is None or t < self.end

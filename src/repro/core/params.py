@@ -1,0 +1,246 @@
+"""Model and iteration parameters for dependence discovery.
+
+The Bayesian dependence model of section 3.2 has three structural
+parameters, gathered in :class:`DependenceParams`:
+
+``alpha``
+    The a-priori probability that an arbitrary pair of sources is
+    dependent. The prior mass is split evenly between the two copy
+    directions (S1 copies S2, S2 copies S1).
+``copy_rate``
+    ``c`` — given that a copier copies from an original, the probability
+    that any particular shared value was copied (rather than provided
+    independently). Partial copiers (section 3.1, "partial dependence")
+    correspond to ``c < 1``.
+``n_false_values``
+    ``n`` — the number of (uniformly likely) false values per object in
+    the domain. Larger ``n`` makes a *shared false value* stronger
+    evidence of copying: the chance two independent sources pick the
+    same false value is ``(1-A1)(1-A2)/n``.
+
+Iterative algorithms additionally take :class:`IterationParams`.
+
+Both classes validate their fields eagerly so mis-parameterisations fail
+at construction rather than deep inside an iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True, slots=True)
+class DependenceParams:
+    """Structural parameters of the pairwise dependence model.
+
+    ``false_value_model`` selects how likely two *independent* sources
+    are to share a false value: ``"uniform"`` (the paper's sketch — one
+    of ``n`` equally likely alternatives) or ``"empirical"`` — weight
+    each shared value by its observed popularity among the object's
+    other providers. The empirical model implements the paper's
+    "correlated information" caveat: a *popular* wrong value (a common
+    misspelling everyone repeats) is weak evidence of copying, while a
+    value shared by exactly the suspected pair is damning.
+
+    ``evidence_form`` selects how the latent truth of a shared value is
+    handled while it is still uncertain. ``"expected_log"`` (the
+    default) weights the true/false log-likelihoods by the current value
+    probability — deliberately aggressive early on, which is what lets
+    the truth-agnostic first round break up copier majorities on tiny
+    inputs like the paper's Table 1. ``"marginal"`` marginalises the
+    latent truth properly (``ln(p·Pt + (1-p)·Pf)``); it is
+    better-calibrated on larger inputs but too timid to bootstrap the
+    worked examples. Both coincide once value probabilities harden.
+    """
+
+    alpha: float = 0.2
+    copy_rate: float = 0.8
+    n_false_values: int = 100
+    false_value_model: str = "uniform"
+    evidence_form: str = "expected_log"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not 0.0 < self.copy_rate < 1.0:
+            raise ParameterError(
+                f"copy_rate must be in (0, 1), got {self.copy_rate}"
+            )
+        if self.n_false_values < 1:
+            raise ParameterError(
+                f"n_false_values must be >= 1, got {self.n_false_values}"
+            )
+        if self.false_value_model not in ("uniform", "empirical"):
+            raise ParameterError(
+                "false_value_model must be 'uniform' or 'empirical', got "
+                f"{self.false_value_model!r}"
+            )
+        if self.evidence_form not in ("expected_log", "marginal"):
+            raise ParameterError(
+                "evidence_form must be 'expected_log' or 'marginal', got "
+                f"{self.evidence_form!r}"
+            )
+
+    @property
+    def prior_independent(self) -> float:
+        """Prior probability that a pair of sources is independent."""
+        return 1.0 - self.alpha
+
+    @property
+    def prior_direction(self) -> float:
+        """Prior probability of each single copy direction."""
+        return self.alpha / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class IterationParams:
+    """Convergence controls for iterative (truth, accuracy, dependence) loops."""
+
+    max_rounds: int = 30
+    accuracy_tolerance: float = 1e-4
+    initial_accuracy: float = 0.8
+    accuracy_floor: float = 0.01
+    accuracy_ceiling: float = 0.99
+    fail_on_max_rounds: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ParameterError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.accuracy_tolerance <= 0:
+            raise ParameterError(
+                f"accuracy_tolerance must be > 0, got {self.accuracy_tolerance}"
+            )
+        if not 0.0 < self.initial_accuracy < 1.0:
+            raise ParameterError(
+                f"initial_accuracy must be in (0, 1), got {self.initial_accuracy}"
+            )
+        if not 0.0 < self.accuracy_floor < self.accuracy_ceiling < 1.0:
+            raise ParameterError(
+                "need 0 < accuracy_floor < accuracy_ceiling < 1, got "
+                f"floor={self.accuracy_floor}, ceiling={self.accuracy_ceiling}"
+            )
+
+    def clamp_accuracy(self, accuracy: float) -> float:
+        """Clamp an accuracy estimate into the open interval the model needs.
+
+        Accuracy scores involve ``ln(A / (1-A))``; accuracies of exactly 0
+        or 1 would make them infinite, so estimates are kept inside
+        ``[floor, ceiling]``.
+        """
+        return min(self.accuracy_ceiling, max(self.accuracy_floor, accuracy))
+
+
+@dataclass(frozen=True, slots=True)
+class OpinionParams:
+    """Parameters of the rater-dependence model (section 2.2, Example 2.2).
+
+    ``alpha`` is the prior probability that a rater pair is dependent at
+    all, split evenly between similarity- and dissimilarity-dependence and
+    then between the two directions. ``influence_rate`` plays the role of
+    the copy rate: the probability that a dependent rater's rating on any
+    particular item was dictated by the dependence (copied, or chosen to
+    oppose) rather than formed independently.
+    """
+
+    alpha: float = 0.2
+    influence_rate: float = 0.8
+    smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not 0.0 < self.influence_rate < 1.0:
+            raise ParameterError(
+                f"influence_rate must be in (0, 1), got {self.influence_rate}"
+            )
+        if self.smoothing <= 0:
+            raise ParameterError(f"smoothing must be > 0, got {self.smoothing}")
+
+    @property
+    def prior_independent(self) -> float:
+        """Prior probability that a rater pair is independent."""
+        return 1.0 - self.alpha
+
+    @property
+    def prior_per_hypothesis(self) -> float:
+        """Prior of each directed dependence hypothesis (4 of them)."""
+        return self.alpha / 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalParams:
+    """Parameters of the temporal dependence model (section 3.2).
+
+    ``max_copy_lag`` bounds how long after an original's update a copied
+    update may appear (a lazy copier, section 3.1, may trail by up to
+    this much). ``alpha`` mirrors the snapshot model; ``copy_rate`` is
+    the probability a given co-adopted value was dictated by the copying
+    (it doubles as the laziness model — a lazy copier has a low rate, so
+    the default is lower than the snapshot 0.8). ``tie_prior`` is the
+    probability two *independent* sources adopt a value at the same
+    recorded instant (coarse-grained timestamps, e.g. years, make ties
+    common); ``window_capture`` is the probability that an independent
+    later adoption falls inside the copy-lag window anyway.
+    ``rarity_weight`` controls how much simultaneous co-updates are
+    discounted when many sources performed the same update (common
+    updates are weak evidence — temporal intuition 2).
+    """
+
+    alpha: float = 0.2
+    copy_rate: float = 0.5
+    n_false_values: int = 100
+    max_copy_lag: float = 5.0
+    tie_prior: float = 0.3
+    window_capture: float = 0.8
+    rarity_weight: float = 1.0
+    freshness_adjustment: float = 0.0
+    nt_floor: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not 0.0 < self.copy_rate < 1.0:
+            raise ParameterError(
+                f"copy_rate must be in (0, 1), got {self.copy_rate}"
+            )
+        if self.n_false_values < 1:
+            raise ParameterError(
+                f"n_false_values must be >= 1, got {self.n_false_values}"
+            )
+        if self.max_copy_lag <= 0:
+            raise ParameterError(
+                f"max_copy_lag must be > 0, got {self.max_copy_lag}"
+            )
+        if not 0.0 < self.tie_prior < 1.0:
+            raise ParameterError(
+                f"tie_prior must be in (0, 1), got {self.tie_prior}"
+            )
+        if not 0.0 < self.window_capture <= 1.0:
+            raise ParameterError(
+                f"window_capture must be in (0, 1], got {self.window_capture}"
+            )
+        if self.rarity_weight < 0:
+            raise ParameterError(
+                f"rarity_weight must be >= 0, got {self.rarity_weight}"
+            )
+        if not 0.0 <= self.freshness_adjustment <= 1.0:
+            raise ParameterError(
+                "freshness_adjustment must be in [0, 1], got "
+                f"{self.freshness_adjustment}"
+            )
+        if not 0.0 <= self.nt_floor < 1.0:
+            raise ParameterError(
+                f"nt_floor must be in [0, 1), got {self.nt_floor}"
+            )
+
+    @property
+    def prior_independent(self) -> float:
+        """Prior probability that a pair of sources is independent."""
+        return 1.0 - self.alpha
+
+    @property
+    def prior_direction(self) -> float:
+        """Prior probability of each single copy direction."""
+        return self.alpha / 2.0

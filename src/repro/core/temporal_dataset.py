@@ -1,0 +1,265 @@
+"""Temporal claim store: per-(source, object) update histories.
+
+The temporal setting of section 3.2 associates each source with a set of
+``(time, value)`` pairs per object (the paper's Table 3). This module
+stores those histories and supports the projections temporal reasoning
+needs:
+
+* the full, time-ordered history of one source for one object;
+* the *snapshot at time t* — which value each source asserted at ``t``
+  (the latest update not after ``t``);
+* the stream of *update events* across sources, used by temporal
+  dependence discovery to compare update traces;
+* observation subsampling, modelling the "incomplete observations"
+  challenge of section 3.1 (we only see periodic snapshots of a web
+  source, not every update).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.core.claims import Claim, TemporalClaim
+from repro.core.dataset import ClaimDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateEvent:
+    """One observed update: ``source`` adopted ``value`` for ``object`` at ``time``.
+
+    ``previous`` is the value the source asserted immediately before, or
+    ``None`` if this is the first observation (an *insertion* rather than
+    a modification).
+    """
+
+    source: SourceId
+    object: ObjectId
+    value: Value
+    time: float
+    previous: Value | None
+
+
+class TemporalDataset:
+    """An indexed collection of temporal claims.
+
+    Multiple claims per (source, object) are expected — they form the
+    update history. Two claims by one source for one object at the *same*
+    time with different values are rejected; identical duplicates are
+    ignored.
+    """
+
+    def __init__(self, claims: Iterable[TemporalClaim] = ()) -> None:
+        # history maps (source, object) -> sorted list of (time, value)
+        self._history: dict[tuple[SourceId, ObjectId], list[tuple[float, Value]]] = {}
+        self._sources: set[SourceId] = set()
+        self._objects: set[ObjectId] = set()
+        self._sorted = True
+        for claim in claims:
+            self.add(claim)
+
+    def add(self, claim: TemporalClaim) -> None:
+        """Insert one temporal claim."""
+        if not isinstance(claim, TemporalClaim):
+            raise DataError(
+                f"expected a TemporalClaim, got {type(claim).__name__}"
+            )
+        history = self._history.setdefault(claim.key, [])
+        for time, value in history:
+            if time == claim.time:
+                if value == claim.value:
+                    return
+                raise DataError(
+                    f"source {claim.source!r} asserts two values for "
+                    f"{claim.object!r} at time {claim.time}: "
+                    f"{value!r} and {claim.value!r}"
+                )
+        history.append((claim.time, claim.value))
+        self._sources.add(claim.source)
+        self._objects.add(claim.object)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            for history in self._history.values():
+                history.sort(key=lambda pair: pair[0])
+            self._sorted = True
+
+    @classmethod
+    def from_table(
+        cls,
+        table: dict[ObjectId, dict[SourceId, Iterable[tuple[float, Value]]]],
+    ) -> "TemporalDataset":
+        """Build from ``{object: {source: [(time, value), ...]}}``.
+
+        This is the natural encoding of the paper's Table 3.
+        """
+        dataset = cls()
+        for obj, row in table.items():
+            for source, history in row.items():
+                for time, value in history:
+                    dataset.add(
+                        TemporalClaim(
+                            source=source, object=obj, value=value, time=time
+                        )
+                    )
+        return dataset
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def sources(self) -> list[SourceId]:
+        """All source ids, sorted."""
+        return sorted(self._sources)
+
+    @property
+    def objects(self) -> list[ObjectId]:
+        """All object ids, sorted."""
+        return sorted(self._objects)
+
+    def __len__(self) -> int:
+        return sum(len(h) for h in self._history.values())
+
+    def history(
+        self, source: SourceId, obj: ObjectId
+    ) -> list[tuple[float, Value]]:
+        """Time-ordered ``(time, value)`` history of ``source`` for ``obj``."""
+        self._ensure_sorted()
+        return list(self._history.get((source, obj), []))
+
+    def objects_of(self, source: SourceId) -> set[ObjectId]:
+        """Objects for which ``source`` ever asserted a value."""
+        return {obj for (s, obj) in self._history if s == source}
+
+    def value_at(
+        self, source: SourceId, obj: ObjectId, t: float
+    ) -> Value | None:
+        """The value ``source`` asserted at time ``t`` (latest update <= t)."""
+        self._ensure_sorted()
+        history = self._history.get((source, obj))
+        if not history:
+            return None
+        times = [time for time, _ in history]
+        idx = bisect_right(times, t)
+        if idx == 0:
+            return None
+        return history[idx - 1][1]
+
+    def snapshot_at(self, t: float) -> ClaimDataset:
+        """Project the temporal dataset onto a snapshot at time ``t``."""
+        self._ensure_sorted()
+        snapshot = ClaimDataset()
+        for (source, obj), history in self._history.items():
+            times = [time for time, _ in history]
+            idx = bisect_right(times, t)
+            if idx == 0:
+                continue
+            snapshot.add(Claim(source=source, object=obj, value=history[idx - 1][1]))
+        return snapshot
+
+    def latest_snapshot(self) -> ClaimDataset:
+        """Snapshot at the time of the last update in the dataset."""
+        end = self.time_span()[1]
+        return self.snapshot_at(end)
+
+    def time_span(self) -> tuple[float, float]:
+        """``(earliest, latest)`` update time across all histories."""
+        times = [
+            time
+            for history in self._history.values()
+            for time, _ in history
+        ]
+        if not times:
+            raise DataError("temporal dataset is empty")
+        return min(times), max(times)
+
+    # ------------------------------------------------------------------
+    # update events
+    # ------------------------------------------------------------------
+
+    def update_events(
+        self, source: SourceId | None = None
+    ) -> Iterator[UpdateEvent]:
+        """Yield update events, time-ordered within each (source, object).
+
+        If ``source`` is given, only that source's events are yielded.
+        The first claim of a history is an event with ``previous=None``.
+        """
+        self._ensure_sorted()
+        for (s, obj), history in sorted(self._history.items()):
+            if source is not None and s != source:
+                continue
+            previous: Value | None = None
+            for time, value in history:
+                yield UpdateEvent(
+                    source=s, object=obj, value=value, time=time, previous=previous
+                )
+                previous = value
+
+    def adoption_time(
+        self, source: SourceId, obj: ObjectId, value: Value
+    ) -> float | None:
+        """First time ``source`` adopted ``value`` for ``obj``, or ``None``."""
+        self._ensure_sorted()
+        for time, v in self._history.get((source, obj), []):
+            if v == value:
+                return time
+        return None
+
+    def restrict_sources(self, sources: Iterable[SourceId]) -> "TemporalDataset":
+        """The sub-dataset containing only claims by ``sources``."""
+        keep = set(sources)
+        self._ensure_sorted()
+        subset = TemporalDataset()
+        for (source, obj), history in self._history.items():
+            if source not in keep:
+                continue
+            for time, value in history:
+                subset.add(
+                    TemporalClaim(
+                        source=source, object=obj, value=value, time=time
+                    )
+                )
+        return subset
+
+    # ------------------------------------------------------------------
+    # incomplete observations (section 3.1)
+    # ------------------------------------------------------------------
+
+    def observed_at(self, observation_times: Iterable[float]) -> "TemporalDataset":
+        """Simulate periodic crawling: keep only what snapshots reveal.
+
+        For each observation time we record the value each source asserted
+        then, timestamped with the *observation* time (we cannot know when
+        the source really updated). Consecutive observations with an
+        unchanged value collapse into one claim, mirroring how a crawler
+        would infer update events. Updates occurring entirely between two
+        observations are lost — the uncertainty section 3.1 describes.
+        """
+        self._ensure_sorted()
+        observed = TemporalDataset()
+        times = sorted(set(float(t) for t in observation_times))
+        if not times:
+            raise DataError("need at least one observation time")
+        for (source, obj), _history in self._history.items():
+            last_seen: Value | None = None
+            for t in times:
+                value = self.value_at(source, obj, t)
+                if value is None or value == last_seen:
+                    continue
+                observed.add(
+                    TemporalClaim(source=source, object=obj, value=value, time=t)
+                )
+                last_seen = value
+        return observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TemporalDataset({len(self)} claims, {len(self._sources)} sources, "
+            f"{len(self._objects)} objects)"
+        )

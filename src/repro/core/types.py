@@ -1,0 +1,74 @@
+"""Basic identifier and value types shared across the library.
+
+The paper (section 2.1) models a structured source as a set of 4-tuples
+``(o, v, t, p)`` — identifier, value, time, probability. We keep
+identifiers and values deliberately lightweight:
+
+* a *source id* and an *object id* are plain strings (hashable, sortable,
+  cheap to index);
+* a *value* is any hashable Python object. Truth-discovery algorithms only
+  compare values for equality; the record-linkage layer is what decides
+  when two distinct values are alternative representations of each other.
+
+This module also provides small helpers for validating those types once at
+the boundary so the rest of the library can assume well-formed input.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, TypeAlias
+
+from repro.exceptions import DataError
+
+SourceId: TypeAlias = str
+ObjectId: TypeAlias = str
+Value: TypeAlias = Hashable
+
+
+def check_source_id(source: object) -> SourceId:
+    """Validate and return a source identifier.
+
+    Raises :class:`~repro.exceptions.DataError` if ``source`` is not a
+    non-empty string.
+    """
+    if not isinstance(source, str) or not source:
+        raise DataError(f"source id must be a non-empty string, got {source!r}")
+    return source
+
+
+def check_object_id(obj: object) -> ObjectId:
+    """Validate and return an object (data item) identifier."""
+    if not isinstance(obj, str) or not obj:
+        raise DataError(f"object id must be a non-empty string, got {obj!r}")
+    return obj
+
+
+def check_value(value: object) -> Value:
+    """Validate and return a claim value.
+
+    Values must be hashable (they key vote-count dictionaries) and not
+    ``None`` (absence of a value is modelled by *not* making a claim).
+    """
+    if value is None:
+        raise DataError("claim value must not be None; omit the claim instead")
+    try:
+        hash(value)
+    except TypeError as exc:
+        raise DataError(f"claim value must be hashable, got {value!r}") from exc
+    return value
+
+
+def check_probability(p: float, what: str = "probability") -> float:
+    """Validate that ``p`` lies in ``[0, 1]`` and return it as a float."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise DataError(f"{what} must be in [0, 1], got {p}")
+    return p
+
+
+def check_timestamp(t: float, what: str = "timestamp") -> float:
+    """Validate that ``t`` is a finite number and return it as a float."""
+    t = float(t)
+    if t != t or t in (float("inf"), float("-inf")):  # NaN or infinite
+        raise DataError(f"{what} must be finite, got {t}")
+    return t

@@ -1,0 +1,184 @@
+"""Ground-truth worlds for generators and evaluation.
+
+Synthetic experiments need to know what *is* true (and who *does* copy)
+to score an algorithm's output. A :class:`World` bundles:
+
+* the true value of every object (snapshot setting), or the true value
+  *timeline* of every object (:class:`TemporalWorld`);
+* the planted dependence edges (:class:`DependenceEdge`) with their kind
+  (similarity vs dissimilarity — section 2.2) and copy rate.
+
+Worlds are produced by ``repro.generators`` and consumed by
+``repro.eval.metrics``; algorithms never see them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.claims import ValuePeriod
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import DataError
+
+
+class DependenceKind(Enum):
+    """The two kinds of source dependence the paper defines (section 2.2)."""
+
+    SIMILARITY = "similarity"
+    DISSIMILARITY = "dissimilarity"
+
+
+@dataclass(frozen=True, slots=True)
+class DependenceEdge:
+    """A planted (or detected) directed dependence: ``copier`` depends on ``original``."""
+
+    copier: SourceId
+    original: SourceId
+    kind: DependenceKind = DependenceKind.SIMILARITY
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.copier == self.original:
+            raise DataError("a source cannot depend on itself")
+        if not 0.0 < self.rate <= 1.0:
+            raise DataError(f"dependence rate must be in (0, 1], got {self.rate}")
+
+    @property
+    def pair(self) -> frozenset[SourceId]:
+        """The unordered pair of sources involved."""
+        return frozenset((self.copier, self.original))
+
+
+@dataclass
+class World:
+    """Snapshot ground truth: one true value per object, plus planted edges."""
+
+    truth: dict[ObjectId, Value]
+    edges: list[DependenceEdge] = field(default_factory=list)
+    source_accuracy: dict[SourceId, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.truth:
+            raise DataError("a world needs at least one object")
+        for source, accuracy in self.source_accuracy.items():
+            if not 0.0 <= accuracy <= 1.0:
+                raise DataError(
+                    f"accuracy of {source!r} must be in [0, 1], got {accuracy}"
+                )
+
+    @property
+    def objects(self) -> list[ObjectId]:
+        """All object ids, sorted."""
+        return sorted(self.truth)
+
+    def is_true(self, obj: ObjectId, value: Value) -> bool:
+        """Whether ``value`` is the true value of ``obj``."""
+        if obj not in self.truth:
+            raise DataError(f"unknown object {obj!r}")
+        return self.truth[obj] == value
+
+    def dependent_pairs(self) -> set[frozenset[SourceId]]:
+        """Unordered pairs of sources with a planted dependence."""
+        return {edge.pair for edge in self.edges}
+
+    def copiers(self) -> set[SourceId]:
+        """Sources that similarity-depend on (copy from) someone."""
+        return {
+            edge.copier
+            for edge in self.edges
+            if edge.kind is DependenceKind.SIMILARITY
+        }
+
+
+@dataclass
+class TemporalWorld:
+    """Temporal ground truth: per-object value timelines, plus planted edges.
+
+    ``timelines[obj]`` is a list of :class:`ValuePeriod` ordered by start
+    time, contiguous (each period ends where the next begins), the last
+    one open-ended.
+    """
+
+    timelines: dict[ObjectId, list[ValuePeriod]]
+    edges: list[DependenceEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.timelines:
+            raise DataError("a temporal world needs at least one object")
+        for obj, periods in self.timelines.items():
+            self._check_timeline(obj, periods)
+
+    @staticmethod
+    def _check_timeline(obj: ObjectId, periods: list[ValuePeriod]) -> None:
+        if not periods:
+            raise DataError(f"object {obj!r} has an empty timeline")
+        for earlier, later in zip(periods, periods[1:]):
+            if earlier.end is None:
+                raise DataError(
+                    f"object {obj!r}: only the final period may be open-ended"
+                )
+            if earlier.end != later.start:
+                raise DataError(
+                    f"object {obj!r}: timeline has a gap or overlap at "
+                    f"{earlier.end} vs {later.start}"
+                )
+        if periods[-1].end is not None:
+            raise DataError(f"object {obj!r}: final period must be open-ended")
+
+    @property
+    def objects(self) -> list[ObjectId]:
+        """All object ids, sorted."""
+        return sorted(self.timelines)
+
+    def true_value_at(self, obj: ObjectId, t: float) -> Value | None:
+        """The value true for ``obj`` at time ``t`` (``None`` before the first period)."""
+        if obj not in self.timelines:
+            raise DataError(f"unknown object {obj!r}")
+        for period in self.timelines[obj]:
+            if period.contains(t):
+                return period.value
+        return None
+
+    def was_ever_true(self, obj: ObjectId, value: Value) -> bool:
+        """Whether ``value`` was the true value of ``obj`` during *some* period.
+
+        Distinguishes *out-of-date* values from *false* values — the key
+        refinement temporal reasoning brings (Example 3.2: S2 and S3
+        provide out-of-date, not false, affiliations).
+        """
+        if obj not in self.timelines:
+            raise DataError(f"unknown object {obj!r}")
+        return any(period.value == value for period in self.timelines[obj])
+
+    def transition_times(self, obj: ObjectId) -> list[float]:
+        """Times at which the true value of ``obj`` changed (excludes creation)."""
+        if obj not in self.timelines:
+            raise DataError(f"unknown object {obj!r}")
+        return [period.start for period in self.timelines[obj][1:]]
+
+    def current_truth(self) -> dict[ObjectId, Value]:
+        """The currently-true value of every object (final period values)."""
+        return {obj: periods[-1].value for obj, periods in self.timelines.items()}
+
+    def dependent_pairs(self) -> set[frozenset[SourceId]]:
+        """Unordered pairs of sources with a planted dependence."""
+        return {edge.pair for edge in self.edges}
+
+
+def make_timeline(transitions: Iterable[tuple[float, Value]]) -> list[ValuePeriod]:
+    """Build a contiguous timeline from ``(start_time, value)`` transitions.
+
+    Convenience used by generators and tests::
+
+        make_timeline([(2001, "UW"), (2006, "MSR"), (2007, "UW")])
+    """
+    items = sorted(transitions, key=lambda pair: pair[0])
+    if not items:
+        raise DataError("need at least one transition")
+    periods = []
+    for i, (start, value) in enumerate(items):
+        end = items[i + 1][0] if i + 1 < len(items) else None
+        periods.append(ValuePeriod(value=value, start=start, end=end))
+    return periods

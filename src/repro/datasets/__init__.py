@@ -1,0 +1,27 @@
+"""The paper's worked examples as data (Tables 1, 2, 3)."""
+
+from repro.datasets.paper_tables import (
+    RATING_SCALE,
+    TABLE1,
+    TABLE1_COPIERS,
+    TABLE1_TRUTH,
+    TABLE2,
+    TABLE2_ANTI_PAIRS,
+    TABLE3,
+    TABLE3_TIMELINES,
+    table1_dataset,
+    table3_dataset,
+)
+
+__all__ = [
+    "RATING_SCALE",
+    "TABLE1",
+    "TABLE1_COPIERS",
+    "TABLE1_TRUTH",
+    "TABLE2",
+    "TABLE2_ANTI_PAIRS",
+    "TABLE3",
+    "TABLE3_TIMELINES",
+    "table1_dataset",
+    "table3_dataset",
+]

@@ -1,0 +1,145 @@
+"""The paper's worked examples (Tables 1, 2, 3) encoded as data.
+
+These small datasets drive the first three reproduction benches and many
+unit tests, because the paper states exactly what a correct system should
+conclude on them:
+
+* **Table 1** (researcher affiliations): S1 provides all true values; S4
+  copies S3 exactly; S5 copies S3 with one change ("UWisc" for Suciu).
+  Naive voting over S1..S3 gets the first four researchers right but is
+  unsure about Dong; over S1..S5 it wrongly picks S3's value for three of
+  the five researchers (Example 2.1).
+* **Table 2** (movie ratings): R4 always opposes R1 —
+  dissimilarity-dependence (Example 2.2).
+* **Table 3** (temporal affiliations): only S1 is up to date; S2 is an
+  independent-but-slow provider (many of its updates precede S1's); S3 is
+  a lazy copier of S1 (its matching updates strictly trail S1's)
+  (Example 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.claims import ValuePeriod
+from repro.core.dataset import ClaimDataset
+from repro.core.temporal_dataset import TemporalDataset
+
+# ---------------------------------------------------------------------------
+# Table 1 — snapshot affiliations
+# ---------------------------------------------------------------------------
+
+#: The five researchers' true affiliations (what S1 asserts).
+TABLE1_TRUTH: dict[str, str] = {
+    "Suciu": "UW",
+    "Halevy": "Google",
+    "Balazinska": "UW",
+    "Dalvi": "Yahoo!",
+    "Dong": "AT&T",
+}
+
+#: Table 1 of the paper, as ``{object: {source: value}}``.
+TABLE1: dict[str, dict[str, str]] = {
+    "Suciu": {"S1": "UW", "S2": "MSR", "S3": "UW", "S4": "UW", "S5": "UWisc"},
+    "Halevy": {"S1": "Google", "S2": "Google", "S3": "UW", "S4": "UW", "S5": "UW"},
+    "Balazinska": {"S1": "UW", "S2": "UW", "S3": "UW", "S4": "UW", "S5": "UW"},
+    "Dalvi": {"S1": "Yahoo!", "S2": "Yahoo!", "S3": "UW", "S4": "UW", "S5": "UW"},
+    "Dong": {"S1": "AT&T", "S2": "Google", "S3": "UW", "S4": "UW", "S5": "UW"},
+}
+
+#: The copying structure the example stipulates: S4 and S5 copy from S3.
+TABLE1_COPIERS: list[tuple[str, str]] = [("S4", "S3"), ("S5", "S3")]
+
+
+def table1_dataset(sources: tuple[str, ...] = ("S1", "S2", "S3", "S4", "S5")) -> ClaimDataset:
+    """Table 1 as a :class:`ClaimDataset`, optionally restricted to a prefix.
+
+    ``table1_dataset(("S1", "S2", "S3"))`` reproduces the first half of
+    Example 2.1 (before the copiers join).
+    """
+    keep = set(sources)
+    return ClaimDataset.from_table(
+        {
+            obj: {s: v for s, v in row.items() if s in keep}
+            for obj, row in TABLE1.items()
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — movie ratings
+# ---------------------------------------------------------------------------
+
+#: Ordinal rating scale used by Table 2, worst to best.
+RATING_SCALE: tuple[str, ...] = ("Bad", "Neutral", "Good")
+
+#: Table 2 of the paper, as ``{item: {rater: score}}``.
+TABLE2: dict[str, dict[str, str]] = {
+    "The Pianist": {"R1": "Good", "R2": "Neutral", "R3": "Bad", "R4": "Bad"},
+    "Into the Wild": {"R1": "Good", "R2": "Bad", "R3": "Good", "R4": "Bad"},
+    "The Matrix": {"R1": "Bad", "R2": "Bad", "R3": "Good", "R4": "Good"},
+}
+
+#: The dependence the example stipulates: R4 dissimilarity-depends on R1.
+TABLE2_ANTI_PAIRS: list[tuple[str, str]] = [("R4", "R1")]
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — temporal affiliations
+# ---------------------------------------------------------------------------
+
+#: Table 3 of the paper, as ``{object: {source: [(year, value), ...]}}``.
+TABLE3: dict[str, dict[str, list[tuple[float, str]]]] = {
+    "Suciu": {
+        "S1": [(2002, "UW"), (2006, "MSR"), (2007, "UW")],
+        "S2": [(2006, "MSR")],
+        "S3": [(2001, "UW"), (2003, "UW")],
+    },
+    "Halevy": {
+        "S1": [(2002, "UW"), (2006, "Google")],
+        "S2": [(2001, "UW"), (2006, "Google")],
+        "S3": [(2003, "UW")],
+    },
+    "Balazinska": {
+        "S1": [(2006, "UW")],
+        "S2": [(2006, "UW")],
+        "S3": [(2007, "UW")],
+    },
+    "Dalvi": {
+        "S1": [(2002, "UW"), (2007, "Yahoo!")],
+        "S2": [(2007, "Yahoo!")],
+        "S3": [(2003, "UW")],
+    },
+    "Dong": {
+        "S1": [(2002, "UW"), (2006, "Google"), (2007, "AT&T")],
+        "S2": [(2001, "UW"), (2006, "Google")],
+        "S3": [(2003, "UW")],
+    },
+}
+
+#: True affiliation timelines consistent with Table 3's caption
+#: ("only S1 provides up-to-date true values since 2002").
+TABLE3_TIMELINES: dict[str, list[ValuePeriod]] = {
+    "Suciu": [
+        ValuePeriod("UW", 2002, 2006),
+        ValuePeriod("MSR", 2006, 2007),
+        ValuePeriod("UW", 2007, None),
+    ],
+    "Halevy": [
+        ValuePeriod("UW", 2002, 2006),
+        ValuePeriod("Google", 2006, None),
+    ],
+    "Balazinska": [ValuePeriod("UW", 2006, None)],
+    "Dalvi": [
+        ValuePeriod("UW", 2002, 2007),
+        ValuePeriod("Yahoo!", 2007, None),
+    ],
+    "Dong": [
+        ValuePeriod("UW", 2002, 2006),
+        ValuePeriod("Google", 2006, 2007),
+        ValuePeriod("AT&T", 2007, None),
+    ],
+}
+
+
+def table3_dataset() -> TemporalDataset:
+    """Table 3 as a :class:`TemporalDataset`."""
+    return TemporalDataset.from_table(TABLE3)

@@ -1,0 +1,42 @@
+"""Source-dependence discovery: snapshot, partial, opinion, temporal."""
+
+from repro.dependence.bayes import (
+    PairDependence,
+    PairEvidence,
+    analyze_pair,
+    collect_evidence,
+    pair_posterior,
+    uniform_value_probabilities,
+)
+from repro.dependence.global_analysis import (
+    CopierClique,
+    copier_cliques,
+    independent_core,
+)
+from repro.dependence.graph import DependenceGraph, discover_dependence
+from repro.dependence.partial import (
+    AccuracySplit,
+    DirectionEvidence,
+    accuracy_split,
+    category_splits,
+    direction_evidence,
+)
+
+__all__ = [
+    "AccuracySplit",
+    "CopierClique",
+    "DependenceGraph",
+    "DirectionEvidence",
+    "PairDependence",
+    "PairEvidence",
+    "accuracy_split",
+    "analyze_pair",
+    "category_splits",
+    "collect_evidence",
+    "copier_cliques",
+    "direction_evidence",
+    "discover_dependence",
+    "independent_core",
+    "pair_posterior",
+    "uniform_value_probabilities",
+]

@@ -1,0 +1,121 @@
+"""Global structure on top of pairwise dependence posteriors.
+
+Pairwise posteriors answer "are these two entangled?", but the paper's
+discussion of specialists, generalists and *loop copying* (section 3.1)
+is about global structure: cliques of sources sharing provenance, and
+within a clique, who the likely original is. This module consolidates a
+:class:`~repro.dependence.graph.DependenceGraph` into that structure:
+
+* :func:`copier_cliques` — connected components of the thresholded
+  dependence graph, as :class:`CopierClique` objects;
+* each clique ranks its members by *originality*: a blend of directed
+  posterior mass (who the Bayes model thinks copies whom) and accuracy
+  (originals tend to be the competent ones — copying does not raise the
+  ceiling above the original's accuracy);
+* :func:`independent_core` — a maximal set of pairwise-plausibly-
+  independent sources, greedily chosen by accuracy: the sub-population a
+  fusion or recommendation system should treat as the real signal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.types import SourceId
+from repro.dependence.graph import DependenceGraph
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class CopierClique:
+    """One connected component of entangled sources."""
+
+    members: tuple[SourceId, ...]
+    originality: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise DataError("a clique needs at least two members")
+        if len(self.members) != len(self.originality):
+            raise DataError("one originality score per member required")
+
+    @property
+    def likely_original(self) -> SourceId:
+        """The member most likely to be the clique's original."""
+        best = max(range(len(self.members)), key=lambda i: self.originality[i])
+        return self.members[best]
+
+    def likely_copiers(self) -> tuple[SourceId, ...]:
+        """Everyone but the likely original."""
+        original = self.likely_original
+        return tuple(m for m in self.members if m != original)
+
+
+def _originality(
+    source: SourceId,
+    members: list[SourceId],
+    graph: DependenceGraph,
+    accuracies: Mapping[SourceId, float],
+) -> float:
+    """Blend of "not the copying side" mass and accuracy, in [0, 1]."""
+    directed = []
+    for other in members:
+        if other == source:
+            continue
+        pair = graph.get(source, other)
+        if pair is None:
+            continue
+        # Posterior that *the other* copies from this source, given the
+        # pair is dependent at all.
+        p_dep = pair.p_dependent
+        if p_dep <= 0.0:
+            continue
+        directed.append(pair.copies_probability(other) / p_dep)
+    direction_score = sum(directed) / len(directed) if directed else 0.5
+    accuracy = accuracies.get(source, 0.5)
+    return 0.5 * direction_score + 0.5 * accuracy
+
+
+def copier_cliques(
+    graph: DependenceGraph,
+    accuracies: Mapping[SourceId, float] | None = None,
+    threshold: float = 0.5,
+) -> list[CopierClique]:
+    """Consolidate the dependence graph into cliques with ranked members."""
+    if not 0.0 <= threshold <= 1.0:
+        raise DataError(f"threshold must be in [0, 1], got {threshold}")
+    accuracies = accuracies or {}
+    cliques = []
+    for component in graph.copier_groups(threshold):
+        members = sorted(component)
+        scores = tuple(
+            _originality(m, members, graph, accuracies) for m in members
+        )
+        cliques.append(CopierClique(members=tuple(members), originality=scores))
+    return cliques
+
+
+def independent_core(
+    graph: DependenceGraph,
+    sources: list[SourceId],
+    accuracies: Mapping[SourceId, float] | None = None,
+    threshold: float = 0.5,
+) -> list[SourceId]:
+    """A greedy maximal set of pairwise-plausibly-independent sources.
+
+    Sources are considered best-first (by accuracy, then id); a source
+    joins the core if its dependence posterior with every source already
+    in the core is below ``threshold``. Cliques therefore contribute
+    (roughly) one representative each — their likely original, since it
+    is typically the most accurate member.
+    """
+    if not sources:
+        raise DataError("no sources given")
+    accuracies = accuracies or {}
+    ordered = sorted(sources, key=lambda s: (-accuracies.get(s, 0.5), s))
+    core: list[SourceId] = []
+    for source in ordered:
+        if all(graph.probability(source, kept) < threshold for kept in core):
+            core.append(source)
+    return sorted(core)

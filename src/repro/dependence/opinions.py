@@ -1,0 +1,258 @@
+"""Rater-dependence detection: similarity *and* dissimilarity (section 2.2).
+
+Example 2.2 introduces the paper's second kind of dependence: reviewer R4
+"has a strong opinion on R1's tastes and chooses to provide opposite
+ratings for all of R1's ratings" — dissimilarity-dependence. With no
+underlying truth, the snapshot copy model does not apply directly;
+instead, each co-rated item's *consensus distribution* plays the role
+the false-value model played for facts.
+
+For a rater pair (R1, R2) and each co-rated item ``i`` with
+(leave-pair-out) consensus ``θ_i``:
+
+* independent: ``P(r1, r2) = θ_i(r1) · θ_i(r2)``;
+* R2 copies R1 (similarity): with probability ``c`` R2 echoes R1's
+  rating, else rates independently:
+  ``θ_i(r1) · (c·1[r2 = r1] + (1-c)·θ_i(r2))``;
+* R2 opposes R1 (dissimilarity): with probability ``c`` R2 gives the
+  *mirrored* rating, else rates independently:
+  ``θ_i(r1) · (c·1[r2 = mirror(r1)] + (1-c)·θ_i(r2))``.
+
+Five hypotheses (independent + two kinds × two directions) are combined
+with Bayes' rule. Conditioning on ``θ_i`` is what defuses the
+"correlated information" challenge of section 3.1: agreement on an item
+everyone loves is expected under independence (``θ_i`` is concentrated),
+while agreement on divisive items — and systematic *mirroring* — is not.
+
+Note the two directions of a kind are nearly symmetric on rating data
+alone (mirroring is an involution); direction separation needs temporal
+information. The posteriors expose both directions anyway so callers can
+fold in such evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.core.params import OpinionParams
+from repro.core.types import ObjectId, SourceId
+from repro.core.world import DependenceKind
+from repro.exceptions import DataError
+from repro.opinions.ratings import RatingMatrix
+
+_TINY = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class RaterPairDependence:
+    """Posterior over the five hypotheses for one rater pair."""
+
+    r1: SourceId
+    r2: SourceId
+    p_independent: float
+    p_r1_copies_r2: float
+    p_r2_copies_r1: float
+    p_r1_opposes_r2: float
+    p_r2_opposes_r1: float
+    co_rated: int
+
+    def __post_init__(self) -> None:
+        total = (
+            self.p_independent
+            + self.p_r1_copies_r2
+            + self.p_r2_copies_r1
+            + self.p_r1_opposes_r2
+            + self.p_r2_opposes_r1
+        )
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise DataError(f"rater-pair posterior must sum to 1, got {total}")
+
+    @property
+    def p_similarity(self) -> float:
+        """Posterior of similarity-dependence (either direction)."""
+        return self.p_r1_copies_r2 + self.p_r2_copies_r1
+
+    @property
+    def p_dissimilarity(self) -> float:
+        """Posterior of dissimilarity-dependence (either direction)."""
+        return self.p_r1_opposes_r2 + self.p_r2_opposes_r1
+
+    @property
+    def p_dependent(self) -> float:
+        """Posterior of any dependence at all."""
+        return self.p_similarity + self.p_dissimilarity
+
+    def dominant_kind(self) -> DependenceKind | None:
+        """The more probable dependence kind, or ``None`` if independence wins."""
+        if self.p_independent >= self.p_dependent:
+            return None
+        if self.p_similarity >= self.p_dissimilarity:
+            return DependenceKind.SIMILARITY
+        return DependenceKind.DISSIMILARITY
+
+    def dependence_on(self, rater: SourceId) -> float:
+        """Posterior that *the other rater* depends on ``rater`` (any kind)."""
+        if rater == self.r1:
+            return self.p_r2_copies_r1 + self.p_r2_opposes_r1
+        if rater == self.r2:
+            return self.p_r1_copies_r2 + self.p_r1_opposes_r2
+        raise DataError(f"{rater!r} is not part of pair ({self.r1!r}, {self.r2!r})")
+
+
+def rater_pair_posterior(
+    matrix: RatingMatrix,
+    r1: SourceId,
+    r2: SourceId,
+    params: OpinionParams | None = None,
+    weights: dict[SourceId, float] | None = None,
+) -> RaterPairDependence:
+    """Bayes posterior over the five hypotheses for one rater pair.
+
+    ``weights`` (if given) weight the *other* raters when estimating each
+    item's consensus — the iterative consensus algorithm passes its
+    current rater weights here so already-suspect raters distort the
+    independence model less.
+    """
+    if r1 == r2:
+        raise DataError("cannot analyse a rater against itself")
+    if params is None:
+        params = OpinionParams()
+    items = matrix.co_rated(r1, r2)
+    scale = matrix.scale
+    c = params.influence_rate
+
+    log_ind = 0.0
+    log_sim_12 = 0.0  # r1 copies r2
+    log_sim_21 = 0.0  # r2 copies r1
+    log_dis_12 = 0.0  # r1 opposes r2
+    log_dis_21 = 0.0  # r2 opposes r1
+    for item in items:
+        theta = matrix.consensus(
+            item, weights=weights, exclude=(r1, r2), smoothing=params.smoothing
+        )
+        s1 = matrix.score_of(r1, item)
+        s2 = matrix.score_of(r2, item)
+        t1 = max(theta[s1], _TINY)
+        t2 = max(theta[s2], _TINY)
+        log_ind += math.log(t1) + math.log(t2)
+        same = 1.0 if s1 == s2 else 0.0
+        mirrored_2 = 1.0 if s2 == scale.mirror(s1) else 0.0
+        mirrored_1 = 1.0 if s1 == scale.mirror(s2) else 0.0
+        log_sim_21 += math.log(t1) + math.log(c * same + (1 - c) * t2)
+        log_sim_12 += math.log(t2) + math.log(c * same + (1 - c) * t1)
+        log_dis_21 += math.log(t1) + math.log(c * mirrored_2 + (1 - c) * t2)
+        log_dis_12 += math.log(t2) + math.log(c * mirrored_1 + (1 - c) * t1)
+
+    log_posts = [
+        math.log(params.prior_independent) + log_ind,
+        math.log(params.prior_per_hypothesis) + log_sim_12,
+        math.log(params.prior_per_hypothesis) + log_sim_21,
+        math.log(params.prior_per_hypothesis) + log_dis_12,
+        math.log(params.prior_per_hypothesis) + log_dis_21,
+    ]
+    peak = max(log_posts)
+    exps = [math.exp(lp - peak) for lp in log_posts]
+    total = sum(exps)
+    return RaterPairDependence(
+        r1=r1,
+        r2=r2,
+        p_independent=exps[0] / total,
+        p_r1_copies_r2=exps[1] / total,
+        p_r2_copies_r1=exps[2] / total,
+        p_r1_opposes_r2=exps[3] / total,
+        p_r2_opposes_r1=exps[4] / total,
+        co_rated=len(items),
+    )
+
+
+class RaterDependenceResult:
+    """Collected rater-pair posteriors, mirroring :class:`DependenceGraph`."""
+
+    def __init__(self, pairs: Iterable[RaterPairDependence] = ()) -> None:
+        self._pairs: dict[tuple[SourceId, SourceId], RaterPairDependence] = {}
+        for pair in pairs:
+            self.add(pair)
+
+    @staticmethod
+    def _key(r1: SourceId, r2: SourceId) -> tuple[SourceId, SourceId]:
+        if r1 == r2:
+            raise DataError(f"a rater cannot pair with itself: {r1!r}")
+        return (r1, r2) if r1 < r2 else (r2, r1)
+
+    def add(self, pair: RaterPairDependence) -> None:
+        """Insert or replace the posterior for one pair."""
+        self._pairs[self._key(pair.r1, pair.r2)] = pair
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[RaterPairDependence]:
+        return iter(self._pairs.values())
+
+    def get(self, r1: SourceId, r2: SourceId) -> RaterPairDependence | None:
+        """The stored posterior for the pair, if analysed."""
+        return self._pairs.get(self._key(r1, r2))
+
+    def probability(
+        self, r1: SourceId, r2: SourceId, kind: DependenceKind | None = None
+    ) -> float:
+        """Dependence posterior for the pair, optionally restricted to a kind."""
+        pair = self.get(r1, r2)
+        if pair is None:
+            return 0.0
+        if kind is None:
+            return pair.p_dependent
+        if kind is DependenceKind.SIMILARITY:
+            return pair.p_similarity
+        return pair.p_dissimilarity
+
+    def detected_pairs(
+        self, kind: DependenceKind | None = None, threshold: float = 0.5
+    ) -> set[frozenset[SourceId]]:
+        """Pairs whose (kind-restricted) posterior reaches ``threshold``."""
+        return {
+            frozenset((pair.r1, pair.r2))
+            for pair in self
+            if self.probability(pair.r1, pair.r2, kind) >= threshold
+        }
+
+    def dependence_weight(self, rater: SourceId, influence_rate: float) -> float:
+        """Probability that ``rater``'s ratings are its own, for aggregation.
+
+        The consensus aggregator multiplies, over every pair the rater is
+        in, the probability that the rater is *not* the dependent side:
+        ``Π (1 - c·P(rater depends on other))``. Both kinds discount —
+        copied ratings are redundant, opposed ratings are adversarial
+        (Example 2.2's aggregation distortion).
+        """
+        weight = 1.0
+        for (a, b), pair in self._pairs.items():
+            if rater not in (a, b):
+                continue
+            weight *= 1.0 - influence_rate * pair.dependence_on(
+                b if rater == a else a
+            )
+        return weight
+
+
+def discover_rater_dependence(
+    matrix: RatingMatrix,
+    params: OpinionParams | None = None,
+    min_co_rated: int = 1,
+    weights: dict[SourceId, float] | None = None,
+) -> RaterDependenceResult:
+    """Analyse every rater pair with enough co-rated items."""
+    if params is None:
+        params = OpinionParams()
+    if min_co_rated < 1:
+        raise DataError(f"min_co_rated must be >= 1, got {min_co_rated}")
+    result = RaterDependenceResult()
+    raters = matrix.raters
+    for i, r1 in enumerate(raters):
+        for r2 in raters[i + 1 :]:
+            if len(matrix.co_rated(r1, r2)) < min_co_rated:
+                continue
+            result.add(rater_pair_posterior(matrix, r1, r2, params, weights))
+    return result

@@ -1,0 +1,193 @@
+"""Accuracy-split evidence for partial copiers (section 3.2, intuition 2).
+
+The paper's second snapshot intuition: *"If the accuracy of a data source
+on the subset of information it shares in common with another data source
+is significantly different from its accuracy on the remaining
+information, the data source is more likely to be a partial copier than
+an independent data source."*
+
+This module implements that test. For a pair (S, O) it splits S's claims
+into the overlap ``S ∩ O`` and the private remainder ``S \\ O`` and
+compares S's accuracy on the two parts. A genuine partial copier that
+copies (accurate or inaccurate) material from O while producing its own
+independent claims elsewhere shows a *split*: overlap accuracy tracks
+O's accuracy, private accuracy tracks S's own competence. An independent
+source shows no systematic split.
+
+The split is scored with a two-proportion z-test (soft counts allowed) so
+small overlaps don't produce spurious confidence, and the result doubles
+as *direction* evidence for the main Bayes model: of the two sources in a
+dependent pair, the one with the stronger split is the likelier copier
+(the original's accuracy is a property of the source, not of where it
+overlaps a particular other source).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.dataset import ClaimDataset
+from repro.core.types import SourceId
+from repro.dependence.bayes import ValueProbabilities
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class AccuracySplit:
+    """The accuracy of one source, split by overlap with another source."""
+
+    source: SourceId
+    other: SourceId
+    overlap_accuracy: float
+    private_accuracy: float
+    overlap_size: int
+    private_size: int
+
+    @property
+    def gap(self) -> float:
+        """Signed accuracy gap (overlap minus private)."""
+        return self.overlap_accuracy - self.private_accuracy
+
+    @property
+    def z_score(self) -> float:
+        """Two-proportion z statistic for the split (0 when undefined).
+
+        Uses the pooled-variance form; with either side empty or the
+        pooled proportion degenerate, there is no evidence and the score
+        is 0.
+        """
+        n1, n2 = self.overlap_size, self.private_size
+        if n1 == 0 or n2 == 0:
+            return 0.0
+        pooled = (
+            self.overlap_accuracy * n1 + self.private_accuracy * n2
+        ) / (n1 + n2)
+        variance = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2)
+        if variance <= 0.0:
+            return 0.0
+        return self.gap / math.sqrt(variance)
+
+    @property
+    def split_strength(self) -> float:
+        """|z| mapped to [0, 1): 0 = no split, →1 = decisive split."""
+        z = abs(self.z_score)
+        return z / (1.0 + z)
+
+
+def accuracy_split(
+    dataset: ClaimDataset,
+    source: SourceId,
+    other: SourceId,
+    value_probs: ValueProbabilities,
+) -> AccuracySplit:
+    """Compute the overlap/private accuracy split of ``source`` w.r.t. ``other``.
+
+    Accuracy here is the *soft* accuracy under the current truth estimate:
+    the mean probability that the source's value is true, exactly the
+    quantity the iterative algorithm maintains.
+    """
+    if source == other:
+        raise DataError("cannot split a source against itself")
+    claims = dataset.claims_by(source)
+    if not claims:
+        raise DataError(f"source {source!r} provides no claims")
+    other_objects = set(dataset.claims_by(other))
+
+    overlap_mass = 0.0
+    overlap_count = 0
+    private_mass = 0.0
+    private_count = 0
+    for obj, claim in claims.items():
+        p_true = value_probs.get(obj, {}).get(claim.value, 0.0)
+        if obj in other_objects:
+            overlap_mass += p_true
+            overlap_count += 1
+        else:
+            private_mass += p_true
+            private_count += 1
+
+    return AccuracySplit(
+        source=source,
+        other=other,
+        overlap_accuracy=overlap_mass / overlap_count if overlap_count else 0.0,
+        private_accuracy=private_mass / private_count if private_count else 0.0,
+        overlap_size=overlap_count,
+        private_size=private_count,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DirectionEvidence:
+    """Which of a dependent pair looks more like the copier, from splits."""
+
+    s1: SourceId
+    s2: SourceId
+    split1: AccuracySplit
+    split2: AccuracySplit
+
+    @property
+    def likely_copier(self) -> SourceId | None:
+        """The source with the stronger accuracy split, or ``None`` on a tie."""
+        strength1 = self.split1.split_strength
+        strength2 = self.split2.split_strength
+        if math.isclose(strength1, strength2, abs_tol=1e-9):
+            return None
+        return self.s1 if strength1 > strength2 else self.s2
+
+    def direction_weight(self, copier: SourceId) -> float:
+        """Relative weight in [0, 1] for "``copier`` is the copying side".
+
+        The two weights sum to 1 and can be used to re-split the
+        dependence posterior mass between the two directed hypotheses.
+        With no split evidence on either side the weights are 0.5/0.5.
+        """
+        strength1 = self.split1.split_strength
+        strength2 = self.split2.split_strength
+        total = strength1 + strength2
+        if total <= 0.0:
+            return 0.5
+        if copier == self.s1:
+            return strength1 / total
+        if copier == self.s2:
+            return strength2 / total
+        raise DataError(f"{copier!r} is not part of pair ({self.s1!r}, {self.s2!r})")
+
+
+def direction_evidence(
+    dataset: ClaimDataset,
+    s1: SourceId,
+    s2: SourceId,
+    value_probs: ValueProbabilities,
+) -> DirectionEvidence:
+    """Accuracy-split direction evidence for a pair (both splits)."""
+    return DirectionEvidence(
+        s1=s1,
+        s2=s2,
+        split1=accuracy_split(dataset, s1, s2, value_probs),
+        split2=accuracy_split(dataset, s2, s1, value_probs),
+    )
+
+
+def category_splits(
+    dataset: ClaimDataset,
+    source: SourceId,
+    other: SourceId,
+    value_probs: ValueProbabilities,
+    categories: dict[str, set[str]],
+) -> dict[str, AccuracySplit]:
+    """Per-category accuracy splits, for category-scoped partial copying.
+
+    Section 3.1's *partial dependence* challenge notes a copier may copy
+    "only presidential politics" while providing "local politics"
+    independently. Given a partition of objects into named categories,
+    this computes the accuracy split within each category, letting the
+    caller localise *where* the copying happens.
+    """
+    splits: dict[str, AccuracySplit] = {}
+    for name, objects in categories.items():
+        sub = dataset.restrict_objects(objects)
+        if not sub.claims_by(source):
+            continue
+        splits[name] = accuracy_split(sub, source, other, value_probs)
+    return splits

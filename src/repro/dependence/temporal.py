@@ -1,0 +1,505 @@
+"""Temporal copy detection from update traces (section 3.2, temporal case).
+
+The temporal intuitions of the paper, as implemented here:
+
+1. *Shared never-true values beat shared true values.* Co-adopting a
+   value that was never true anywhere on the inferred timeline is the
+   temporal analogue of a shared false value — two independent sources
+   pick the same never-true value with probability
+   ``(1-A1)(1-A2)/n``, a copier inherits it with probability ``c``.
+2. *Update order and lag carry direction.* Under independence, which of
+   two sources adopts a value first is symmetric; under "S2 copies S1",
+   S2's adoption strictly trails S1's within the copy-lag window. This
+   is what separates the lazy copier S3 (always trailing S1) from the
+   slow-but-independent S2 (often leading or tying) in Example 3.2.
+3. *Common update traces are weak evidence.* A simultaneous co-update
+   shared by many sources mostly reflects the world changing; the
+   rarity discount shrinks its contribution.
+
+Per pair, the unit of evidence is a **co-adopted (object, value)**: a
+value both sources adopted at some point (first adoption times are
+compared). Unilateral values are deliberately *not* scored — which
+values a source chooses to track reflects coverage and expertise, not
+copying (the "different coverage and expertise" challenge warns against
+reading dependence into coverage differences), and a lazy copier's
+missed updates would otherwise swamp the signal.
+
+Each co-adoption is classified by **order** (later / tie / earlier /
+later-but-outside-window, per direction) and **truth class** (ever-true
+vs never-true on the timeline), and scored under three hypotheses
+(independent, S1 copies S2, S2 copies S1) via an explicit generative
+model; posteriors come from Bayes' rule in log space. The result reuses
+:class:`~repro.dependence.bayes.PairDependence` /
+:class:`~repro.dependence.graph.DependenceGraph`, so temporal and
+snapshot detections are interchangeable downstream.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.claims import ValuePeriod
+from repro.core.params import TemporalParams
+from repro.core.temporal_dataset import TemporalDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.dependence.bayes import PairDependence
+from repro.dependence.graph import DependenceGraph
+from repro.exceptions import DataError
+
+_TINY = 1e-12
+
+#: Copy-rate grid each directed hypothesis is marginalised over.
+_COPY_RATE_GRID = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85)
+
+
+@dataclass(frozen=True, slots=True)
+class CoAdoption:
+    """One shared adoption of ``value`` for ``object`` by a source pair."""
+
+    object: ObjectId
+    value: Value
+    t1: float
+    t2: float
+    ever_true: bool
+    n_adopters: int
+
+    @property
+    def lag(self) -> float:
+        """Signed adoption lag: positive when s2 adopted after s1."""
+        return self.t2 - self.t1
+
+
+def collect_co_adoptions(
+    dataset: TemporalDataset,
+    s1: SourceId,
+    s2: SourceId,
+    timelines: Mapping[ObjectId, list[ValuePeriod]],
+    adopter_counts: Mapping[tuple[ObjectId, Value], int] | None = None,
+    corroboration_rescue: bool = True,
+) -> list[CoAdoption]:
+    """Enumerate the co-adopted (object, value) pairs of ``s1`` and ``s2``.
+
+    A value is classified *never-true* only when it is absent from the
+    reference timelines **and**, with ``corroboration_rescue`` (the
+    default), no source outside the pair ever adopted it. Inferred
+    timelines miss short-lived truths; a short truth co-captured by a
+    third source is almost certainly real, while a copied error stays
+    exclusive to the copying pair — so the rescue suppresses the main
+    false-positive mode without hiding genuine shared errors. (It does
+    assume errors are not shared beyond the pair; large copier cliques
+    need the iterative, dependence-discounted timeline loop instead.)
+    """
+    if s1 == s2:
+        raise DataError("cannot analyse a source against itself")
+    events: list[CoAdoption] = []
+    shared_objects = dataset.objects_of(s1) & dataset.objects_of(s2)
+    for obj in sorted(shared_objects):
+        adoptions1 = _first_adoptions(dataset, s1, obj)
+        adoptions2 = _first_adoptions(dataset, s2, obj)
+        for value, t1 in adoptions1.items():
+            t2 = adoptions2.get(value)
+            if t2 is None:
+                continue
+            periods = timelines.get(obj, [])
+            ever_true = any(p.value == value for p in periods)
+            n_adopters = (
+                adopter_counts.get((obj, value), 2)
+                if adopter_counts is not None
+                else _count_adopters(dataset, obj, value)
+            )
+            if not ever_true and corroboration_rescue and n_adopters > 2:
+                ever_true = True
+            events.append(
+                CoAdoption(
+                    object=obj,
+                    value=value,
+                    t1=t1,
+                    t2=t2,
+                    ever_true=ever_true,
+                    n_adopters=n_adopters,
+                )
+            )
+    return events
+
+
+def _first_adoptions(
+    dataset: TemporalDataset, source: SourceId, obj: ObjectId
+) -> dict[Value, float]:
+    adoptions: dict[Value, float] = {}
+    for time, value in dataset.history(source, obj):
+        if value not in adoptions:
+            adoptions[value] = time
+    return adoptions
+
+
+def _count_adopters(
+    dataset: TemporalDataset, obj: ObjectId, value: Value
+) -> int:
+    return sum(
+        1
+        for source in dataset.sources
+        if any(v == value for _, v in dataset.history(source, obj))
+    )
+
+
+def lag_order_profile(
+    lags_original: list[float],
+    lags_copier: list[float],
+    window: float,
+    tolerance: float = 0.0,
+) -> tuple[float, float, float, float] | None:
+    """Mann–Whitney-style order profile for the candidate copier.
+
+    Compares every pair of capture lags of the two sources: how often
+    would the candidate copier adopt *later within the copy window*,
+    *later outside it*, *simultaneously*, or *earlier* than the
+    candidate original — purely from the two sources' own freshness
+    profiles, with no copying at all? Returns the four probabilities
+    (in that order), or ``None`` when either side has no lag samples.
+    """
+    if not lags_original or not lags_copier:
+        return None
+    later_in = 0
+    later_out = 0
+    tie = 0
+    total = len(lags_original) * len(lags_copier)
+    for lo in lags_original:
+        for lc in lags_copier:
+            delta = lc - lo
+            if abs(delta) <= tolerance:
+                tie += 1
+            elif delta > 0:
+                if delta <= window:
+                    later_in += 1
+                else:
+                    later_out += 1
+    earlier = total - later_in - later_out - tie
+    return (
+        later_in / total,
+        later_out / total,
+        tie / total,
+        earlier / total,
+    )
+
+
+def empirical_order_profile(
+    events: list[CoAdoption],
+    copier_is_s2: bool,
+    params: TemporalParams,
+) -> tuple[float, float, float, float] | None:
+    """Smoothed per-pair order frequencies, as an independence model.
+
+    The order channel genuinely cannot distinguish an always-trailing
+    copier from an always-slower independent source (the paper's "slow
+    providers" challenge): both produce the same consistent lag pattern.
+    Using the pair's own (Laplace-smoothed) order frequencies as the
+    independence baseline makes order evidence self-cancelling, so
+    detection rests on what *does* discriminate — shared never-true
+    values. Returns ``None`` with no events.
+    """
+    if not events:
+        return None
+    counts = {"later_in_window": 0, "later_out_of_window": 0, "tie": 0, "earlier": 0}
+    for event in events:
+        lag = event.lag if copier_is_s2 else -event.lag
+        counts[_classify_order(lag, params)] += 1
+    q_side = (1.0 - params.tie_prior) / 2.0
+    raw = (
+        q_side * params.window_capture,
+        q_side * (1.0 - params.window_capture),
+        params.tie_prior,
+        q_side,
+    )
+    pseudo = 4.0  # total smoothing mass, spread by the raw prior
+    total = len(events) + pseudo
+    keys = ("later_in_window", "later_out_of_window", "tie", "earlier")
+    return tuple(
+        (counts[key] + pseudo * raw[i]) / total for i, key in enumerate(keys)
+    )
+
+
+def _order_probabilities(
+    params: TemporalParams,
+    profile: tuple[float, float, float, float] | None = None,
+) -> dict[str, float]:
+    """P(order category | independence) for a directed pair.
+
+    The raw model is symmetric (``tie_prior`` in the middle,
+    ``window_capture`` splitting the later mass). With
+    ``freshness_adjustment`` > 0 and a profile available, the raw
+    probabilities are blended toward the profile: a source that is
+    simply *slow* then has its consistent in-window trailing explained
+    by independence — the paper's "slow providers" challenge.
+    """
+    q_side = (1.0 - params.tie_prior) / 2.0
+    raw = {
+        "later_in_window": q_side * params.window_capture,
+        "later_out_of_window": q_side * (1.0 - params.window_capture),
+        "tie": params.tie_prior,
+        "earlier": q_side,
+    }
+    blend = params.freshness_adjustment
+    if profile is None or blend <= 0.0:
+        return raw
+    floor = 0.005  # keep every category possible
+    keys = ("later_in_window", "later_out_of_window", "tie", "earlier")
+    blended = {
+        key: (1 - blend) * raw[key] + blend * max(profile[i], floor)
+        for i, key in enumerate(keys)
+    }
+    total = sum(blended.values())
+    return {key: value / total for key, value in blended.items()}
+
+
+def _classify_order(lag: float, params: TemporalParams) -> str:
+    if lag == 0.0:
+        return "tie"
+    if lag < 0.0:
+        return "earlier"
+    if lag <= params.max_copy_lag:
+        return "later_in_window"
+    return "later_out_of_window"
+
+
+def _event_log_ratio(
+    event: CoAdoption,
+    copier_is_s2: bool,
+    a1: float,
+    a2: float,
+    params: TemporalParams,
+    order_ind: dict[str, float],
+    nt_rates: tuple[float, float] = (0.0, 0.0),
+    copy_rate: float | None = None,
+) -> float:
+    """log [P(event | copy hypothesis) / P(event | independence)].
+
+    The generative model: with probability ``c`` the copier's adoption is
+    a copy — then the value tracks the *original*'s truthfulness (it is
+    ever-true with the original's accuracy) and the order is
+    later-in-window by construction. With probability ``1-c`` both
+    adoptions are independent — truth class and order follow the
+    independence model. Both hypotheses are conditioned on the
+    co-adoption itself (unilateral values are deliberately unscored, so
+    coherence requires normalising by each hypothesis' co-adoption
+    probability).
+
+    ``nt_rates`` are the two sources' observed never-true adoption rates
+    (fraction of their adoptions absent from the reference timelines).
+    They floor the independence likelihood of a never-true co-adoption:
+    inferred timelines miss short-lived truths, and two fresh sources
+    co-capturing a missed truth must not read as a smoking gun. With
+    perfect timelines the rates are ~0 and the model reduces to the pure
+    error-collision form, ``(1-A1)(1-A2)/n``.
+
+    ``copy_rate`` overrides ``params.copy_rate`` (the posterior
+    marginalises over a grid of copy rates; see
+    :func:`temporal_pair_posterior`).
+    """
+    lag = event.lag if copier_is_s2 else -event.lag
+    order = _classify_order(lag, params)
+
+    r1, r2 = nt_rates
+    a_orig = a1 if copier_is_s2 else a2
+    r_orig = r1 if copier_is_s2 else r2
+    p_both_true = a1 * a2
+    p_both_false = (1.0 - a1) * (1.0 - a2) / params.n_false_values
+    # nt_floor: a small constant probability that a pair-exclusive
+    # never-true co-adoption is really a co-missed short truth the
+    # reference timelines lost; keeps one such event below the detection
+    # threshold while a genuine copier's several shared errors compound.
+    p_both_false += params.nt_floor
+    p_co_ind = p_both_true + p_both_false
+    copied_nt = max(1.0 - a_orig, r_orig)
+    if event.ever_true:
+        class_ind = p_both_true
+        class_copied = 1.0 - copied_nt
+    else:
+        class_ind = p_both_false
+        class_copied = copied_nt
+
+    c = params.copy_rate if copy_rate is None else copy_rate
+    p_ind = class_ind * order_ind[order] / max(p_co_ind, _TINY)
+    p_co_copy = c + (1.0 - c) * p_co_ind
+    copied_mass = class_copied if order == "later_in_window" else 0.0
+    p_copy = (
+        c * copied_mass + (1.0 - c) * class_ind * order_ind[order]
+    ) / max(p_co_copy, _TINY)
+
+    log_ratio = math.log(max(p_copy, _TINY)) - math.log(max(p_ind, _TINY))
+    if order == "tie" and event.n_adopters > 2 and params.rarity_weight > 0:
+        # Simultaneous adoption shared widely: mostly the world changing.
+        log_ratio /= 1.0 + params.rarity_weight * (event.n_adopters - 2)
+    return log_ratio
+
+
+def temporal_pair_posterior(
+    events: list[CoAdoption],
+    s1: SourceId,
+    s2: SourceId,
+    a1: float,
+    a2: float,
+    params: TemporalParams | None = None,
+    nt_rates: tuple[float, float] = (0.0, 0.0),
+) -> PairDependence:
+    """Posterior over {independent, s1 copies s2, s2 copies s1}.
+
+    ``a1``/``a2`` are exactness-style accuracies in (0, 1); clamp before
+    calling. With ``params.freshness_adjustment`` > 0 the order model is
+    blended toward the pair's empirical order profile
+    (:func:`empirical_order_profile`); ``nt_rates`` are the sources'
+    never-true adoption rates (see :func:`_event_log_ratio`).
+    """
+    if params is None:
+        params = TemporalParams()
+    for name, a in (("a1", a1), ("a2", a2)):
+        if not 0.0 < a < 1.0:
+            raise DataError(f"{name} must be in (0, 1), got {a}")
+
+    profile_s2_copier = None
+    profile_s1_copier = None
+    if params.freshness_adjustment > 0.0:
+        profile_s2_copier = empirical_order_profile(
+            events, copier_is_s2=True, params=params
+        )
+        profile_s1_copier = empirical_order_profile(
+            events, copier_is_s2=False, params=params
+        )
+    order_s2 = _order_probabilities(params, profile_s2_copier)
+    order_s1 = _order_probabilities(params, profile_s1_copier)
+
+    # Marginalise each copy direction over a grid of copy rates. A fixed
+    # copy rate lets a long stream of mixed-order co-adoptions drift one
+    # direction's likelihood arbitrarily high by chance; under
+    # marginalisation, a mixed-order pair is best explained by a tiny
+    # copy rate, whose likelihood ratio is ~1 — no evidence.
+    def marginal_llr(copier_is_s2: bool, order_ind: dict[str, float]) -> float:
+        llrs = []
+        for c in _COPY_RATE_GRID:
+            llrs.append(
+                sum(
+                    _event_log_ratio(
+                        e,
+                        copier_is_s2=copier_is_s2,
+                        a1=a1,
+                        a2=a2,
+                        params=params,
+                        order_ind=order_ind,
+                        nt_rates=nt_rates,
+                        copy_rate=c,
+                    )
+                    for e in events
+                )
+            )
+        peak = max(llrs)
+        return peak + math.log(
+            sum(math.exp(llr - peak) for llr in llrs) / len(llrs)
+        )
+
+    llr_s2_copies = marginal_llr(True, order_s2)
+    llr_s1_copies = marginal_llr(False, order_s1)
+    log_posts = [
+        math.log(params.prior_independent),
+        math.log(params.prior_direction) + llr_s1_copies,
+        math.log(params.prior_direction) + llr_s2_copies,
+    ]
+    peak = max(log_posts)
+    exps = [math.exp(lp - peak) for lp in log_posts]
+    total = sum(exps)
+    return PairDependence(
+        s1=s1,
+        s2=s2,
+        p_independent=exps[0] / total,
+        p_s1_copies_s2=exps[1] / total,
+        p_s2_copies_s1=exps[2] / total,
+    )
+
+
+def discover_temporal_dependence(
+    dataset: TemporalDataset,
+    params: TemporalParams | None = None,
+    timelines: Mapping[ObjectId, list[ValuePeriod]] | None = None,
+    exactness: Mapping[SourceId, float] | None = None,
+    min_co_adoptions: int = 1,
+    leave_pair_out: bool = False,
+) -> DependenceGraph:
+    """Analyse every source pair of a temporal dataset.
+
+    Timelines and per-source exactness are inferred with
+    :func:`repro.temporal.lifespan.infer_timelines` when not supplied
+    (ground-truth timelines can be passed for oracle experiments).
+
+    ``leave_pair_out`` re-infers each pair's reference timelines from the
+    *other* sources only (when at least two remain), so a copier echoing
+    an original's error cannot launder that error into a briefly-true
+    period and hide the shared-false evidence. Costs one timeline
+    inference per pair; intended for small source counts.
+    """
+    if params is None:
+        params = TemporalParams()
+    if min_co_adoptions < 1:
+        raise DataError(
+            f"min_co_adoptions must be >= 1, got {min_co_adoptions}"
+        )
+    if timelines is None or exactness is None:
+        # Imported lazily: repro.temporal.discovery imports this module,
+        # so a top-level import would be circular.
+        from repro.temporal.lifespan import infer_timelines
+
+        inferred_timelines, inferred_exactness = infer_timelines(dataset)
+        if timelines is None:
+            timelines = inferred_timelines
+        if exactness is None:
+            exactness = inferred_exactness
+
+    adopter_counts: dict[tuple[ObjectId, Value], int] = {}
+    nt_counts: dict[SourceId, int] = {}
+    adoption_counts: dict[SourceId, int] = {}
+    for source in dataset.sources:
+        for obj in dataset.objects_of(source):
+            periods = timelines.get(obj, [])
+            for value in _first_adoptions(dataset, source, obj):
+                key = (obj, value)
+                adopter_counts[key] = adopter_counts.get(key, 0) + 1
+                adoption_counts[source] = adoption_counts.get(source, 0) + 1
+                if not any(p.value == value for p in periods):
+                    nt_counts[source] = nt_counts.get(source, 0) + 1
+    nt_rate = {
+        source: nt_counts.get(source, 0) / count
+        for source, count in adoption_counts.items()
+    }
+
+    def clamp(a: float) -> float:
+        return min(0.99, max(0.01, a))
+
+    graph = DependenceGraph()
+    sources = dataset.sources
+    for i, s1 in enumerate(sources):
+        for s2 in sources[i + 1 :]:
+            pair_timelines = timelines
+            if leave_pair_out:
+                others = [s for s in sources if s not in (s1, s2)]
+                if len(others) >= 2:
+                    from repro.temporal.lifespan import infer_timelines
+
+                    held_out = dataset.restrict_sources(others)
+                    if len(held_out) > 0:
+                        pair_timelines, _ = infer_timelines(held_out)
+            events = collect_co_adoptions(
+                dataset, s1, s2, pair_timelines, adopter_counts
+            )
+            if len(events) < min_co_adoptions:
+                continue
+            graph.add(
+                temporal_pair_posterior(
+                    events,
+                    s1,
+                    s2,
+                    clamp(exactness.get(s1, 0.5)),
+                    clamp(exactness.get(s2, 0.5)),
+                    params,
+                    nt_rates=(nt_rate.get(s1, 0.0), nt_rate.get(s2, 0.0)),
+                )
+            )
+    return graph

@@ -1,0 +1,30 @@
+"""Evaluation: metrics, ASCII tables, experiment harness helpers."""
+
+from repro.eval.experiments import compare_algorithms, pair_probabilities, timed
+from repro.eval.metrics import (
+    DetectionScore,
+    area_under_quality_curve,
+    consensus_error,
+    detection_score,
+    distribution_l1,
+    threshold_sweep,
+    timeline_accuracy,
+    truth_accuracy,
+)
+from repro.eval.tables import render_series, render_table
+
+__all__ = [
+    "DetectionScore",
+    "area_under_quality_curve",
+    "compare_algorithms",
+    "consensus_error",
+    "detection_score",
+    "distribution_l1",
+    "pair_probabilities",
+    "render_series",
+    "render_table",
+    "threshold_sweep",
+    "timed",
+    "timeline_accuracy",
+    "truth_accuracy",
+]

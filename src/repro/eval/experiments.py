@@ -1,0 +1,58 @@
+"""Experiment harness helpers used by ``benchmarks/``.
+
+Small, composable pieces: run a set of truth-discovery algorithms on one
+dataset and tabulate them, time a callable, and pull pair-probability
+maps out of dependence graphs for sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.dataset import ClaimDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.dependence.graph import DependenceGraph
+from repro.eval.metrics import truth_accuracy
+from repro.exceptions import DataError
+from repro.truth.base import TruthDiscovery
+
+
+def compare_algorithms(
+    dataset: ClaimDataset,
+    truth: Mapping[ObjectId, Value],
+    algorithms: Sequence[TruthDiscovery],
+) -> list[dict[str, object]]:
+    """Run each algorithm and report accuracy, rounds and runtime."""
+    if not algorithms:
+        raise DataError("no algorithms to compare")
+    rows = []
+    for algorithm in algorithms:
+        started = time.perf_counter()
+        result = algorithm.discover(dataset)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "algorithm": algorithm.name,
+                "accuracy": truth_accuracy(result.decisions, truth),
+                "rounds": result.rounds,
+                "seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def pair_probabilities(
+    graph: DependenceGraph,
+) -> dict[frozenset[SourceId], float]:
+    """Extract ``{pair: dependence posterior}`` for threshold sweeps."""
+    return {
+        frozenset((pair.s1, pair.s2)): pair.p_dependent for pair in graph
+    }
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once, returning (result, seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

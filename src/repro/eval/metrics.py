@@ -1,0 +1,172 @@
+"""Evaluation metrics for truth discovery and dependence detection.
+
+Everything the benchmarks report is computed here: truth accuracy,
+detection precision/recall/F1 against planted edges, threshold sweeps,
+timeline accuracy for the temporal setting, and consensus error for the
+opinion setting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.claims import ValuePeriod
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionScore:
+    """Precision / recall / F1 of a detected pair set vs the planted one."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    detected: int
+    planted: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall / (self.precision + self.recall)
+        )
+
+
+def detection_score(
+    detected: set[frozenset[SourceId]],
+    planted: set[frozenset[SourceId]],
+) -> DetectionScore:
+    """Score detected dependent pairs against the planted ground truth.
+
+    An empty detected set has precision 1.0 by convention (nothing
+    claimed, nothing wrong); an empty planted set likewise has recall
+    1.0.
+    """
+    hits = len(detected & planted)
+    return DetectionScore(
+        precision=hits / len(detected) if detected else 1.0,
+        recall=hits / len(planted) if planted else 1.0,
+        true_positives=hits,
+        detected=len(detected),
+        planted=len(planted),
+    )
+
+
+def threshold_sweep(
+    pair_probabilities: Mapping[frozenset[SourceId], float],
+    planted: set[frozenset[SourceId]],
+    thresholds: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+) -> list[tuple[float, DetectionScore]]:
+    """Detection scores across decision thresholds (a PR-curve skeleton)."""
+    results = []
+    for threshold in thresholds:
+        if not 0.0 <= threshold <= 1.0:
+            raise DataError(f"threshold must be in [0, 1], got {threshold}")
+        detected = {
+            pair
+            for pair, probability in pair_probabilities.items()
+            if probability >= threshold
+        }
+        results.append((threshold, detection_score(detected, planted)))
+    return results
+
+
+def truth_accuracy(
+    decisions: Mapping[ObjectId, Value], truth: Mapping[ObjectId, Value]
+) -> float:
+    """Fraction of ground-truth objects decided correctly."""
+    if not truth:
+        raise DataError("ground truth must not be empty")
+    correct = sum(
+        1 for obj, value in truth.items() if decisions.get(obj) == value
+    )
+    return correct / len(truth)
+
+
+def timeline_accuracy(
+    inferred: Mapping[ObjectId, list[ValuePeriod]],
+    true: Mapping[ObjectId, list[ValuePeriod]],
+    grid: int = 50,
+) -> float:
+    """Fraction of sampled (object, time) points where the values agree.
+
+    Both timelines are sampled on a uniform grid over the true timeline's
+    span; the final open-ended periods are compared at the last grid
+    point too.
+    """
+    if grid < 2:
+        raise DataError(f"grid must be >= 2, got {grid}")
+    if not true:
+        raise DataError("true timelines must not be empty")
+    agree = 0
+    total = 0
+    for obj, true_periods in true.items():
+        start = true_periods[0].start
+        last_transition = max(
+            (p.end for p in true_periods if p.end is not None),
+            default=start,
+        )
+        # The final period is open-ended; give it the mean closed-period
+        # length of sampled time so it is evaluated too.
+        closed = len(true_periods) - 1
+        if closed > 0:
+            tail = (last_transition - start) / closed
+        else:
+            tail = 1.0
+        end = last_transition + max(tail, 1e-9)
+        inferred_periods = inferred.get(obj, [])
+        for i in range(grid):
+            t = start + (end - start) * (i + 0.5) / grid
+            true_value = next(
+                (p.value for p in true_periods if p.contains(t)), None
+            )
+            inferred_value = next(
+                (p.value for p in inferred_periods if p.contains(t)), None
+            )
+            total += 1
+            if true_value == inferred_value:
+                agree += 1
+    return agree / total
+
+
+def consensus_error(
+    estimated: Mapping[ObjectId, float],
+    reference: Mapping[ObjectId, float],
+) -> float:
+    """Mean absolute error between two per-item mean-score maps."""
+    if not reference:
+        raise DataError("reference scores must not be empty")
+    missing = [item for item in reference if item not in estimated]
+    if missing:
+        raise DataError(f"estimated scores missing items: {missing[:3]}")
+    return sum(
+        abs(estimated[item] - reference[item]) for item in reference
+    ) / len(reference)
+
+
+def distribution_l1(
+    estimated: Mapping[ObjectId, Mapping[Value, float]],
+    reference: Mapping[ObjectId, Mapping[Value, float]],
+) -> float:
+    """Mean L1 distance between per-item distributions."""
+    if not reference:
+        raise DataError("reference distributions must not be empty")
+    total = 0.0
+    for item, ref_dist in reference.items():
+        est_dist = estimated.get(item, {})
+        support = set(ref_dist) | set(est_dist)
+        total += sum(
+            abs(est_dist.get(v, 0.0) - ref_dist.get(v, 0.0)) for v in support
+        )
+    return total / len(reference)
+
+
+def area_under_quality_curve(qualities: Sequence[float]) -> float:
+    """Mean anytime quality — higher = faster convergence (online querying)."""
+    if not qualities:
+        raise DataError("quality series is empty")
+    return sum(qualities) / len(qualities)

@@ -1,0 +1,62 @@
+"""ASCII rendering of result tables and series for the bench harness.
+
+The benches print the rows/series the paper reports; these helpers keep
+that output aligned and consistent without pulling in a formatting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import DataError
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    if not headers:
+        raise DataError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise DataError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    cells = [
+        [format_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, values: Sequence[float], precision: int = 3
+) -> str:
+    """Render one named numeric series on a single line."""
+    body = ", ".join(f"{v:.{precision}f}" for v in values)
+    return f"{name}: [{body}]"

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class. Modules raise
+the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DataError(ReproError):
+    """A dataset or claim violates a structural constraint.
+
+    Examples: duplicate claim for the same (source, object) in a snapshot
+    dataset, an empty dataset passed to an algorithm that needs data, or a
+    probability outside ``[0, 1]``.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or algorithm parameter is outside its valid domain."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to make progress.
+
+    Raised only when ``fail_on_max_rounds=True`` is requested; by default
+    iterative algorithms return the best state reached at the round cap.
+    """
+
+
+class LinkageError(ReproError):
+    """Record-linkage input could not be parsed or clustered."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references an unknown catalog field."""

@@ -1,0 +1,23 @@
+"""Data fusion: fused/probabilistic relations, probabilistic-answer combination."""
+
+from repro.fusion.fuser import (
+    DataFusion,
+    FusedRow,
+    FusionResult,
+    ProbabilisticRow,
+)
+from repro.fusion.probdb import (
+    combination_gap,
+    dependent_combination,
+    independent_combination,
+)
+
+__all__ = [
+    "DataFusion",
+    "FusedRow",
+    "FusionResult",
+    "ProbabilisticRow",
+    "combination_gap",
+    "dependent_combination",
+    "independent_combination",
+]

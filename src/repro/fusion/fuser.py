@@ -1,0 +1,135 @@
+"""Data fusion: one clean (or probabilistic) relation out of many dirty ones.
+
+Section 4, "Data fusion": "When deciding the truth from conflicting
+values, we would like to ignore values that are copied (but not
+necessarily the values independently provided by copiers). We can either
+determine one true value for each object, or identify a probabilistic
+distribution of possible values for each object and generate a
+probabilistic database."
+
+:class:`DataFusion` wraps a truth-discovery algorithm (DEPEN by default)
+and renders its result both ways: a deterministic fused relation with
+per-row confidence and provenance, and a probabilistic relation listing
+every candidate value with its posterior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import ClaimDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import DataError
+from repro.truth.base import TruthDiscovery, TruthResult
+from repro.truth.depen import Depen
+
+
+@dataclass(frozen=True, slots=True)
+class FusedRow:
+    """One row of a fused relation: the chosen value and its pedigree."""
+
+    object: ObjectId
+    value: Value
+    confidence: float
+    supporters: tuple[SourceId, ...]
+    independent_support: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProbabilisticRow:
+    """One candidate of a probabilistic relation."""
+
+    object: ObjectId
+    value: Value
+    probability: float
+
+
+class DataFusion:
+    """Fuse conflicting claims into a clean or probabilistic relation."""
+
+    def __init__(
+        self,
+        discovery: TruthDiscovery | None = None,
+        copy_rate: float = 0.8,
+    ) -> None:
+        self.discovery = discovery or Depen()
+        self.copy_rate = copy_rate
+
+    def fuse(self, dataset: ClaimDataset) -> "FusionResult":
+        """Run truth discovery and package the fused output."""
+        result = self.discovery.discover(dataset)
+        return FusionResult(dataset, result, self.copy_rate)
+
+
+class FusionResult:
+    """Fused views over a discovery result."""
+
+    def __init__(
+        self,
+        dataset: ClaimDataset,
+        truth: TruthResult,
+        copy_rate: float = 0.8,
+    ) -> None:
+        self.dataset = dataset
+        self.truth = truth
+        self.copy_rate = copy_rate
+
+    def fused_rows(self) -> list[FusedRow]:
+        """The deterministic fused relation, one row per object."""
+        rows = []
+        for obj in self.dataset.objects:
+            value = self.truth.decisions[obj]
+            supporters = tuple(sorted(self.dataset.providers_of(obj, value)))
+            rows.append(
+                FusedRow(
+                    object=obj,
+                    value=value,
+                    confidence=self.truth.probability(obj, value),
+                    supporters=supporters,
+                    independent_support=self._independent_support(supporters),
+                )
+            )
+        return rows
+
+    def probabilistic_rows(self, min_probability: float = 0.0) -> list[ProbabilisticRow]:
+        """The probabilistic relation: every candidate value above a floor."""
+        if not 0.0 <= min_probability <= 1.0:
+            raise DataError(
+                f"min_probability must be in [0, 1], got {min_probability}"
+            )
+        rows = []
+        for obj in self.dataset.objects:
+            for value, probability in sorted(
+                self.truth.distributions[obj].items(), key=lambda kv: repr(kv[0])
+            ):
+                if probability >= min_probability:
+                    rows.append(
+                        ProbabilisticRow(
+                            object=obj, value=value, probability=probability
+                        )
+                    )
+        return rows
+
+    def _independent_support(self, supporters: tuple[SourceId, ...]) -> float:
+        """Dependence-discounted count of a value's supporters.
+
+        "Ignore values that are copied, but not necessarily the values
+        independently provided by copiers": each supporter contributes
+        its probability of having provided the value independently of
+        supporters already counted.
+        """
+        dependence = self.truth.dependence
+        if dependence is None:
+            return float(len(supporters))
+        ordered = sorted(
+            supporters,
+            key=lambda s: (-self.truth.accuracies.get(s, 0.5), s),
+        )
+        total = 0.0
+        counted: list[SourceId] = []
+        for source in ordered:
+            total += dependence.independence_weight(
+                source, counted, self.copy_rate
+            )
+            counted.append(source)
+        return total

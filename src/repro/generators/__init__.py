@@ -1,0 +1,43 @@
+"""Synthetic world generators (the substitute for proprietary crawls)."""
+
+from repro.generators.bookstores import (
+    BookRecord,
+    BookstoreConfig,
+    BookstoreWorld,
+    generate_bookstore_catalog,
+)
+from repro.generators.ratings import (
+    RatingWorld,
+    RatingWorldConfig,
+    generate_rating_world,
+)
+from repro.generators.snapshot import (
+    CopierSpec,
+    SnapshotConfig,
+    generate_snapshot_world,
+    simple_copier_world,
+)
+from repro.generators.temporal import (
+    TemporalConfig,
+    TemporalCopierSpec,
+    TemporalSourceSpec,
+    generate_temporal_world,
+)
+
+__all__ = [
+    "BookRecord",
+    "BookstoreConfig",
+    "BookstoreWorld",
+    "CopierSpec",
+    "RatingWorld",
+    "RatingWorldConfig",
+    "SnapshotConfig",
+    "TemporalConfig",
+    "TemporalCopierSpec",
+    "TemporalSourceSpec",
+    "generate_bookstore_catalog",
+    "generate_rating_world",
+    "generate_snapshot_world",
+    "generate_temporal_world",
+    "simple_copier_world",
+]

@@ -1,0 +1,499 @@
+"""AbeBooks-scale synthetic bookstore catalog (Example 4.1's substitute).
+
+The paper's case study is a proprietary crawl; this generator produces a
+catalog *calibrated to every statistic the paper reports* and with known
+ground truth, so the same analyses run with exact evaluation:
+
+* 876 bookstores, 1263 computer-science books, ≈24 364 listings;
+* books per store following a long-tailed distribution from 1 to 1095;
+* per-store author-list accuracy spread over [0, 0.92];
+* dirty author lists — formatting variants, misspellings, missing /
+  misordered / wrong authors, editors-as-authors — yielding 1–23
+  distinct author lists per book, ≈4 on average;
+* planted copier cliques producing on the order of 471 dependent store
+  pairs that share ≥10 books.
+
+The world object records the clean record per book, the planted edges
+and each store's intended accuracy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.types import ObjectId, SourceId
+from repro.core.world import DependenceEdge, DependenceKind
+from repro.exceptions import ParameterError
+from repro.generators.names import (
+    CATEGORIES,
+    author_pool,
+    publisher_pool,
+    title_pool,
+)
+from repro.generators.rng import make_rng, power_law_sizes
+from repro.query.catalog import BookCatalog, Listing
+
+
+@dataclass
+class BookstoreConfig:
+    """Configuration of the synthetic catalog, defaulting to paper scale."""
+
+    n_stores: int = 876
+    n_books: int = 1263
+    n_listings: int = 24364
+    max_books_per_store: int = 1095
+    max_accuracy: float = 0.92
+    n_authors: int = 400
+    n_publishers: int = 30
+    n_copier_cliques: int = 80
+    clique_size: int = 4
+    copy_rate: float = 0.9
+    copier_min_books: int = 12
+    copier_max_books: int = 90
+
+    def __post_init__(self) -> None:
+        if self.n_stores < 2:
+            raise ParameterError(f"n_stores must be >= 2, got {self.n_stores}")
+        if self.n_books < 1:
+            raise ParameterError(f"n_books must be >= 1, got {self.n_books}")
+        if not self.n_stores <= self.n_listings <= self.n_stores * self.n_books:
+            raise ParameterError(
+                "n_listings must lie between n_stores and n_stores*n_books"
+            )
+        if not 1 <= self.max_books_per_store <= self.n_books:
+            raise ParameterError(
+                "max_books_per_store must be in [1, n_books]"
+            )
+        if not 0.0 < self.max_accuracy <= 1.0:
+            raise ParameterError(
+                f"max_accuracy must be in (0, 1], got {self.max_accuracy}"
+            )
+        if self.n_copier_cliques < 0 or self.clique_size < 2:
+            raise ParameterError(
+                "need n_copier_cliques >= 0 and clique_size >= 2"
+            )
+        if self.n_copier_cliques * (self.clique_size - 1) >= self.n_stores:
+            raise ParameterError("too many copier stores for n_stores")
+        if not 0.0 < self.copy_rate <= 1.0:
+            raise ParameterError(f"copy_rate must be in (0, 1], got {self.copy_rate}")
+        if not 1 <= self.copier_min_books <= self.copier_max_books <= self.n_books:
+            raise ParameterError("invalid copier book-count range")
+
+
+@dataclass
+class BookRecord:
+    """The clean, true record of one book.
+
+    ``corrupt_pool`` holds the book's recurring wrong author lists:
+    real-world corruption repeats (a missing co-author or a popular
+    misspelling propagates across stores), so erring stores draw from
+    this small pool instead of inventing fresh noise — that is what
+    bounds the paper's "1 to 23 author lists per book".
+    """
+
+    book: ObjectId
+    title: str
+    authors: tuple[str, ...]
+    publisher: str
+    year: int
+    category: str
+    corrupt_pool: tuple[tuple[str, ...], ...] = ()
+
+
+@dataclass
+class BookstoreWorld:
+    """Ground truth of a synthetic catalog."""
+
+    records: dict[ObjectId, BookRecord]
+    edges: list[DependenceEdge] = field(default_factory=list)
+    store_accuracy: dict[SourceId, float] = field(default_factory=dict)
+
+    def dependent_pairs(self) -> set[frozenset[SourceId]]:
+        """All unordered planted dependent pairs (cliques fully expanded).
+
+        Within a clique every copier shares its content with the original
+        *and* with its sibling copiers, so sibling pairs count as
+        dependent too — they share the same provenance.
+        """
+        by_original: dict[SourceId, set[SourceId]] = {}
+        for edge in self.edges:
+            by_original.setdefault(edge.original, set()).add(edge.copier)
+        pairs: set[frozenset[SourceId]] = set()
+        for original, copiers in by_original.items():
+            members = sorted(copiers | {original})
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    pairs.add(frozenset((a, b)))
+        return pairs
+
+    def true_records(self) -> dict[ObjectId, dict[str, object]]:
+        """Records in the resolved-record shape the query layer uses."""
+        return {
+            book: {
+                "title": record.title,
+                "authors": record.authors,
+                "publisher": record.publisher,
+                "year": record.year,
+                "category": record.category,
+            }
+            for book, record in self.records.items()
+        }
+
+
+def generate_bookstore_catalog(
+    config: BookstoreConfig | None = None, seed: int = 0
+) -> tuple[BookCatalog, BookstoreWorld]:
+    """Generate the catalog and its ground truth."""
+    if config is None:
+        config = BookstoreConfig()
+    rng = make_rng(seed)
+
+    authors = author_pool(rng, config.n_authors)
+    titles = title_pool(rng, config.n_books)
+    publishers = publisher_pool(rng, config.n_publishers)
+
+    records: dict[ObjectId, BookRecord] = {}
+    for i in range(config.n_books):
+        book = f"book{i:04d}"
+        n_authors = min(len(authors), 1 + _author_count(rng))
+        true_authors = tuple(rng.sample(authors, n_authors))
+        pool = tuple(
+            _corrupt_authors(rng, true_authors, style=0)
+            for _ in range(rng.randint(3, 6))
+        )
+        records[book] = BookRecord(
+            book=book,
+            title=titles[i],
+            authors=true_authors,
+            publisher=rng.choice(publishers),
+            year=rng.randint(1995, 2008),
+            category=rng.choice(CATEGORIES),
+            corrupt_pool=pool,
+        )
+    books = sorted(records)
+
+    stores = [f"store{i:03d}" for i in range(config.n_stores)]
+    # A pure power law cannot meet min=1, max=1095 and the mean at once;
+    # real store-size distributions have a flat singleton tail. Reserve
+    # ~5% of stores as tiny shops (1-2 books) and fit the power law to
+    # the rest.
+    n_tiny = max(1, config.n_stores // 20)
+    tiny_sizes = [rng.randint(1, 2) for _ in range(n_tiny)]
+    sizes = power_law_sizes(
+        count=config.n_stores - n_tiny,
+        largest=config.max_books_per_store,
+        smallest=1,
+        total=config.n_listings - sum(tiny_sizes),
+        exponent=0.78,
+        rng=rng,
+    )
+    sizes = sizes + tiny_sizes
+    # Most stores follow a right-leaning beta over [0, max_accuracy];
+    # a small fraction are near-hopeless (the paper's accuracy range
+    # starts at 0).
+    store_accuracy = {}
+    for store in stores:
+        if rng.random() < 0.03:
+            store_accuracy[store] = rng.uniform(0.0, 0.15)
+        else:
+            store_accuracy[store] = config.max_accuracy * rng.betavariate(3.0, 1.3)
+
+    # Popularity bias: early books are listed by more stores.
+    popularity = [1.0 / (rank + 5) for rank in range(len(books))]
+
+    catalog = BookCatalog()
+    store_books: dict[SourceId, list[ObjectId]] = {}
+    for store, size in zip(stores, sizes):
+        chosen = _sample_books(rng, books, popularity, size)
+        store_books[store] = chosen
+        for book in chosen:
+            catalog.add(
+                _make_listing(rng, store, records[book], store_accuracy[store])
+            )
+
+    # Every book must be listed somewhere; orphans go to the largest store.
+    listed = set(catalog.books)
+    biggest = max(stores, key=catalog.coverage)
+    for book in books:
+        if book not in listed:
+            catalog.add(
+                _make_listing(
+                    rng, biggest, records[book], store_accuracy[biggest]
+                )
+            )
+            store_books[biggest].append(book)
+
+    edges = _plant_cliques(
+        rng, config, catalog, records, store_accuracy, store_books
+    )
+
+    # Clique rewrites can drop a book whose only listing was replaced;
+    # re-run the orphan fill so every book stays listed.
+    listed = set(catalog.books)
+    biggest = max(stores, key=catalog.coverage)
+    for book in books:
+        if book not in listed:
+            catalog.add(
+                _make_listing(
+                    rng, biggest, records[book], store_accuracy[biggest]
+                )
+            )
+
+    world = BookstoreWorld(
+        records=records, edges=edges, store_accuracy=store_accuracy
+    )
+    return catalog, world
+
+
+# ---------------------------------------------------------------------------
+# listing construction and corruption
+# ---------------------------------------------------------------------------
+
+
+def _author_count(rng: random.Random) -> int:
+    """Books mostly have 1-3 authors, occasionally more."""
+    roll = rng.random()
+    if roll < 0.45:
+        return 0
+    if roll < 0.8:
+        return 1
+    if roll < 0.95:
+        return 2
+    return 3
+
+
+def _sample_books(
+    rng: random.Random,
+    books: list[ObjectId],
+    popularity: list[float],
+    size: int,
+) -> list[ObjectId]:
+    """Sample ``size`` distinct books with popularity bias."""
+    if size >= len(books):
+        return list(books)
+    chosen: set[ObjectId] = set()
+    # Rejection sampling against the popularity weights; falls back to
+    # uniform fill to guarantee termination.
+    attempts = 0
+    total = sum(popularity)
+    while len(chosen) < size and attempts < size * 30:
+        pick = rng.random() * total
+        cumulative = 0.0
+        for book, weight in zip(books, popularity):
+            cumulative += weight
+            if pick <= cumulative:
+                chosen.add(book)
+                break
+        attempts += 1
+    remaining = [b for b in books if b not in chosen]
+    while len(chosen) < size:
+        chosen.add(remaining.pop(rng.randrange(len(remaining))))
+    return sorted(chosen)
+
+
+def _format_name(rng: random.Random, name: str, style: int) -> str:
+    """Render a canonical "Given [M.] Family" name in a store's style."""
+    parts = name.split()
+    given, family = parts[0], parts[-1]
+    middle = parts[1:-1]
+    if style == 0:  # as-is
+        return name
+    if style == 1:  # Last, First
+        middle_text = f" {' '.join(middle)}" if middle else ""
+        return f"{family}, {given}{middle_text}"
+    if style == 2:  # initials
+        middle_text = f" {' '.join(m[0] + '.' for m in middle)}" if middle else ""
+        return f"{given[0]}.{middle_text} {family}"
+    return name.upper() if rng.random() < 0.2 else name
+
+
+def _misspell(rng: random.Random, name: str) -> str:
+    """Perturb one character of the name (drop, swap or duplicate)."""
+    letters = [i for i, ch in enumerate(name) if ch.isalpha()]
+    if not letters:
+        return name
+    index = rng.choice(letters)
+    operation = rng.randrange(3)
+    if operation == 0:
+        return name[:index] + name[index + 1 :]
+    if operation == 1:
+        return name[:index] + name[index] + name[index:]
+    replacement = chr(ord("a") + rng.randrange(26))
+    return name[:index] + replacement + name[index + 1 :]
+
+
+def _corrupt_authors(
+    rng: random.Random, true_authors: tuple[str, ...], style: int
+) -> tuple[str, ...]:
+    """One corruption of an author list (Example 4.1's error taxonomy)."""
+    authors = [_format_name(rng, a, style) for a in true_authors]
+    operation = rng.randrange(5)
+    if operation == 0 and len(authors) > 1:  # missing author
+        authors.pop(rng.randrange(len(authors)))
+    elif operation == 1 and len(authors) > 1:  # misordered authors
+        i, j = rng.sample(range(len(authors)), 2)
+        authors[i], authors[j] = authors[j], authors[i]
+    elif operation == 2:  # misspelled author
+        index = rng.randrange(len(authors))
+        authors[index] = _misspell(rng, authors[index])
+    elif operation == 3:  # wrong author added (editor-as-author etc.)
+        authors.insert(
+            rng.randrange(len(authors) + 1),
+            _format_name(rng, f"Editor Guest{rng.randrange(40)}", style),
+        )
+    else:  # entirely wrong author replaces one
+        index = rng.randrange(len(authors))
+        authors[index] = _format_name(
+            rng, f"Wrong Person{rng.randrange(60)}", style
+        )
+    return tuple(authors)
+
+
+def _make_listing(
+    rng: random.Random,
+    store: SourceId,
+    record: BookRecord,
+    accuracy: float,
+) -> Listing:
+    """One store's (possibly corrupted, possibly reformatted) listing."""
+    style = _style_of(store)  # each store has a house formatting style
+    if rng.random() < accuracy or not record.corrupt_pool:
+        base = record.authors
+    else:
+        base = rng.choice(record.corrupt_pool)
+    authors = tuple(_format_name(rng, a, style) for a in base)
+    year = record.year
+    if rng.random() > max(accuracy, 0.5):
+        year = record.year + rng.choice((-1, 1))
+    return Listing(
+        store=store,
+        book=record.book,
+        title=record.title,
+        authors=authors,
+        publisher=record.publisher,
+        year=year,
+        category=record.category,
+    )
+
+
+def _plant_cliques(
+    rng: random.Random,
+    config: BookstoreConfig,
+    catalog: BookCatalog,
+    records: dict[ObjectId, BookRecord],
+    store_accuracy: dict[SourceId, float],
+    store_books: dict[SourceId, list[ObjectId]],
+) -> list[DependenceEdge]:
+    """Rewrite some stores into copier cliques and return the edges.
+
+    For each clique, one store with a mid-sized inventory becomes the
+    original; ``clique_size - 1`` other small stores are *rewritten* to
+    carry copies of a slice of the original's listings (with their own
+    formatting style and occasional independent deviations).
+    """
+    stores = sorted(store_books)
+    eligible_originals = [
+        s
+        for s in stores
+        if config.copier_min_books <= len(store_books[s]) <= config.copier_max_books * 4
+    ]
+    eligible_copiers = [
+        s
+        for s in stores
+        if config.copier_min_books
+        <= len(store_books[s])
+        <= config.copier_max_books
+    ]
+    rng.shuffle(eligible_originals)
+    rng.shuffle(eligible_copiers)
+
+    edges: list[DependenceEdge] = []
+    used: set[SourceId] = set()
+    cliques_built = 0
+    for original in eligible_originals:
+        if cliques_built >= config.n_copier_cliques:
+            break
+        if original in used:
+            continue
+        copiers = []
+        for candidate in eligible_copiers:
+            if candidate in used or candidate == original:
+                continue
+            copiers.append(candidate)
+            if len(copiers) == config.clique_size - 1:
+                break
+        if len(copiers) < config.clique_size - 1:
+            break
+        used.add(original)
+        used.update(copiers)
+        cliques_built += 1
+
+        source_listings = catalog.listings_by(original)
+        # Each copier's inventory keeps (roughly) its original size, so
+        # the catalog's listing total stays calibrated; siblings draw
+        # from one shuffled slice, giving the clique a large overlap.
+        shared_sizes = {
+            copier: min(
+                len(source_listings),
+                max(
+                    config.copier_min_books,
+                    min(config.copier_max_books, catalog.coverage(copier)),
+                ),
+            )
+            for copier in copiers
+        }
+        shared_all = rng.sample(source_listings, max(shared_sizes.values()))
+        for copier in copiers:
+            style = _style_of(copier)
+            rebuilt = BookCatalog()
+            for listing in shared_all[: shared_sizes[copier]]:
+                if rng.random() < config.copy_rate:
+                    # Some copiers reformat whole lists into their house
+                    # style during copying (the S5 pattern of Table 1).
+                    if rng.random() < 0.3:
+                        authors = tuple(
+                            _format_name(rng, a, style)
+                            for a in listing.authors
+                        )
+                    else:
+                        authors = listing.authors
+                    copied = Listing(
+                        store=copier,
+                        book=listing.book,
+                        title=listing.title,
+                        authors=authors,
+                        publisher=listing.publisher,
+                        year=listing.year,
+                        category=listing.category,
+                    )
+                else:
+                    copied = _make_listing(
+                        rng, copier, records[listing.book],
+                        store_accuracy[copier],
+                    )
+                rebuilt.add(copied)
+            _replace_store(catalog, copier, rebuilt)
+            edges.append(
+                DependenceEdge(
+                    copier=copier,
+                    original=original,
+                    kind=DependenceKind.SIMILARITY,
+                    rate=config.copy_rate,
+                )
+            )
+    return edges
+
+
+def _replace_store(
+    catalog: BookCatalog, store: SourceId, replacement: BookCatalog
+) -> None:
+    """Swap one store's listings for the replacement's (in place)."""
+    catalog.remove_store(store)
+    for listing in replacement.listings_by(store):
+        catalog.add(listing)
+
+
+def _style_of(store: SourceId) -> int:
+    """A store's house formatting style — a stable, unsalted hash."""
+    return sum(ord(ch) for ch in store) % 3

@@ -1,0 +1,116 @@
+"""Synthetic vocabularies: author names, book titles, publishers.
+
+The bookstore generator needs realistic-looking string data so the
+record-linkage layer has real work to do (initials, reordered name
+parts, misspellings). Pools are built deterministically from fixed
+syllable/word lists plus the generator's RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ParameterError
+
+_GIVEN = (
+    "James", "Mary", "Wei", "Anna", "Luis", "Chen", "Priya", "Ivan",
+    "Laura", "Divesh", "Amelie", "Anish", "Xin", "Peter", "Susan",
+    "Jeffrey", "Hector", "Rakesh", "Serge", "Moshe", "Jennifer", "David",
+    "Alon", "Dan", "Renee", "Michael", "Magda", "Nilesh", "Luna", "Erhard",
+)
+
+_FAMILY = (
+    "Ullman", "Dong", "Srivastava", "Marian", "Berti", "Halevy", "Suciu",
+    "Widom", "Garcia-Molina", "Naumann", "Winkler", "Clemen", "Abiteboul",
+    "Vianu", "Agrawal", "Rajaraman", "Doan", "Kossmann", "Weikum", "Chen",
+    "Balazinska", "Dalvi", "Sarma", "Franklin", "Stonebraker", "Dewitt",
+    "Bernstein", "Gray", "Codd", "Chaudhuri",
+)
+
+_TITLE_HEAD = (
+    "Effective", "Practical", "Advanced", "Foundations of", "Principles of",
+    "Introduction to", "Mastering", "Learning", "Programming", "Designing",
+    "Understanding", "Essential", "Modern", "Distributed", "Scalable",
+)
+
+_TITLE_TOPIC = (
+    "Java", "Databases", "Data Integration", "Query Processing",
+    "Information Retrieval", "Machine Learning", "Web Services", "XML",
+    "Transaction Processing", "Data Mining", "Stream Processing",
+    "Probabilistic Databases", "Record Linkage", "Data Cleaning",
+    "Python", "Compilers", "Operating Systems", "Networks", "Algorithms",
+    "Data Fusion",
+)
+
+_PUBLISHER_STEM = (
+    "Harbor", "Summit", "Cascade", "Meridian", "Juniper", "Granite",
+    "Beacon", "Aurora", "Orchard", "Pinnacle", "Coastal", "Redwood",
+)
+
+_PUBLISHER_SUFFIX = ("Press", "Publishing", "Books", "Media")
+
+#: Categories for the aggregate query of Example 4.1.
+CATEGORIES = (
+    "Database",
+    "Programming",
+    "Systems",
+    "Theory",
+    "Web",
+)
+
+
+def author_pool(rng: random.Random, size: int) -> list[str]:
+    """``size`` distinct canonical author names ("Given [M.] Family")."""
+    if size < 1:
+        raise ParameterError(f"size must be >= 1, got {size}")
+    if size > len(_GIVEN) * len(_FAMILY) * 27:
+        raise ParameterError(f"cannot build {size} distinct author names")
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < size:
+        given = rng.choice(_GIVEN)
+        family = rng.choice(_FAMILY)
+        if rng.random() < 0.3:
+            middle = chr(ord("A") + rng.randrange(26))
+            name = f"{given} {middle}. {family}"
+        else:
+            name = f"{given} {family}"
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def title_pool(rng: random.Random, size: int) -> list[str]:
+    """``size`` distinct book titles; editions disambiguate collisions."""
+    if size < 1:
+        raise ParameterError(f"size must be >= 1, got {size}")
+    titles: list[str] = []
+    seen: set[str] = set()
+    edition = 2
+    while len(titles) < size:
+        title = f"{rng.choice(_TITLE_HEAD)} {rng.choice(_TITLE_TOPIC)}"
+        if title in seen:
+            title = f"{title}, {edition}nd Edition"
+            edition += 1
+        if title in seen:
+            continue
+        seen.add(title)
+        titles.append(title)
+    return titles
+
+
+def publisher_pool(rng: random.Random, size: int) -> list[str]:
+    """``size`` distinct publisher names."""
+    if size < 1:
+        raise ParameterError(f"size must be >= 1, got {size}")
+    if size > len(_PUBLISHER_STEM) * len(_PUBLISHER_SUFFIX):
+        raise ParameterError(f"cannot build {size} distinct publishers")
+    publishers: list[str] = []
+    seen: set[str] = set()
+    while len(publishers) < size:
+        name = f"{rng.choice(_PUBLISHER_STEM)} {rng.choice(_PUBLISHER_SUFFIX)}"
+        if name not in seen:
+            seen.add(name)
+            publishers.append(name)
+    return publishers

@@ -1,0 +1,166 @@
+"""Synthetic rating worlds: taste clusters, copiers, anti-dependent raters.
+
+The controlled environment for the opinion experiments. Three rater
+populations are planted:
+
+* **genuine raters**, organised in *taste clusters*: every cluster has
+  its own preference per item, and members rate around it — the
+  "correlated information" of section 3.1 (Star Wars fans agree without
+  copying; a detector must not flag them);
+* **copier raters**: echo a target's rating with the influence rate;
+* **anti raters**: mirror a target's rating with the influence rate
+  (Example 2.2's R4).
+
+The returned edges record the planted dependence for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.claims import Rating
+from repro.core.types import SourceId
+from repro.core.world import DependenceEdge, DependenceKind
+from repro.exceptions import ParameterError
+from repro.generators.rng import make_rng, weighted_choice
+from repro.opinions.ratings import RatingMatrix, RatingScale
+
+#: The Table 2 scale, reused as the default.
+DEFAULT_SCALE = ("Bad", "Neutral", "Good")
+
+
+@dataclass
+class RatingWorldConfig:
+    """Configuration of a synthetic rating world."""
+
+    n_items: int = 50
+    scale: tuple[str, ...] = DEFAULT_SCALE
+    n_clusters: int = 2
+    raters_per_cluster: int = 4
+    taste_concentration: float = 2.0
+    n_copiers: int = 1
+    n_anti: int = 1
+    influence_rate: float = 0.8
+    co_rating: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise ParameterError(f"n_items must be >= 1, got {self.n_items}")
+        if len(self.scale) < 2:
+            raise ParameterError("scale needs at least two levels")
+        if self.n_clusters < 1:
+            raise ParameterError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if self.raters_per_cluster < 1:
+            raise ParameterError(
+                f"raters_per_cluster must be >= 1, got {self.raters_per_cluster}"
+            )
+        if self.taste_concentration <= 0:
+            raise ParameterError(
+                f"taste_concentration must be > 0, got {self.taste_concentration}"
+            )
+        if self.n_copiers < 0 or self.n_anti < 0:
+            raise ParameterError("n_copiers and n_anti must be >= 0")
+        if not 0.0 < self.influence_rate < 1.0:
+            raise ParameterError(
+                f"influence_rate must be in (0, 1), got {self.influence_rate}"
+            )
+        if not 0.0 < self.co_rating <= 1.0:
+            raise ParameterError(
+                f"co_rating must be in (0, 1], got {self.co_rating}"
+            )
+
+
+@dataclass
+class RatingWorld:
+    """Ground truth of a rating world."""
+
+    matrix: RatingMatrix
+    edges: list[DependenceEdge] = field(default_factory=list)
+    clusters: dict[SourceId, int] = field(default_factory=dict)
+
+    def dependent_pairs(self) -> set[frozenset[SourceId]]:
+        """Unordered planted dependent pairs."""
+        return {edge.pair for edge in self.edges}
+
+    def genuine_raters(self) -> list[SourceId]:
+        """Raters with no planted dependence."""
+        dependent = {edge.copier for edge in self.edges}
+        return sorted(set(self.clusters) - dependent)
+
+
+def generate_rating_world(
+    config: RatingWorldConfig, seed: int = 0
+) -> RatingWorld:
+    """Generate a rating matrix with planted taste clusters and dependence."""
+    rng = make_rng(seed)
+    scale = RatingScale(config.scale)
+    levels = scale.levels
+    items = [f"item{i:03d}" for i in range(config.n_items)]
+
+    # Per (cluster, item) preference distributions: a preferred level
+    # plus concentration-controlled spill onto neighbours.
+    preferences: dict[tuple[int, str], list[float]] = {}
+    for cluster in range(config.n_clusters):
+        for item in items:
+            preferred = rng.randrange(len(levels))
+            weights = [
+                config.taste_concentration ** -abs(i - preferred)
+                for i in range(len(levels))
+            ]
+            preferences[(cluster, item)] = weights
+
+    matrix = RatingMatrix(scale)
+    clusters: dict[SourceId, int] = {}
+    genuine: list[SourceId] = []
+    for cluster in range(config.n_clusters):
+        for member in range(config.raters_per_cluster):
+            rater = f"c{cluster}r{member:02d}"
+            clusters[rater] = cluster
+            genuine.append(rater)
+            for item in items:
+                if rng.random() >= config.co_rating:
+                    continue
+                score = weighted_choice(
+                    rng, levels, preferences[(cluster, item)]
+                )
+                matrix.add(Rating(rater=rater, item=item, score=score))
+
+    edges: list[DependenceEdge] = []
+
+    def add_influenced(
+        rater: SourceId, target: SourceId, kind: DependenceKind
+    ) -> None:
+        cluster = clusters[target]
+        clusters[rater] = cluster
+        target_ratings = matrix.ratings_by(target)
+        for item in items:
+            if rng.random() >= config.co_rating:
+                continue
+            target_score = target_ratings.get(item)
+            if target_score is not None and rng.random() < config.influence_rate:
+                if kind is DependenceKind.SIMILARITY:
+                    score = target_score
+                else:
+                    score = scale.mirror(target_score)
+            else:
+                score = weighted_choice(
+                    rng, levels, preferences[(cluster, item)]
+                )
+            matrix.add(Rating(rater=rater, item=item, score=score))
+        edges.append(
+            DependenceEdge(
+                copier=rater,
+                original=target,
+                kind=kind,
+                rate=config.influence_rate,
+            )
+        )
+
+    for i in range(config.n_copiers):
+        target = genuine[i % len(genuine)]
+        add_influenced(f"copier{i:02d}", target, DependenceKind.SIMILARITY)
+    for i in range(config.n_anti):
+        target = genuine[(config.n_copiers + i) % len(genuine)]
+        add_influenced(f"anti{i:02d}", target, DependenceKind.DISSIMILARITY)
+
+    return RatingWorld(matrix=matrix, edges=edges, clusters=clusters)

@@ -1,0 +1,111 @@
+"""Seeded randomness helpers shared by the generators.
+
+All generators take an integer seed and derive every random decision
+from a single :class:`random.Random` instance, so a (config, seed) pair
+reproduces the exact same world — the property every experiment in
+``benchmarks/`` relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.exceptions import ParameterError
+
+
+def make_rng(seed: int) -> random.Random:
+    """A fresh deterministic RNG for the given seed."""
+    return random.Random(seed)
+
+
+def weighted_choice(
+    rng: random.Random, items: Sequence, weights: Sequence[float]
+):
+    """One draw from ``items`` with the given non-negative weights."""
+    if len(items) != len(weights):
+        raise ParameterError("items and weights must have equal length")
+    if not items:
+        raise ParameterError("cannot choose from an empty sequence")
+    if any(w < 0 for w in weights):
+        raise ParameterError("weights must be non-negative")
+    total = sum(weights)
+    if total <= 0:
+        raise ParameterError("at least one weight must be positive")
+    pick = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if pick <= cumulative:
+            return item
+    return items[-1]
+
+
+def power_law_sizes(
+    count: int,
+    largest: int,
+    smallest: int,
+    total: int,
+    exponent: float,
+    rng: random.Random,
+) -> list[int]:
+    """``count`` sizes following a rank power law, adjusted to sum to ``total``.
+
+    Size of rank ``r`` starts at ``largest · r^(-exponent)`` clipped to
+    ``[smallest, largest]``; the list is then nudged element-wise (within
+    the clip bounds, at random ranks) until it sums to ``total``. Models
+    Example 4.1's skew: books per store from 1 to 1095 with a long tail.
+    """
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    if not 1 <= smallest <= largest:
+        raise ParameterError("need 1 <= smallest <= largest")
+    if not count * smallest <= total <= count * largest:
+        raise ParameterError(
+            f"total {total} impossible for {count} sizes in "
+            f"[{smallest}, {largest}]"
+        )
+    if exponent <= 0:
+        raise ParameterError(f"exponent must be > 0, got {exponent}")
+
+    sizes = [
+        min(largest, max(smallest, round(largest * (r + 1) ** -exponent)))
+        for r in range(count)
+    ]
+
+    # Close most of the gap proportionally to current size, so the head
+    # of the distribution absorbs the adjustment and rank-tail stores
+    # stay at the minimum (the paper's smallest store has 1 book).
+    gap = total - sum(sizes)
+    if gap != 0:
+        mass = sum(sizes)
+        scaled = []
+        for size in sizes:
+            adjusted = size + round(gap * size / mass)
+            scaled.append(min(largest, max(smallest, adjusted)))
+        sizes = scaled
+
+    # Fine-tune the residual one step at a time, biased toward larger
+    # stores (weighted draw by size).
+    gap = total - sum(sizes)
+    guard = 10 * abs(gap) + 100
+    while gap != 0 and guard > 0:
+        guard -= 1
+        index = weighted_choice(rng, list(range(count)), sizes)
+        if gap > 0 and sizes[index] < largest:
+            sizes[index] += 1
+            gap -= 1
+        elif gap < 0 and sizes[index] > smallest:
+            sizes[index] -= 1
+            gap += 1
+    if gap != 0:  # deterministic fallback sweep
+        for index in range(count):
+            while gap > 0 and sizes[index] < largest:
+                sizes[index] += 1
+                gap -= 1
+            while gap < 0 and sizes[index] > smallest:
+                sizes[index] -= 1
+                gap += 1
+    if gap != 0:  # pragma: no cover - guarded by the range check above
+        raise ParameterError("cannot adjust sizes to the requested total")
+    return sizes

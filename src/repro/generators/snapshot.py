@@ -1,0 +1,220 @@
+"""Synthetic snapshot worlds with planted copiers.
+
+The controlled environment for the snapshot experiments: a ground truth,
+independent sources of configurable accuracy and coverage, and copier
+sources wired to originals with configurable copy rate and coverage
+(partial copiers — section 3.1). Copiers may chain (a copier of a
+copier), which is how "loop copying" pressure is modelled.
+
+Everything is driven by one seed; the returned
+:class:`~repro.core.world.World` records the planted truth, accuracies
+and dependence edges for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset
+from repro.core.types import SourceId
+from repro.core.world import DependenceEdge, DependenceKind, World
+from repro.exceptions import ParameterError
+from repro.generators.rng import make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class CopierSpec:
+    """A planted copier: ``copier`` copies from ``original``.
+
+    ``copy_rate`` — probability each covered object's value is copied;
+    the rest are provided independently with ``own_accuracy``.
+    ``coverage`` — fraction of the original's objects the copier covers.
+    """
+
+    copier: SourceId
+    original: SourceId
+    copy_rate: float = 0.8
+    coverage: float = 1.0
+    own_accuracy: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.copier == self.original:
+            raise ParameterError("a copier cannot copy itself")
+        if not 0.0 < self.copy_rate <= 1.0:
+            raise ParameterError(f"copy_rate must be in (0, 1], got {self.copy_rate}")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ParameterError(f"coverage must be in (0, 1], got {self.coverage}")
+        if not 0.0 < self.own_accuracy < 1.0:
+            raise ParameterError(
+                f"own_accuracy must be in (0, 1), got {self.own_accuracy}"
+            )
+
+
+@dataclass
+class SnapshotConfig:
+    """Configuration of a synthetic snapshot world."""
+
+    n_objects: int = 100
+    n_false_values: int = 20
+    independent_accuracies: dict[SourceId, float] = field(default_factory=dict)
+    copiers: list[CopierSpec] = field(default_factory=list)
+    independent_coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ParameterError(f"n_objects must be >= 1, got {self.n_objects}")
+        if self.n_false_values < 1:
+            raise ParameterError(
+                f"n_false_values must be >= 1, got {self.n_false_values}"
+            )
+        if not self.independent_accuracies:
+            raise ParameterError("need at least one independent source")
+        for source, accuracy in self.independent_accuracies.items():
+            if not 0.0 < accuracy < 1.0:
+                raise ParameterError(
+                    f"accuracy of {source!r} must be in (0, 1), got {accuracy}"
+                )
+        if not 0.0 < self.independent_coverage <= 1.0:
+            raise ParameterError(
+                f"independent_coverage must be in (0, 1], got "
+                f"{self.independent_coverage}"
+            )
+        providers = set(self.independent_accuracies)
+        for spec in self.copiers:
+            if spec.copier in self.independent_accuracies:
+                raise ParameterError(
+                    f"{spec.copier!r} is both independent and a copier"
+                )
+            providers.add(spec.copier)
+        for spec in self.copiers:
+            if spec.original not in providers:
+                raise ParameterError(
+                    f"copier {spec.copier!r} copies unknown source "
+                    f"{spec.original!r}"
+                )
+
+
+def generate_snapshot_world(
+    config: SnapshotConfig, seed: int = 0
+) -> tuple[ClaimDataset, World]:
+    """Generate the claims and ground truth of a snapshot world."""
+    rng = make_rng(seed)
+    objects = [f"obj{i:04d}" for i in range(config.n_objects)]
+    truth = {obj: f"{obj}::true" for obj in objects}
+    false_values = {
+        obj: [f"{obj}::false{j}" for j in range(config.n_false_values)]
+        for obj in objects
+    }
+
+    dataset = ClaimDataset()
+    claims: dict[SourceId, dict[str, str]] = {}
+
+    def independent_value(obj: str, accuracy: float) -> str:
+        if rng.random() < accuracy:
+            return truth[obj]
+        return rng.choice(false_values[obj])
+
+    for source in sorted(config.independent_accuracies):
+        accuracy = config.independent_accuracies[source]
+        covered = [
+            obj
+            for obj in objects
+            if rng.random() < config.independent_coverage
+        ]
+        if not covered:
+            covered = [rng.choice(objects)]
+        claims[source] = {
+            obj: independent_value(obj, accuracy) for obj in covered
+        }
+
+    # Copiers are resolved in dependency order so chains work.
+    pending = list(config.copiers)
+    progressed = True
+    while pending and progressed:
+        progressed = False
+        for spec in list(pending):
+            if spec.original not in claims:
+                continue
+            original_claims = claims[spec.original]
+            covered = [
+                obj
+                for obj in sorted(original_claims)
+                if rng.random() < spec.coverage
+            ]
+            if not covered:
+                covered = [rng.choice(sorted(original_claims))]
+            copied: dict[str, str] = {}
+            for obj in covered:
+                if rng.random() < spec.copy_rate:
+                    copied[obj] = original_claims[obj]
+                else:
+                    copied[obj] = independent_value(obj, spec.own_accuracy)
+            claims[spec.copier] = copied
+            pending.remove(spec)
+            progressed = True
+    if pending:
+        raise ParameterError(
+            "copier chain contains a cycle: "
+            + ", ".join(spec.copier for spec in pending)
+        )
+
+    for source in sorted(claims):
+        for obj, value in sorted(claims[source].items()):
+            dataset.add(Claim(source=source, object=obj, value=value))
+
+    world = World(
+        truth=truth,
+        edges=[
+            DependenceEdge(
+                copier=spec.copier,
+                original=spec.original,
+                kind=DependenceKind.SIMILARITY,
+                rate=spec.copy_rate,
+            )
+            for spec in config.copiers
+        ],
+        source_accuracy=dict(config.independent_accuracies),
+    )
+    return dataset, world
+
+
+def simple_copier_world(
+    n_objects: int = 100,
+    n_independent: int = 5,
+    n_copiers: int = 3,
+    accuracy: float = 0.8,
+    copy_rate: float = 0.8,
+    copier_coverage: float = 1.0,
+    n_false_values: int = 20,
+    seed: int = 0,
+) -> tuple[ClaimDataset, World]:
+    """Convenience world: ``n_copiers`` all copying the last independent source.
+
+    The copiers all target one original, forming the copier-clique
+    structure of Example 2.1 (S4 and S5 copying S3) at any scale.
+    """
+    if n_independent < 1:
+        raise ParameterError(f"n_independent must be >= 1, got {n_independent}")
+    if n_copiers < 0:
+        raise ParameterError(f"n_copiers must be >= 0, got {n_copiers}")
+    independents = {
+        f"ind{i:02d}": accuracy for i in range(n_independent)
+    }
+    original = sorted(independents)[-1]
+    copiers = [
+        CopierSpec(
+            copier=f"cop{i:02d}",
+            original=original,
+            copy_rate=copy_rate,
+            coverage=copier_coverage,
+        )
+        for i in range(n_copiers)
+    ]
+    config = SnapshotConfig(
+        n_objects=n_objects,
+        n_false_values=n_false_values,
+        independent_accuracies=independents,
+        copiers=copiers,
+    )
+    return generate_snapshot_world(config, seed)

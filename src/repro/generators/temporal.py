@@ -1,0 +1,210 @@
+"""Synthetic temporal worlds: evolving truth, slow providers, lazy copiers.
+
+The controlled environment for the temporal experiments (Table 3 at
+scale). A truth timeline evolves per object; three source archetypes
+observe it:
+
+* **fresh independents** track transitions with a small lag and
+  occasional errors;
+* **slow independents** track with a large lag — the sources Example 3.2
+  warns look like copiers to naive similarity ("an independent source may
+  be slow … and so appears to be a copier");
+* **lazy copiers** poll an *original source* at intervals and copy a
+  fraction of what changed — inheriting the original's errors and always
+  trailing it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.claims import TemporalClaim, ValuePeriod
+from repro.core.temporal_dataset import TemporalDataset
+from repro.core.types import ObjectId, SourceId
+from repro.core.world import DependenceEdge, DependenceKind, TemporalWorld
+from repro.exceptions import ParameterError
+from repro.generators.rng import make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalSourceSpec:
+    """An independent temporal source."""
+
+    source: SourceId
+    lag: float = 0.5
+    lag_jitter: float = 0.5
+    error_rate: float = 0.05
+    coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lag < 0 or self.lag_jitter < 0:
+            raise ParameterError("lag and lag_jitter must be >= 0")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ParameterError(
+                f"error_rate must be in [0, 1), got {self.error_rate}"
+            )
+        if not 0.0 < self.coverage <= 1.0:
+            raise ParameterError(f"coverage must be in (0, 1], got {self.coverage}")
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalCopierSpec:
+    """A lazy copier polling an original source."""
+
+    copier: SourceId
+    original: SourceId
+    poll_interval: float = 2.0
+    copy_rate: float = 0.7
+    coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.copier == self.original:
+            raise ParameterError("a copier cannot copy itself")
+        if self.poll_interval <= 0:
+            raise ParameterError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+        if not 0.0 < self.copy_rate <= 1.0:
+            raise ParameterError(f"copy_rate must be in (0, 1], got {self.copy_rate}")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ParameterError(f"coverage must be in (0, 1], got {self.coverage}")
+
+
+@dataclass
+class TemporalConfig:
+    """Configuration of a synthetic temporal world."""
+
+    n_objects: int = 30
+    n_false_values: int = 10
+    time_span: float = 20.0
+    transitions_per_object: float = 2.0
+    sources: list[TemporalSourceSpec] = field(default_factory=list)
+    copiers: list[TemporalCopierSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ParameterError(f"n_objects must be >= 1, got {self.n_objects}")
+        if self.n_false_values < 1:
+            raise ParameterError(
+                f"n_false_values must be >= 1, got {self.n_false_values}"
+            )
+        if self.time_span <= 0:
+            raise ParameterError(f"time_span must be > 0, got {self.time_span}")
+        if self.transitions_per_object < 0:
+            raise ParameterError("transitions_per_object must be >= 0")
+        if not self.sources:
+            raise ParameterError("need at least one independent temporal source")
+        source_ids = {spec.source for spec in self.sources}
+        if len(source_ids) != len(self.sources):
+            raise ParameterError("duplicate source ids in sources")
+        for spec in self.copiers:
+            if spec.original not in source_ids:
+                raise ParameterError(
+                    f"copier {spec.copier!r} polls unknown source "
+                    f"{spec.original!r}"
+                )
+            if spec.copier in source_ids:
+                raise ParameterError(
+                    f"{spec.copier!r} is both independent and a copier"
+                )
+
+
+def generate_temporal_world(
+    config: TemporalConfig, seed: int = 0
+) -> tuple[TemporalDataset, TemporalWorld]:
+    """Generate temporal claims plus the true timelines and planted edges."""
+    rng = make_rng(seed)
+    objects = [f"obj{i:03d}" for i in range(config.n_objects)]
+
+    timelines: dict[ObjectId, list[ValuePeriod]] = {}
+    for obj in objects:
+        n_transitions = _poisson(rng, config.transitions_per_object)
+        times = sorted(
+            rng.uniform(0.0, config.time_span) for _ in range(n_transitions)
+        )
+        starts = [0.0, *times]
+        periods = []
+        for i, start in enumerate(starts):
+            value = f"{obj}::v{i}"
+            end = starts[i + 1] if i + 1 < len(starts) else None
+            periods.append(ValuePeriod(value=value, start=start, end=end))
+        timelines[obj] = periods
+
+    false_values = {
+        obj: [f"{obj}::bogus{j}" for j in range(config.n_false_values)]
+        for obj in objects
+    }
+
+    dataset = TemporalDataset()
+
+    def emit(source: SourceId, obj: ObjectId, value: str, time: float) -> None:
+        clipped = min(max(time, 0.0), config.time_span)
+        if dataset.value_at(source, obj, clipped) == value:
+            return
+        if any(t == clipped for t, _ in dataset.history(source, obj)):
+            # Same-time double update after clipping: keep the first.
+            return
+        dataset.add(
+            TemporalClaim(source=source, object=obj, value=value, time=clipped)
+        )
+
+    for spec in config.sources:
+        for obj in objects:
+            if rng.random() >= spec.coverage:
+                continue
+            for period in timelines[obj]:
+                lag = spec.lag + rng.uniform(0.0, spec.lag_jitter)
+                adopted_at = period.start + lag
+                if period.end is not None and adopted_at >= period.end:
+                    continue  # the source missed this short period
+                if adopted_at > config.time_span:
+                    continue
+                if rng.random() < spec.error_rate:
+                    value = rng.choice(false_values[obj])
+                else:
+                    value = period.value
+                emit(spec.source, obj, value, adopted_at)
+
+    edges = []
+    for spec in config.copiers:
+        covered = [obj for obj in objects if rng.random() < spec.coverage]
+        polls = []
+        t = rng.uniform(0.0, spec.poll_interval)
+        while t <= config.time_span:
+            polls.append(t)
+            t += spec.poll_interval
+        for poll in polls:
+            for obj in covered:
+                original_value = dataset.value_at(spec.original, obj, poll)
+                if original_value is None:
+                    continue
+                current = dataset.value_at(spec.copier, obj, poll)
+                if current == original_value:
+                    continue
+                if rng.random() < spec.copy_rate:
+                    emit(spec.copier, obj, original_value, poll)
+        edges.append(
+            DependenceEdge(
+                copier=spec.copier,
+                original=spec.original,
+                kind=DependenceKind.SIMILARITY,
+                rate=spec.copy_rate,
+            )
+        )
+
+    world = TemporalWorld(timelines=timelines, edges=edges)
+    return dataset, world
+
+
+def _poisson(rng, mean: float) -> int:
+    """Small-mean Poisson sample via inversion (Knuth)."""
+    if mean <= 0:
+        return 0
+    limit = math.exp(-mean)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k

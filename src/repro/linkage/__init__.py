@@ -1,0 +1,42 @@
+"""Record linkage: string similarity, author lists, clustering, resolution."""
+
+from repro.linkage.authors import (
+    AuthorName,
+    author_list_similarity,
+    canonical_author_list,
+    name_similarity,
+    parse_author,
+)
+from repro.linkage.clustering import (
+    canonicalisation_map,
+    choose_representative,
+    cluster_values,
+)
+from repro.linkage.resolve import JointResolver, ResolutionResult
+from repro.linkage.strings import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_jaccard,
+)
+
+__all__ = [
+    "AuthorName",
+    "JointResolver",
+    "ResolutionResult",
+    "author_list_similarity",
+    "canonical_author_list",
+    "canonicalisation_map",
+    "choose_representative",
+    "cluster_values",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "name_similarity",
+    "ngram_similarity",
+    "parse_author",
+    "token_jaccard",
+]

@@ -1,0 +1,163 @@
+"""Author-name and author-list handling for the bookstore scenario.
+
+Example 4.1 describes the dirt in real bookstore data: "the author lists
+are formatted in various ways; there are misspellings, missing authors,
+misordered authors, and wrong authors; extraction in itself can make
+mistakes". This module provides the normalisation and similarity the
+linkage layer uses to tell *alternative representations* of an author
+list apart from *genuinely different* lists.
+
+An author name is parsed into (first, last) parts, tolerating
+``"Last, First"`` and ``"First Last"`` forms and initials; an author
+list is a tuple of names, compared with an order-aware alignment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import LinkageError
+from repro.linkage.strings import jaro_winkler_similarity
+
+_WORD_RE = re.compile(r"[A-Za-z][A-Za-z'\-]*\.?")
+
+
+@dataclass(frozen=True, slots=True)
+class AuthorName:
+    """A parsed author name: optional given names + a family name."""
+
+    first: tuple[str, ...]
+    last: str
+
+    def canonical(self) -> str:
+        """Canonical display form: ``First [Middle] Last`` lower-cased."""
+        parts = [*self.first, self.last]
+        return " ".join(parts)
+
+    def initials(self) -> tuple[str, ...]:
+        """First letters of the given names."""
+        return tuple(name[0] for name in self.first if name)
+
+
+def parse_author(raw: str) -> AuthorName:
+    """Parse one author string into an :class:`AuthorName`.
+
+    Handles ``"Ullman, Jeffrey D."``, ``"Jeffrey D. Ullman"`` and
+    ``"J. Ullman"``. Raises :class:`~repro.exceptions.LinkageError` for
+    strings with no alphabetic content.
+    """
+    text = raw.strip()
+    if "," in text:
+        last_part, _, first_part = text.partition(",")
+        last_words = _words(last_part)
+        first_words = _words(first_part)
+    else:
+        words = _words(text)
+        if not words:
+            raise LinkageError(f"cannot parse author name {raw!r}")
+        last_words = [words[-1]]
+        first_words = words[:-1]
+    if not last_words:
+        raise LinkageError(f"cannot parse author name {raw!r}")
+    return AuthorName(
+        first=tuple(w.rstrip(".").lower() for w in first_words),
+        last=last_words[-1].rstrip(".").lower(),
+    )
+
+
+def _words(text: str) -> list[str]:
+    return _WORD_RE.findall(text)
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Similarity of two author-name strings in [0, 1].
+
+    Last names carry most of the weight (Jaro–Winkler); given names are
+    compared leniently — an initial matches any full name starting with
+    it ("J." vs "Jeffrey"), and a missing given name is only a mild
+    penalty. Unparseable inputs fall back to whole-string Jaro–Winkler.
+    """
+    if a == b:
+        return 1.0
+    try:
+        name_a = parse_author(a)
+        name_b = parse_author(b)
+    except LinkageError:
+        return jaro_winkler_similarity(a.lower(), b.lower())
+
+    last_sim = jaro_winkler_similarity(name_a.last, name_b.last)
+    first_sim = _given_names_similarity(name_a.first, name_b.first)
+    return 0.7 * last_sim + 0.3 * first_sim
+
+
+def _given_names_similarity(
+    first_a: tuple[str, ...], first_b: tuple[str, ...]
+) -> float:
+    if not first_a and not first_b:
+        return 1.0
+    if not first_a or not first_b:
+        return 0.6  # one side omits given names: mildly suspicious only
+    pairs = min(len(first_a), len(first_b))
+    total = 0.0
+    for ga, gb in zip(first_a, first_b):
+        if ga == gb:
+            total += 1.0
+        elif len(ga) == 1 or len(gb) == 1:
+            # Initial vs full name: compatible if the letters agree.
+            total += 0.9 if ga[0] == gb[0] else 0.0
+        else:
+            total += jaro_winkler_similarity(ga, gb)
+    return total / pairs
+
+
+def author_list_similarity(
+    list_a: tuple[str, ...], list_b: tuple[str, ...]
+) -> float:
+    """Order-aware similarity of two author lists in [0, 1].
+
+    Greedy best-pair alignment of the names, scored by mean matched
+    similarity, with two penalties:
+
+    * unmatched authors (missing/extra) reduce the mean by counting as 0;
+    * matched pairs at different positions lose 10% per displaced pair
+      (misordering is a common corruption but weaker evidence of a
+      different list than a missing author).
+    """
+    if list_a == list_b:
+        return 1.0
+    if not list_a or not list_b:
+        return 0.0
+
+    candidates = [
+        (name_similarity(a, b), i, j)
+        for i, a in enumerate(list_a)
+        for j, b in enumerate(list_b)
+    ]
+    candidates.sort(key=lambda triple: (-triple[0], triple[1], triple[2]))
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    matched: list[tuple[float, int, int]] = []
+    for sim, i, j in candidates:
+        if i in used_a or j in used_b or sim < 0.5:
+            continue
+        used_a.add(i)
+        used_b.add(j)
+        matched.append((sim, i, j))
+
+    total_slots = max(len(list_a), len(list_b))
+    score = sum(sim for sim, _, _ in matched) / total_slots
+    displaced = sum(1 for _, i, j in matched if i != j)
+    score *= 1.0 - 0.1 * min(displaced, 5) / max(1, len(matched))
+    return max(0.0, min(1.0, score))
+
+
+def canonical_author_list(list_a: tuple[str, ...]) -> tuple[str, ...]:
+    """Normalise an author list to canonical lower-cased name forms."""
+    canonical: list[str] = []
+    for raw in list_a:
+        try:
+            canonical.append(parse_author(raw).canonical())
+        except LinkageError:
+            canonical.append(raw.strip().lower())
+    return tuple(canonical)

@@ -1,0 +1,138 @@
+"""String similarity primitives, implemented from scratch.
+
+Record linkage (section 4) needs to recognise alternative representations
+of the same value. These are the standard primitives every linkage
+pipeline builds on, with the usual conventions: every similarity is
+symmetric, returns a float in ``[0, 1]``, and equals 1.0 exactly on equal
+inputs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import LinkageError
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for the O(min) row.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,      # deletion
+                    current[j - 1] + 1,   # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to [0, 1] by the longer length."""
+    if a == b:
+        return 1.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity: transposition-tolerant matching for short strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if b_matched[j] or b[j] != char_a:
+                continue
+            a_matched[i] = True
+            b_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matched):
+        if not matched:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a)
+        + matches / len(b)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler: Jaro boosted by a shared prefix (up to 4 chars).
+
+    ``prefix_scale`` must lie in [0, 0.25] so the result stays in [0, 1].
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise LinkageError(
+            f"prefix_scale must be in [0, 0.25], got {prefix_scale}"
+        )
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard overlap of whitespace token sets."""
+    tokens_a = set(a.split())
+    tokens_b = set(b.split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    union = tokens_a | tokens_b
+    return len(tokens_a & tokens_b) / len(union)
+
+
+def ngram_similarity(a: str, b: str, n: int = 2) -> float:
+    """Jaccard overlap of character n-gram multiset supports.
+
+    Strings shorter than ``n`` fall back to exact comparison.
+    """
+    if n < 1:
+        raise LinkageError(f"n must be >= 1, got {n}")
+    if a == b:
+        return 1.0
+    if len(a) < n or len(b) < n:
+        return 0.0
+    grams_a = {a[i : i + n] for i in range(len(a) - n + 1)}
+    grams_b = {b[i : i + n] for i in range(len(b) - n + 1)}
+    return len(grams_a & grams_b) / len(grams_a | grams_b)

@@ -1,0 +1,21 @@
+"""Opinion data: rating matrices, dependence-aware consensus, pooling."""
+
+from repro.opinions.consensus import ConsensusResult, DependenceAwareConsensus
+from repro.opinions.pooling import (
+    dependence_adjusted_pool,
+    effective_sample_size,
+    linear_pool,
+    log_pool,
+)
+from repro.opinions.ratings import RatingMatrix, RatingScale
+
+__all__ = [
+    "ConsensusResult",
+    "DependenceAwareConsensus",
+    "RatingMatrix",
+    "RatingScale",
+    "dependence_adjusted_pool",
+    "effective_sample_size",
+    "linear_pool",
+    "log_pool",
+]

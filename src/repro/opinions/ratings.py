@@ -1,0 +1,185 @@
+"""Rating matrices: opinion data with no underlying true value.
+
+Section 2.1 distinguishes factual conflicts from "differences of opinion
+(e.g., ratings associated with books or restaurants) with no underlying
+true value, where one can seek to discover a consensus value". This
+module provides the substrate for that setting:
+
+* :class:`RatingMatrix` — an indexed rater × item matrix over an ordered
+  ordinal scale (Table 2 uses ``Bad < Neutral < Good``);
+* per-item *consensus distributions* (optionally weighted and
+  leave-raters-out), the independence model that guards dependence
+  detection against the "correlated information" challenge of
+  section 3.1: two science-fiction fans agreeing about Star Wars is
+  popular opinion, not copying — and popular opinion is exactly what the
+  item's consensus distribution captures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.claims import Rating
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import DataError
+
+
+class RatingScale:
+    """An ordered ordinal scale, e.g. ``("Bad", "Neutral", "Good")``.
+
+    Provides the *mirror* operation dissimilarity-dependence needs: the
+    maximally opposed category (Good ↔ Bad; the middle of an odd scale
+    mirrors to itself).
+    """
+
+    def __init__(self, levels: Sequence[Value]) -> None:
+        if len(levels) < 2:
+            raise DataError("a rating scale needs at least two levels")
+        if len(set(levels)) != len(levels):
+            raise DataError(f"rating scale has duplicate levels: {levels!r}")
+        self.levels: tuple[Value, ...] = tuple(levels)
+        self._index = {level: i for i, level in enumerate(self.levels)}
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __contains__(self, level: Value) -> bool:
+        return level in self._index
+
+    def index(self, level: Value) -> int:
+        """Position of ``level`` on the scale (0 = worst)."""
+        if level not in self._index:
+            raise DataError(f"{level!r} is not on the scale {self.levels!r}")
+        return self._index[level]
+
+    def mirror(self, level: Value) -> Value:
+        """The opposed category: reflect the scale around its midpoint."""
+        return self.levels[len(self.levels) - 1 - self.index(level)]
+
+    def distance(self, a: Value, b: Value) -> int:
+        """Ordinal distance between two levels."""
+        return abs(self.index(a) - self.index(b))
+
+
+class RatingMatrix:
+    """An indexed set of ratings over a fixed scale."""
+
+    def __init__(self, scale: RatingScale, ratings: Iterable[Rating] = ()) -> None:
+        self.scale = scale
+        self._by_key: dict[tuple[SourceId, ObjectId], Rating] = {}
+        self._by_item: dict[ObjectId, dict[SourceId, Value]] = {}
+        self._by_rater: dict[SourceId, dict[ObjectId, Value]] = {}
+        for rating in ratings:
+            self.add(rating)
+
+    def add(self, rating: Rating) -> None:
+        """Insert one rating; re-rating the same item is rejected."""
+        if rating.score not in self.scale:
+            raise DataError(
+                f"score {rating.score!r} is not on the scale {self.scale.levels!r}"
+            )
+        if rating.key in self._by_key:
+            if self._by_key[rating.key] == rating:
+                return
+            raise DataError(
+                f"rater {rating.rater!r} already rated item {rating.item!r}"
+            )
+        self._by_key[rating.key] = rating
+        self._by_item.setdefault(rating.item, {})[rating.rater] = rating.score
+        self._by_rater.setdefault(rating.rater, {})[rating.item] = rating.score
+
+    @classmethod
+    def from_table(
+        cls,
+        scale: Sequence[Value],
+        table: dict[ObjectId, dict[SourceId, Value]],
+    ) -> "RatingMatrix":
+        """Build from ``{item: {rater: score}}`` (the shape of Table 2)."""
+        matrix = cls(RatingScale(scale))
+        for item, row in table.items():
+            for rater, score in row.items():
+                matrix.add(Rating(rater=rater, item=item, score=score))
+        return matrix
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def raters(self) -> list[SourceId]:
+        """All rater ids, sorted."""
+        return sorted(self._by_rater)
+
+    @property
+    def items(self) -> list[ObjectId]:
+        """All item ids, sorted."""
+        return sorted(self._by_item)
+
+    def score_of(self, rater: SourceId, item: ObjectId) -> Value | None:
+        """The score ``rater`` gave ``item``, or ``None``."""
+        rating = self._by_key.get((rater, item))
+        return None if rating is None else rating.score
+
+    def ratings_by(self, rater: SourceId) -> dict[ObjectId, Value]:
+        """All of one rater's scores: ``{item: score}``."""
+        return dict(self._by_rater.get(rater, {}))
+
+    def ratings_for(self, item: ObjectId) -> dict[SourceId, Value]:
+        """All scores for one item: ``{rater: score}``."""
+        return dict(self._by_item.get(item, {}))
+
+    def co_rated(self, r1: SourceId, r2: SourceId) -> list[ObjectId]:
+        """Items both raters scored, sorted."""
+        items1 = self._by_rater.get(r1, {})
+        items2 = self._by_rater.get(r2, {})
+        if len(items1) > len(items2):
+            items1, items2 = items2, items1
+        return sorted(item for item in items1 if item in items2)
+
+    # ------------------------------------------------------------------
+    # consensus distributions
+    # ------------------------------------------------------------------
+
+    def consensus(
+        self,
+        item: ObjectId,
+        weights: dict[SourceId, float] | None = None,
+        exclude: Iterable[SourceId] = (),
+        smoothing: float = 0.5,
+    ) -> dict[Value, float]:
+        """Smoothed (weighted) distribution of scores for ``item``.
+
+        ``exclude`` supports leave-pair-out estimation during dependence
+        detection, so a suspect pair cannot inflate its own independence
+        model. Laplace ``smoothing`` keeps every level's probability
+        positive, which the Bayes likelihoods require.
+        """
+        if smoothing <= 0:
+            raise DataError(f"smoothing must be > 0, got {smoothing}")
+        excluded = set(exclude)
+        counts = {level: smoothing for level in self.scale.levels}
+        for rater, score in self._by_item.get(item, {}).items():
+            if rater in excluded:
+                continue
+            weight = 1.0 if weights is None else max(0.0, weights.get(rater, 1.0))
+            counts[score] += weight
+        total = sum(counts.values())
+        return {level: count / total for level, count in counts.items()}
+
+    def mean_score(
+        self,
+        item: ObjectId,
+        weights: dict[SourceId, float] | None = None,
+    ) -> float:
+        """Weighted mean scale index for ``item`` (the aggregate rating)."""
+        scores = self._by_item.get(item, {})
+        if not scores:
+            raise DataError(f"no ratings for item {item!r}")
+        total_weight = 0.0
+        total = 0.0
+        for rater, score in scores.items():
+            weight = 1.0 if weights is None else max(0.0, weights.get(rater, 1.0))
+            total_weight += weight
+            total += weight * self.scale.index(score)
+        if total_weight <= 0:
+            raise DataError(f"all rater weights are zero for item {item!r}")
+        return total / total_weight

@@ -1,0 +1,35 @@
+"""Online query answering over multi-source catalogs."""
+
+from repro.query.catalog import LISTING_FIELDS, BookCatalog, Listing
+from repro.query.engine import OnlineQueryEngine, OnlineRun, ProbeStep
+from repro.query.ordering import (
+    accuracy_order,
+    coverage_order,
+    marginal_gain_order,
+    random_order,
+)
+from repro.query.queries import (
+    BooksByAuthorQuery,
+    KeywordQuery,
+    LookupQuery,
+    Query,
+    TopPublisherQuery,
+)
+
+__all__ = [
+    "BookCatalog",
+    "BooksByAuthorQuery",
+    "KeywordQuery",
+    "LISTING_FIELDS",
+    "Listing",
+    "LookupQuery",
+    "OnlineQueryEngine",
+    "OnlineRun",
+    "ProbeStep",
+    "Query",
+    "TopPublisherQuery",
+    "accuracy_order",
+    "coverage_order",
+    "marginal_gain_order",
+    "random_order",
+]

@@ -1,0 +1,158 @@
+"""Multi-source book catalog — the substrate of Example 4.1.
+
+The paper's case study integrates listings from 876 bookstores via
+AbeBooks: "each listing contains information including book title,
+author list, publisher, year, etc., on one book provided by one
+bookstore". :class:`BookCatalog` stores such listings and projects any
+listing field into a :class:`~repro.core.dataset.ClaimDataset` (object =
+book, source = store) so the truth-discovery and dependence machinery
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset
+from repro.core.types import ObjectId, SourceId
+from repro.exceptions import DataError
+
+#: Listing fields that can be projected into claim datasets.
+LISTING_FIELDS = ("title", "authors", "publisher", "year", "category")
+
+
+@dataclass(frozen=True, slots=True)
+class Listing:
+    """One bookstore's record for one book."""
+
+    store: SourceId
+    book: ObjectId
+    title: str
+    authors: tuple[str, ...]
+    publisher: str
+    year: int
+    category: str
+
+    def field(self, name: str):
+        """Field accessor with validation."""
+        if name not in LISTING_FIELDS:
+            raise DataError(f"unknown listing field {name!r}")
+        return getattr(self, name)
+
+
+class BookCatalog:
+    """An indexed collection of listings (one per store × book)."""
+
+    def __init__(self, listings: Iterable[Listing] = ()) -> None:
+        self._by_key: dict[tuple[SourceId, ObjectId], Listing] = {}
+        self._by_store: dict[SourceId, dict[ObjectId, Listing]] = {}
+        self._by_book: dict[ObjectId, dict[SourceId, Listing]] = {}
+        for listing in listings:
+            self.add(listing)
+
+    def add(self, listing: Listing) -> None:
+        """Insert one listing; a store lists each book at most once."""
+        key = (listing.store, listing.book)
+        if key in self._by_key:
+            if self._by_key[key] == listing:
+                return
+            raise DataError(
+                f"store {listing.store!r} already lists book {listing.book!r}"
+            )
+        self._by_key[key] = listing
+        self._by_store.setdefault(listing.store, {})[listing.book] = listing
+        self._by_book.setdefault(listing.book, {})[listing.store] = listing
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def stores(self) -> list[SourceId]:
+        """All store ids, sorted."""
+        return sorted(self._by_store)
+
+    @property
+    def books(self) -> list[ObjectId]:
+        """All book ids, sorted."""
+        return sorted(self._by_book)
+
+    def listings_by(self, store: SourceId) -> list[Listing]:
+        """All listings of one store, ordered by book id."""
+        return [
+            listing
+            for _, listing in sorted(self._by_store.get(store, {}).items())
+        ]
+
+    def listings_for(self, book: ObjectId) -> list[Listing]:
+        """All listings of one book, ordered by store id."""
+        return [
+            listing
+            for _, listing in sorted(self._by_book.get(book, {}).items())
+        ]
+
+    def coverage(self, store: SourceId) -> int:
+        """Number of books the store lists."""
+        return len(self._by_store.get(store, {}))
+
+    def field_claims(self, field: str) -> ClaimDataset:
+        """Project one field into a claim dataset (object = book)."""
+        if field not in LISTING_FIELDS:
+            raise DataError(f"unknown listing field {field!r}")
+        dataset = ClaimDataset()
+        for (store, book), listing in sorted(self._by_key.items()):
+            dataset.add(
+                Claim(source=store, object=book, value=listing.field(field))
+            )
+        return dataset
+
+    def remove_store(self, store: SourceId) -> None:
+        """Drop all listings of one store (no-op for unknown stores)."""
+        old = self._by_store.pop(store, {})
+        for book in old:
+            del self._by_key[(store, book)]
+            del self._by_book[book][store]
+            if not self._by_book[book]:
+                del self._by_book[book]
+
+    def restrict_stores(self, stores: Iterable[SourceId]) -> "BookCatalog":
+        """Sub-catalog containing only the given stores' listings."""
+        keep = set(stores)
+        return BookCatalog(
+            listing
+            for (store, _), listing in sorted(self._by_key.items())
+            if store in keep
+        )
+
+    def shared_books(self, s1: SourceId, s2: SourceId) -> set[ObjectId]:
+        """Books listed by both stores (Example 4.1's overlap criterion)."""
+        books1 = self._by_store.get(s1, {})
+        books2 = self._by_store.get(s2, {})
+        if len(books1) > len(books2):
+            books1, books2 = books2, books1
+        return {book for book in books1 if book in books2}
+
+    def statistics(self) -> dict[str, float]:
+        """Corpus statistics in the shape the paper reports.
+
+        Keys: ``stores``, ``books``, ``listings``, ``min/max books per
+        store``, ``min/max/mean author-list variants per book``.
+        """
+        variants = [
+            len({listing.authors for listing in by_store.values()})
+            for by_store in self._by_book.values()
+        ]
+        per_store = [len(books) for books in self._by_store.values()]
+        if not variants or not per_store:
+            raise DataError("catalog is empty")
+        return {
+            "stores": float(len(self._by_store)),
+            "books": float(len(self._by_book)),
+            "listings": float(len(self._by_key)),
+            "min_books_per_store": float(min(per_store)),
+            "max_books_per_store": float(max(per_store)),
+            "min_author_variants": float(min(variants)),
+            "max_author_variants": float(max(variants)),
+            "mean_author_variants": sum(variants) / len(variants),
+        }

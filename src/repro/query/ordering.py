@@ -1,0 +1,98 @@
+"""Source-ordering policies for online query answering.
+
+Section 4, "Query answering": "we want to visit the most promising
+sources and avoid going to sources dependent on, or having been copied
+by, the ones already visited … we want to query the sources in an order
+such that we can return quality answers from the beginning."
+
+Four policies, from strawman to the paper's proposal:
+
+* :func:`random_order` — the no-information baseline;
+* :func:`coverage_order` — biggest stores first;
+* :func:`accuracy_order` — most accurate stores first;
+* :func:`marginal_gain_order` — greedy on expected *new correct values*:
+  accuracy × uncovered-books × independence from the stores already
+  picked. This is the dependence-aware policy the paper argues for.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.core.types import ObjectId, SourceId
+from repro.dependence.graph import DependenceGraph
+from repro.exceptions import QueryError
+from repro.query.catalog import BookCatalog
+
+
+def random_order(stores: Sequence[SourceId], seed: int = 0) -> list[SourceId]:
+    """A seed-deterministic random permutation of the stores."""
+    ordered = sorted(stores)
+    random.Random(seed).shuffle(ordered)
+    return ordered
+
+
+def coverage_order(catalog: BookCatalog) -> list[SourceId]:
+    """Stores by decreasing number of listed books."""
+    return sorted(catalog.stores, key=lambda s: (-catalog.coverage(s), s))
+
+
+def accuracy_order(
+    stores: Sequence[SourceId], accuracies: Mapping[SourceId, float]
+) -> list[SourceId]:
+    """Stores by decreasing (estimated) accuracy."""
+    return sorted(stores, key=lambda s: (-accuracies.get(s, 0.0), s))
+
+
+def marginal_gain_order(
+    catalog: BookCatalog,
+    accuracies: Mapping[SourceId, float],
+    dependence: DependenceGraph | None = None,
+    copy_rate: float = 0.8,
+    max_sources: int | None = None,
+) -> list[SourceId]:
+    """Greedy dependence-aware ordering.
+
+    At each step, pick the store maximising::
+
+        gain(s) = accuracy(s) · (new_books(s) + ε·covered_books(s))
+                  · Π_{s0 picked} (1 - copy_rate·P(dep(s, s0)))
+
+    ``new_books`` counts books no picked store covers yet (fresh
+    answers); already-covered books still help confirm values, at a
+    small ε weight. The independence product is exactly the vote
+    discount: a store whose content is probably copied from stores
+    already probed adds little.
+    """
+    if max_sources is not None and max_sources < 1:
+        raise QueryError(f"max_sources must be >= 1, got {max_sources}")
+    epsilon = 0.1
+    remaining = set(catalog.stores)
+    covered: set[ObjectId] = set()
+    picked: list[SourceId] = []
+    budget = len(remaining) if max_sources is None else min(
+        max_sources, len(remaining)
+    )
+
+    while remaining and len(picked) < budget:
+        best_store = None
+        best_gain = -1.0
+        for store in sorted(remaining):
+            listings = catalog.listings_by(store)
+            new = sum(1 for listing in listings if listing.book not in covered)
+            old = len(listings) - new
+            gain = accuracies.get(store, 0.5) * (new + epsilon * old)
+            if dependence is not None:
+                gain *= dependence.independence_weight(
+                    store, picked, copy_rate
+                )
+            if gain > best_gain:
+                best_gain = gain
+                best_store = store
+        picked.append(best_store)
+        remaining.discard(best_store)
+        covered.update(
+            listing.book for listing in catalog.listings_by(best_store)
+        )
+    return picked

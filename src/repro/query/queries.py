@@ -1,0 +1,137 @@
+"""The four query shapes of Example 4.1.
+
+    1. What are the books on Java Programming?        (keyword search)
+    2. Who are authors of the book Effective Java?    (lookup)
+    3. Which books are authored by Jeffrey Ullman?    (inverse lookup)
+    4. Who is the most productive publisher in the
+       Database field?                                (aggregate)
+
+Queries evaluate against *resolved records* — ``{book: {field: value}}``
+— produced either offline (full fusion) or incrementally by the online
+engine, so the same query object measures answer quality at any stage.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.types import ObjectId
+from repro.exceptions import QueryError
+from repro.linkage.authors import name_similarity
+
+#: A resolved record: field name -> fused value.
+Record = Mapping[str, object]
+Records = Mapping[ObjectId, Record]
+
+
+class Query(ABC):
+    """A query over resolved records; answers are comparable across stages."""
+
+    @abstractmethod
+    def evaluate(self, records: Records) -> object:
+        """Evaluate against resolved records."""
+
+    @staticmethod
+    def answer_f1(answer: object, reference: object) -> float:
+        """Quality of ``answer`` against ``reference`` in [0, 1].
+
+        Set-valued answers score F1 of the sets; scalar answers score
+        exact match. This is the per-step quality measure of the online
+        engine.
+        """
+        if isinstance(reference, (set, frozenset)):
+            if not isinstance(answer, (set, frozenset)):
+                raise QueryError("answer/reference shapes differ")
+            if not reference and not answer:
+                return 1.0
+            if not reference or not answer:
+                return 0.0
+            hits = len(answer & reference)
+            precision = hits / len(answer)
+            recall = hits / len(reference)
+            if precision + recall == 0:
+                return 0.0
+            return 2 * precision * recall / (precision + recall)
+        return 1.0 if answer == reference else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordQuery(Query):
+    """Books whose title contains a keyword (Query 1)."""
+
+    keyword: str
+
+    def evaluate(self, records: Records) -> frozenset[ObjectId]:
+        needle = self.keyword.lower()
+        return frozenset(
+            book
+            for book, record in records.items()
+            if needle in str(record.get("title", "")).lower()
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LookupQuery(Query):
+    """The fused value of one field of one book (Query 2)."""
+
+    book: ObjectId
+    field: str = "authors"
+
+    def evaluate(self, records: Records) -> object:
+        record = records.get(self.book)
+        if record is None:
+            return None
+        return record.get(self.field)
+
+
+@dataclass(frozen=True, slots=True)
+class BooksByAuthorQuery(Query):
+    """Books whose fused author list contains a matching name (Query 3).
+
+    Name matching is fuzzy (``name_similarity``) because author
+    representations vary across stores even after fusion.
+    """
+
+    author: str
+    min_similarity: float = 0.85
+
+    def evaluate(self, records: Records) -> frozenset[ObjectId]:
+        matches = set()
+        for book, record in records.items():
+            authors = record.get("authors") or ()
+            if not isinstance(authors, tuple):
+                raise QueryError(
+                    f"authors of {book!r} must be a tuple, got {authors!r}"
+                )
+            for name in authors:
+                if name_similarity(name, self.author) >= self.min_similarity:
+                    matches.add(book)
+                    break
+        return frozenset(matches)
+
+
+@dataclass(frozen=True, slots=True)
+class TopPublisherQuery(Query):
+    """The most productive publisher within a category (Query 4).
+
+    Productivity = number of category books whose fused publisher it is.
+    Ties break lexicographically for determinism. Returns ``None`` when
+    the category is empty.
+    """
+
+    category: str
+
+    def evaluate(self, records: Records) -> object:
+        counts: dict[object, int] = {}
+        for record in records.values():
+            if record.get("category") != self.category:
+                continue
+            publisher = record.get("publisher")
+            if publisher is None:
+                continue
+            counts[publisher] = counts.get(publisher, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=lambda p: (counts[p], repr(p)))

@@ -1,0 +1,17 @@
+"""Source recommendation from accuracy, coverage, freshness, independence."""
+
+from repro.recommend.scoring import (
+    ScoreWeights,
+    SourceScorecard,
+    build_scorecards,
+    rank_sources,
+    recommend_sources,
+)
+
+__all__ = [
+    "ScoreWeights",
+    "SourceScorecard",
+    "build_scorecards",
+    "rank_sources",
+    "recommend_sources",
+]

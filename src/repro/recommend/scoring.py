@@ -1,0 +1,183 @@
+"""Source recommendation (section 4, "Source recommendation").
+
+"Recommendations of such sources can be based on many factors, such as
+accuracy, coverage, freshness of provided data, and independence of
+opinions."
+
+:class:`SourceScorecard` combines the four factors with caller-chosen
+weights; :func:`recommend_sources` additionally supports the paper's
+"tricky decision": when the goal is truth/consensus, dependent sources
+are redundant and are penalised *marginally* against the sources already
+recommended; when the goal is diverse opinions, sources with
+dissimilarity-dependence are allowed (they are, by construction, a
+diverse voice), so only similarity-dependence is penalised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.types import SourceId
+from repro.dependence.graph import DependenceGraph
+from repro.dependence.opinions import RaterDependenceResult
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True, slots=True)
+class ScoreWeights:
+    """Relative weights of the four recommendation factors."""
+
+    accuracy: float = 0.4
+    coverage: float = 0.3
+    freshness: float = 0.1
+    independence: float = 0.2
+
+    def __post_init__(self) -> None:
+        values = (self.accuracy, self.coverage, self.freshness, self.independence)
+        if any(w < 0 for w in values):
+            raise ParameterError("score weights must be non-negative")
+        if sum(values) <= 0:
+            raise ParameterError("at least one score weight must be positive")
+
+    def normalised(self) -> "ScoreWeights":
+        """Weights rescaled to sum to 1."""
+        total = (
+            self.accuracy + self.coverage + self.freshness + self.independence
+        )
+        return ScoreWeights(
+            accuracy=self.accuracy / total,
+            coverage=self.coverage / total,
+            freshness=self.freshness / total,
+            independence=self.independence / total,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SourceScorecard:
+    """One source's recommendation profile; every factor lies in [0, 1]."""
+
+    source: SourceId
+    accuracy: float
+    coverage: float
+    freshness: float
+    independence: float
+
+    def __post_init__(self) -> None:
+        for name in ("accuracy", "coverage", "freshness", "independence"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ParameterError(
+                    f"{name} of {self.source!r} must be in [0, 1], got {value}"
+                )
+
+    def score(self, weights: ScoreWeights | None = None) -> float:
+        """Weighted composite score in [0, 1]."""
+        w = (weights or ScoreWeights()).normalised()
+        return (
+            w.accuracy * self.accuracy
+            + w.coverage * self.coverage
+            + w.freshness * self.freshness
+            + w.independence * self.independence
+        )
+
+
+def build_scorecards(
+    accuracies: Mapping[SourceId, float],
+    coverages: Mapping[SourceId, int],
+    dependence: DependenceGraph,
+    freshness: Mapping[SourceId, float] | None = None,
+) -> dict[SourceId, SourceScorecard]:
+    """Assemble scorecards from discovery outputs.
+
+    Coverage is normalised by the maximum coverage; independence is
+    ``1 - max dependence posterior`` over the source's analysed pairs;
+    freshness defaults to 1.0 for snapshot settings (no lag evidence).
+    """
+    if not accuracies:
+        raise ParameterError("no sources to score")
+    max_coverage = max(coverages.values(), default=0)
+    cards = {}
+    for source in sorted(accuracies):
+        cards[source] = SourceScorecard(
+            source=source,
+            accuracy=min(1.0, max(0.0, accuracies[source])),
+            coverage=(
+                coverages.get(source, 0) / max_coverage if max_coverage else 0.0
+            ),
+            freshness=(freshness or {}).get(source, 1.0),
+            independence=1.0 - dependence.dependence_score(source),
+        )
+    return cards
+
+
+def rank_sources(
+    cards: Mapping[SourceId, SourceScorecard],
+    weights: ScoreWeights | None = None,
+) -> list[SourceId]:
+    """Sources by decreasing composite score (ties lexicographic)."""
+    return sorted(
+        cards, key=lambda s: (-cards[s].score(weights), s)
+    )
+
+
+def recommend_sources(
+    cards: Mapping[SourceId, SourceScorecard],
+    dependence: DependenceGraph,
+    k: int,
+    weights: ScoreWeights | None = None,
+    goal: str = "truth",
+    copy_rate: float = 0.8,
+    opinion_dependence: "RaterDependenceResult | None" = None,
+) -> list[SourceId]:
+    """Greedy top-``k`` recommendation with marginal dependence penalties.
+
+    ``goal="truth"`` penalises any dependence on already-recommended
+    sources: redundant (copied) or adversarial (opposed) content adds
+    nothing to truth finding. ``goal="diversity"`` penalises only
+    *similarity* dependence — a dissimilarity-dependent source is a
+    diverse voice the paper says we "might want to point out"; the kind
+    split comes from ``opinion_dependence`` when provided (the snapshot
+    graph carries copying only, which is similarity by construction).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if goal not in ("truth", "diversity"):
+        raise ParameterError(f"goal must be 'truth' or 'diversity', got {goal!r}")
+
+    remaining = set(cards)
+    picked: list[SourceId] = []
+    while remaining and len(picked) < k:
+        best = None
+        best_score = -1.0
+        for source in sorted(remaining):
+            score = cards[source].score(weights)
+            for prior in picked:
+                score *= 1.0 - copy_rate * _penalty(
+                    source, prior, dependence, goal, opinion_dependence
+                )
+            if score > best_score:
+                best_score = score
+                best = source
+        picked.append(best)
+        remaining.discard(best)
+    return picked
+
+
+def _penalty(
+    source: SourceId,
+    prior: SourceId,
+    dependence: DependenceGraph,
+    goal: str,
+    opinion_dependence: "RaterDependenceResult | None",
+) -> float:
+    """Marginal dependence penalty of picking ``source`` after ``prior``."""
+    penalty = dependence.probability(source, prior)
+    if opinion_dependence is None:
+        return penalty
+    pair = opinion_dependence.get(source, prior)
+    if pair is None:
+        return penalty
+    if goal == "truth":
+        return max(penalty, pair.p_dependent)
+    return max(penalty, pair.p_similarity)

@@ -1,0 +1,22 @@
+"""Temporal reasoning: lifespans, source quality, temporal truth discovery."""
+
+from repro.temporal.discovery import TemporalTruthDiscovery, TemporalTruthResult
+from repro.temporal.lifespan import (
+    exactness_from_timelines,
+    infer_timelines,
+    interval_vote_timeline,
+    value_status,
+)
+from repro.temporal.quality import SourceQuality, assess_quality, capture_lag
+
+__all__ = [
+    "SourceQuality",
+    "TemporalTruthDiscovery",
+    "TemporalTruthResult",
+    "assess_quality",
+    "capture_lag",
+    "exactness_from_timelines",
+    "infer_timelines",
+    "interval_vote_timeline",
+    "value_status",
+]

@@ -1,0 +1,224 @@
+"""Lifespan inference: what was true, when (the temporal truth substrate).
+
+The temporal setting's key refinement (Example 3.2): with update
+histories, a value that disagrees with the present truth may be
+*out-of-date* rather than *false* — "the availability of temporal
+information lets us infer that both S2 and S3 only provide out-of-date
+information, not false information."
+
+To make that call one needs per-object *timelines* of the true value.
+This module infers them by **interval voting**:
+
+1. collect every update time of any source for the object — these
+   partition time into intervals;
+2. within each interval every source asserts one value (its latest
+   update); run an (optionally weighted, optionally
+   dependence-discounted) vote;
+3. merge adjacent intervals with the same winner into
+   :class:`~repro.core.claims.ValuePeriod` runs.
+
+Like snapshot truth discovery, the weights (source exactness) depend on
+the timelines, so :func:`infer_timelines` iterates the two steps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.claims import ValuePeriod
+from repro.core.temporal_dataset import TemporalDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.dependence.graph import DependenceGraph
+from repro.exceptions import DataError
+
+
+def interval_vote_timeline(
+    dataset: TemporalDataset,
+    obj: ObjectId,
+    weights: Mapping[SourceId, float] | None = None,
+    dependence: DependenceGraph | None = None,
+    copy_rate: float = 0.8,
+    recency_half_life: float | None = 5.0,
+) -> list[ValuePeriod]:
+    """Infer one object's timeline by interval voting.
+
+    ``weights`` are per-source vote weights (typically exactness
+    estimates); with ``dependence`` given, each source's weight is
+    additionally discounted by the probability its value is copied from
+    an already-counted source asserting the same value — the temporal
+    analogue of the DEPEN vote discount.
+
+    ``recency_half_life`` implements freshness: a vote's weight halves
+    for every half-life its assertion lags behind the interval being
+    decided, so a stale (possibly out-of-date) assertion cannot outvote
+    fresh ones — this is what lets S1's 2007 values win the final
+    intervals of Table 3 against two stale-but-once-true votes. Pass
+    ``None`` to disable.
+    """
+    if recency_half_life is not None and recency_half_life <= 0:
+        raise DataError(
+            f"recency_half_life must be > 0 or None, got {recency_half_life}"
+        )
+    sources = [s for s in dataset.sources if dataset.history(s, obj)]
+    if not sources:
+        raise DataError(f"no source ever asserted a value for {obj!r}")
+
+    boundaries = sorted(
+        {time for s in sources for time, _ in dataset.history(s, obj)}
+    )
+    winners: list[tuple[float, Value]] = []
+    for start in boundaries:
+        votes: dict[Value, list[tuple[SourceId, float]]] = {}
+        for source in sources:
+            value = dataset.value_at(source, obj, start)
+            if value is None:
+                continue
+            asserted_at = max(
+                time
+                for time, v in dataset.history(source, obj)
+                if time <= start
+            )
+            votes.setdefault(value, []).append((source, asserted_at))
+        counts: dict[Value, float] = {}
+        for value, providers in votes.items():
+            ordered = sorted(
+                providers,
+                key=lambda sa: (-(weights or {}).get(sa[0], 1.0), sa[0]),
+            )
+            total = 0.0
+            counted: list[SourceId] = []
+            for source, asserted_at in ordered:
+                weight = 1.0 if weights is None else weights.get(source, 1.0)
+                if recency_half_life is not None:
+                    age = max(0.0, start - asserted_at)
+                    weight *= 0.5 ** (age / recency_half_life)
+                if dependence is not None:
+                    weight *= dependence.independence_weight(
+                        source, counted, copy_rate
+                    )
+                total += weight
+                counted.append(source)
+            counts[value] = total
+        winners.append(
+            (start, max(counts, key=lambda v: (counts[v], repr(v))))
+        )
+
+    periods: list[ValuePeriod] = []
+    for i, (start, value) in enumerate(winners):
+        if periods and periods[-1].value == value:
+            continue
+        end = None
+        for later_start, later_value in winners[i + 1 :]:
+            if later_value != value:
+                end = later_start
+                break
+        if periods:
+            periods[-1] = ValuePeriod(
+                periods[-1].value, periods[-1].start, start
+            )
+        periods.append(ValuePeriod(value, start, end))
+    return periods
+
+
+def exactness_from_timelines(
+    dataset: TemporalDataset,
+    timelines: Mapping[ObjectId, list[ValuePeriod]],
+) -> dict[SourceId, float]:
+    """Fraction of each source's assertions that were true *while held*.
+
+    An assertion of ``v`` at time ``t`` is held until the source's next
+    update for the object; it is exact if the timeline has ``v`` true at
+    some point of that holding interval. The overlap (rather than
+    instant-of-assertion) test matters with *inferred* timelines: the
+    consensus flips to a new value only after a second source confirms
+    it, so the freshest source's assertions briefly precede their
+    inferred period — still exact. Stale re-assertions of an expired
+    value, and values never true at all, fail the overlap and score 0.
+    """
+    exact: dict[SourceId, int] = {}
+    total: dict[SourceId, int] = {}
+    next_update: dict[tuple[SourceId, ObjectId], list[float]] = {}
+    for event in dataset.update_events():
+        next_update.setdefault((event.source, event.object), []).append(
+            event.time
+        )
+    for event in dataset.update_events():
+        periods = timelines.get(event.object)
+        if periods is None:
+            continue
+        total[event.source] = total.get(event.source, 0) + 1
+        times = next_update[(event.source, event.object)]
+        later = [t for t in times if t > event.time]
+        hold_end = min(later) if later else None
+        for period in periods:
+            if period.value != event.value:
+                continue
+            starts_before_hold_ends = (
+                hold_end is None or period.start < hold_end
+            )
+            ends_after_hold_starts = (
+                period.end is None or period.end > event.time
+            )
+            if starts_before_hold_ends and ends_after_hold_starts:
+                exact[event.source] = exact.get(event.source, 0) + 1
+                break
+    return {
+        source: exact.get(source, 0) / count
+        for source, count in total.items()
+    }
+
+
+def infer_timelines(
+    dataset: TemporalDataset,
+    rounds: int = 3,
+    dependence: DependenceGraph | None = None,
+    copy_rate: float = 0.8,
+    recency_half_life: float | None = 5.0,
+) -> tuple[dict[ObjectId, list[ValuePeriod]], dict[SourceId, float]]:
+    """Iterate interval voting and exactness estimation to a fixpoint.
+
+    Returns the final timelines and exactness estimates. ``rounds`` caps
+    the iteration; the loop exits early once the timelines stop changing.
+    """
+    if rounds < 1:
+        raise DataError(f"rounds must be >= 1, got {rounds}")
+    weights: dict[SourceId, float] | None = None
+    timelines: dict[ObjectId, list[ValuePeriod]] = {}
+    exactness: dict[SourceId, float] = {}
+    for _ in range(rounds):
+        new_timelines = {
+            obj: interval_vote_timeline(
+                dataset, obj, weights, dependence, copy_rate, recency_half_life
+            )
+            for obj in dataset.objects
+        }
+        exactness = exactness_from_timelines(dataset, new_timelines)
+        if new_timelines == timelines:
+            break
+        timelines = new_timelines
+        # Give exactness a floor so one bad round cannot silence a source.
+        weights = {s: max(0.1, e) for s, e in exactness.items()}
+    return timelines, exactness
+
+
+def value_status(
+    timelines: Mapping[ObjectId, list[ValuePeriod]],
+    obj: ObjectId,
+    value: Value,
+    at: float,
+) -> str:
+    """Classify a value at a point in time: ``current``/``outdated``/``false``.
+
+    This is the three-way distinction Example 3.2 turns on: ``current``
+    (true now), ``outdated`` (was true during an earlier period), or
+    ``false`` (never true).
+    """
+    periods = timelines.get(obj)
+    if not periods:
+        raise DataError(f"no timeline inferred for object {obj!r}")
+    for period in periods:
+        if period.contains(at) and period.value == value:
+            return "current"
+    if any(period.value == value and period.start <= at for period in periods):
+        return "outdated"
+    return "false"

@@ -1,0 +1,139 @@
+"""Per-source temporal quality: coverage, exactness, freshness.
+
+Section 4's source-recommendation discussion lists "accuracy, coverage,
+freshness of provided data" as the measures a recommender combines.
+For temporal sources these have natural definitions against inferred
+(or ground-truth) timelines:
+
+* **coverage** — of all (object, true-period) pairs, the fraction the
+  source captured, i.e. asserted that period's value while it was true;
+* **exactness** — of the source's assertions, the fraction true at the
+  moment they were made (a lazy copier's stale assertions fail this);
+* **freshness** — among captured periods, how quickly after the start of
+  the period the source picked the value up (mean lag, plus a
+  "within Δ" rate).
+
+All three are bundled in :class:`SourceQuality` and computed by
+:func:`assess_quality`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.claims import ValuePeriod
+from repro.core.temporal_dataset import TemporalDataset
+from repro.core.types import ObjectId, SourceId
+from repro.exceptions import DataError
+from repro.temporal.lifespan import exactness_from_timelines
+
+
+@dataclass(frozen=True, slots=True)
+class SourceQuality:
+    """Temporal quality profile of one source."""
+
+    source: SourceId
+    coverage: float
+    exactness: float
+    mean_lag: float | None
+    captured_periods: int
+    total_periods: int
+
+    def freshness_score(self, half_life: float = 1.0) -> float:
+        """Freshness mapped to (0, 1]: 1 = instant pickup, halves per ``half_life``.
+
+        Sources that captured nothing get 0.0 — there is no lag evidence
+        at all, and an uncovered source is the opposite of fresh.
+        """
+        if half_life <= 0:
+            raise DataError(f"half_life must be > 0, got {half_life}")
+        if self.mean_lag is None:
+            return 0.0
+        return 0.5 ** (self.mean_lag / half_life)
+
+
+def capture_lag(
+    dataset: TemporalDataset,
+    source: SourceId,
+    obj: ObjectId,
+    period: ValuePeriod,
+) -> float | None:
+    """Lag between a true period's start and the source adopting its value.
+
+    Returns ``None`` if the source never asserted the period's value
+    during the period (it missed it entirely, or only asserted the value
+    at other times). Early adoptions count as instant (lag 0) — use
+    :func:`capture_lag_signed` to keep the negative part.
+    """
+    lag = capture_lag_signed(dataset, source, obj, period)
+    return None if lag is None else max(0.0, lag)
+
+
+def capture_lag_signed(
+    dataset: TemporalDataset,
+    source: SourceId,
+    obj: ObjectId,
+    period: ValuePeriod,
+) -> float | None:
+    """Signed capture lag: negative when the source adopted the value early.
+
+    Against *inferred* timelines a period starts only when the consensus
+    flips, typically after the freshest source already switched — that
+    source's lag is genuinely negative, and freshness comparisons (the
+    Mann–Whitney profile in temporal dependence discovery) need the
+    sign preserved rather than clamped to zero.
+    """
+    # If the source already asserts the value when the period starts,
+    # its adoption moment is the assertion that established the standing
+    # value — possibly well before the period.
+    if dataset.value_at(source, obj, period.start) == period.value:
+        established = max(
+            (
+                time
+                for time, value in dataset.history(source, obj)
+                if time <= period.start and value == period.value
+            ),
+            default=None,
+        )
+        if established is not None:
+            return established - period.start
+        return 0.0
+    for time, value in dataset.history(source, obj):
+        if value == period.value and period.contains(time):
+            return time - period.start
+    return None
+
+
+def assess_quality(
+    dataset: TemporalDataset,
+    timelines: Mapping[ObjectId, list[ValuePeriod]],
+) -> dict[SourceId, SourceQuality]:
+    """Compute the full quality profile of every source against timelines."""
+    if not timelines:
+        raise DataError("no timelines given")
+    exactness = exactness_from_timelines(dataset, timelines)
+    profiles: dict[SourceId, SourceQuality] = {}
+    for source in dataset.sources:
+        covered_objects = dataset.objects_of(source)
+        total = 0
+        captured = 0
+        lags: list[float] = []
+        for obj, periods in timelines.items():
+            if obj not in covered_objects:
+                continue
+            for period in periods:
+                total += 1
+                lag = capture_lag(dataset, source, obj, period)
+                if lag is not None:
+                    captured += 1
+                    lags.append(max(0.0, lag))
+        profiles[source] = SourceQuality(
+            source=source,
+            coverage=captured / total if total else 0.0,
+            exactness=exactness.get(source, 0.0),
+            mean_lag=sum(lags) / len(lags) if lags else None,
+            captured_periods=captured,
+            total_periods=total,
+        )
+    return profiles

@@ -1,0 +1,101 @@
+"""ACCU: accuracy-weighted Bayesian truth discovery, no dependence model.
+
+The intermediate baseline between naive voting and the copy-aware DEPEN:
+it knows sources differ in accuracy (section 3.1's "different coverage
+and expertise") and iterates between truth probabilities and accuracy
+estimates, but still assumes all sources are independent — so a copier
+clique still out-votes an accurate loner.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataset import ClaimDataset
+from repro.core.params import IterationParams
+from repro.exceptions import ConvergenceError
+from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
+from repro.truth.vote_counting import (
+    accuracy_score,
+    decisions_and_distributions,
+    independent_vote_counts,
+    soft_accuracies,
+)
+
+
+class Accu(TruthDiscovery):
+    """Iterative accuracy-weighted voting (independence assumed).
+
+    Parameters
+    ----------
+    n_false_values:
+        The ``n`` of the Bayesian model — how many uniform false
+        alternatives each object has.
+    iteration:
+        Convergence controls; see :class:`~repro.core.params.IterationParams`.
+    """
+
+    name = "accu"
+
+    def __init__(
+        self,
+        n_false_values: int = 100,
+        iteration: IterationParams | None = None,
+    ) -> None:
+        self.n_false_values = n_false_values
+        self.iteration = iteration or IterationParams()
+
+    def discover(self, dataset: ClaimDataset) -> TruthResult:
+        self._check_dataset(dataset)
+        it = self.iteration
+        accuracies = {s: it.initial_accuracy for s in dataset.sources}
+        decisions: dict = {}
+        trace: list[RoundTrace] = []
+        converged = False
+        rounds = 0
+        distributions: dict = {}
+
+        for rounds in range(1, it.max_rounds + 1):
+            scores = {
+                s: accuracy_score(it.clamp_accuracy(a), self.n_false_values)
+                for s, a in accuracies.items()
+            }
+            counts = {
+                obj: independent_vote_counts(dataset, obj, scores)
+                for obj in dataset.objects
+            }
+            new_decisions, distributions = decisions_and_distributions(
+                dataset, counts
+            )
+            new_accuracies = soft_accuracies(dataset, distributions)
+
+            changed = sum(
+                1
+                for obj, value in new_decisions.items()
+                if decisions.get(obj) != value
+            )
+            movement = max(
+                abs(new_accuracies[s] - accuracies[s]) for s in new_accuracies
+            )
+            trace.append(
+                RoundTrace(
+                    round_index=rounds,
+                    accuracy_change=movement,
+                    decisions_changed=changed,
+                )
+            )
+            decisions, accuracies = new_decisions, new_accuracies
+            if movement < it.accuracy_tolerance and changed == 0 and rounds > 1:
+                converged = True
+                break
+
+        if not converged and it.fail_on_max_rounds:
+            raise ConvergenceError(
+                f"{self.name}: no convergence in {it.max_rounds} rounds"
+            )
+        return TruthResult(
+            decisions=decisions,
+            distributions=distributions,
+            accuracies=accuracies,
+            rounds=rounds,
+            converged=converged,
+            trace=trace,
+        )

@@ -1,0 +1,98 @@
+"""Common interface and result types for truth-discovery algorithms.
+
+Every algorithm (naive voting, ACCU, TruthFinder, DEPEN) implements
+:class:`TruthDiscovery` and returns a :class:`TruthResult`, so baselines
+and the copy-aware method are interchangeable in experiments —
+exactly the comparison the paper's Example 2.1 sets up.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.dataset import ClaimDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class RoundTrace:
+    """Diagnostics for one round of an iterative algorithm."""
+
+    round_index: int
+    accuracy_change: float
+    decisions_changed: int
+
+
+@dataclass
+class TruthResult:
+    """The output of a truth-discovery run.
+
+    ``decisions``
+        The chosen value per object.
+    ``distributions``
+        The full probability distribution over observed values per object
+        (sums to 1 per object) — the probabilistic-database output the
+        paper's data-fusion section asks for.
+    ``accuracies``
+        Final per-source accuracy estimates (empty for naive voting).
+    ``dependence``
+        The final dependence graph, for algorithms that estimate one.
+    ``rounds`` / ``converged`` / ``trace``
+        Iteration diagnostics.
+    """
+
+    decisions: dict[ObjectId, Value]
+    distributions: dict[ObjectId, dict[Value, float]]
+    accuracies: dict[SourceId, float] = field(default_factory=dict)
+    dependence: object | None = None
+    rounds: int = 0
+    converged: bool = True
+    trace: list[RoundTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for obj, dist in self.distributions.items():
+            total = sum(dist.values())
+            if dist and not 0.999 <= total <= 1.001:
+                raise DataError(
+                    f"distribution for {obj!r} sums to {total}, expected 1"
+                )
+
+    def probability(self, obj: ObjectId, value: Value) -> float:
+        """Posterior probability that ``value`` is the truth for ``obj``."""
+        return self.distributions.get(obj, {}).get(value, 0.0)
+
+    def confidence(self, obj: ObjectId) -> float:
+        """Probability of the chosen value for ``obj``."""
+        if obj not in self.decisions:
+            raise DataError(f"no decision recorded for object {obj!r}")
+        return self.probability(obj, self.decisions[obj])
+
+    def accuracy_against(self, truth: dict[ObjectId, Value]) -> float:
+        """Fraction of ``truth``'s objects this result decided correctly.
+
+        Objects without a decision count as wrong (the algorithm saw no
+        claims for them).
+        """
+        if not truth:
+            raise DataError("ground truth must not be empty")
+        correct = sum(
+            1 for obj, value in truth.items() if self.decisions.get(obj) == value
+        )
+        return correct / len(truth)
+
+
+class TruthDiscovery(ABC):
+    """Interface all truth-discovery algorithms implement."""
+
+    #: Human-readable algorithm name, used in benchmark tables.
+    name: str = "base"
+
+    @abstractmethod
+    def discover(self, dataset: ClaimDataset) -> TruthResult:
+        """Run the algorithm on a snapshot dataset and return its result."""
+
+    def _check_dataset(self, dataset: ClaimDataset) -> None:
+        if len(dataset) == 0:
+            raise DataError(f"{self.name}: dataset is empty")

@@ -1,0 +1,82 @@
+"""Value-similarity extension (ACCUSIM): votes flow between similar values.
+
+Section 4's record-linkage discussion observes that "the boundary between
+a wrong value and an alternative representation is often vague"
+("Luna Dong" vs "Xin Dong" vs "Xing Dong"). Before representations are
+fully resolved, a softer mechanism helps: let a value inherit part of the
+vote mass of *similar* values, so near-duplicate representations support
+rather than split each other.
+
+The adjusted vote count is::
+
+    C*(v) = C(v) + rho · Σ_{v' ≠ v} sim(v, v') · C(v')
+
+with ``rho ∈ [0, 1]`` controlling how much support similarity carries and
+``sim`` a caller-supplied symmetric similarity in [0, 1] (the linkage
+layer provides ready-made ones for strings and author lists).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.types import Value
+from repro.exceptions import ParameterError
+
+SimilarityFn = Callable[[Value, Value], float]
+
+
+def similarity_adjusted_counts(
+    vote_counts: dict[Value, float],
+    similarity: SimilarityFn,
+    rho: float = 0.5,
+) -> dict[Value, float]:
+    """Blend vote counts across similar values (the ACCUSIM adjustment).
+
+    Only non-negative similarity contributions are accepted; a similarity
+    function returning values outside [0, 1] is a caller bug and raises
+    :class:`~repro.exceptions.ParameterError`.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ParameterError(f"rho must be in [0, 1], got {rho}")
+    values = list(vote_counts)
+    adjusted: dict[Value, float] = {}
+    for value in values:
+        bonus = 0.0
+        for other in values:
+            if other == value:
+                continue
+            sim = similarity(value, other)
+            if not 0.0 <= sim <= 1.0:
+                raise ParameterError(
+                    f"similarity({value!r}, {other!r}) = {sim}, must be in [0, 1]"
+                )
+            bonus += sim * vote_counts[other]
+        adjusted[value] = vote_counts[value] + rho * bonus
+    return adjusted
+
+
+class SimilarityMatrix:
+    """Precomputed pairwise similarities, usable as a :data:`SimilarityFn`.
+
+    Computing string similarity inside the iteration loop is wasteful —
+    the candidate values of an object do not change between rounds. This
+    helper memoises the full matrix once.
+    """
+
+    def __init__(self, values: list[Value], similarity: SimilarityFn) -> None:
+        self._matrix: dict[tuple[Value, Value], float] = {}
+        for i, v1 in enumerate(values):
+            for v2 in values[i + 1 :]:
+                sim = similarity(v1, v2)
+                if not 0.0 <= sim <= 1.0:
+                    raise ParameterError(
+                        f"similarity({v1!r}, {v2!r}) = {sim}, must be in [0, 1]"
+                    )
+                self._matrix[(v1, v2)] = sim
+                self._matrix[(v2, v1)] = sim
+
+    def __call__(self, v1: Value, v2: Value) -> float:
+        if v1 == v2:
+            return 1.0
+        return self._matrix.get((v1, v2), 0.0)

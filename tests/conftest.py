@@ -1,0 +1,58 @@
+"""Shared fixtures: the paper's tables and small synthetic worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ClaimDataset
+from repro.datasets.paper_tables import (
+    RATING_SCALE,
+    TABLE2,
+    table1_dataset,
+    table3_dataset,
+)
+from repro.generators import simple_copier_world
+from repro.opinions.ratings import RatingMatrix
+
+
+@pytest.fixture
+def table1():
+    """Table 1 with all five sources."""
+    return table1_dataset()
+
+
+@pytest.fixture
+def table1_no_copiers():
+    """Table 1 restricted to the three original sources."""
+    return table1_dataset(("S1", "S2", "S3"))
+
+
+@pytest.fixture
+def table2_matrix():
+    """Table 2 as a rating matrix."""
+    return RatingMatrix.from_table(RATING_SCALE, TABLE2)
+
+
+@pytest.fixture
+def table3():
+    """Table 3 as a temporal dataset."""
+    return table3_dataset()
+
+
+@pytest.fixture
+def copier_world():
+    """A mid-size synthetic snapshot world with a 3-copier clique."""
+    return simple_copier_world(
+        n_objects=60, n_independent=4, n_copiers=3, accuracy=0.75, seed=7
+    )
+
+
+@pytest.fixture
+def tiny_dataset():
+    """Three sources, two objects, one conflict."""
+    return ClaimDataset.from_table(
+        {
+            "o1": {"A": "x", "B": "x", "C": "y"},
+            "o2": {"A": "u", "B": "v"},
+        }
+    )

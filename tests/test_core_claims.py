@@ -1,0 +1,88 @@
+"""Unit tests for claim record types."""
+
+import pytest
+
+from repro.core.claims import Claim, Rating, TemporalClaim, ValuePeriod
+from repro.exceptions import DataError
+
+
+class TestClaim:
+    def test_defaults_probability_to_one(self):
+        claim = Claim(source="S1", object="o1", value="v")
+        assert claim.probability == 1.0
+
+    def test_key_is_source_object(self):
+        claim = Claim(source="S1", object="o1", value="v")
+        assert claim.key == ("S1", "o1")
+
+    def test_with_value_replaces_only_value(self):
+        claim = Claim(source="S1", object="o1", value="v", probability=0.5)
+        other = claim.with_value("w")
+        assert other.value == "w"
+        assert other.source == "S1"
+        assert other.probability == 0.5
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(DataError):
+            Claim(source="", object="o1", value="v")
+
+    def test_rejects_none_value(self):
+        with pytest.raises(DataError):
+            Claim(source="S1", object="o1", value=None)
+
+    def test_rejects_unhashable_value(self):
+        with pytest.raises(DataError):
+            Claim(source="S1", object="o1", value=["a", "b"])
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(DataError):
+            Claim(source="S1", object="o1", value="v", probability=1.5)
+
+    def test_tuple_values_are_allowed(self):
+        claim = Claim(source="S1", object="o1", value=("a", "b"))
+        assert claim.value == ("a", "b")
+
+    def test_equality_is_structural(self):
+        assert Claim("S1", "o1", "v") == Claim("S1", "o1", "v")
+        assert Claim("S1", "o1", "v") != Claim("S1", "o1", "w")
+
+
+class TestTemporalClaim:
+    def test_carries_time(self):
+        claim = TemporalClaim(source="S1", object="o1", value="v", time=2004)
+        assert claim.time == 2004.0
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(DataError):
+            TemporalClaim(source="S1", object="o1", value="v", time=float("nan"))
+
+    def test_as_snapshot_drops_time(self):
+        claim = TemporalClaim(source="S1", object="o1", value="v", time=2004)
+        assert claim.as_snapshot() == Claim(source="S1", object="o1", value="v")
+
+
+class TestRating:
+    def test_key(self):
+        rating = Rating(rater="R1", item="m1", score="Good")
+        assert rating.key == ("R1", "m1")
+
+    def test_rejects_empty_rater(self):
+        with pytest.raises(DataError):
+            Rating(rater="", item="m1", score="Good")
+
+
+class TestValuePeriod:
+    def test_contains_half_open(self):
+        period = ValuePeriod(value="v", start=2000, end=2005)
+        assert period.contains(2000)
+        assert period.contains(2004.9)
+        assert not period.contains(2005)
+        assert not period.contains(1999)
+
+    def test_open_ended_contains_far_future(self):
+        period = ValuePeriod(value="v", start=2000)
+        assert period.contains(99999)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(DataError):
+            ValuePeriod(value="v", start=2005, end=2000)

@@ -1,0 +1,169 @@
+"""Unit and property tests for the snapshot claim store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset
+from repro.exceptions import DataError
+
+source_ids = st.sampled_from(["A", "B", "C", "D"])
+object_ids = st.sampled_from(["o1", "o2", "o3", "o4", "o5"])
+values = st.sampled_from(["u", "v", "w", "x"])
+
+claim_maps = st.dictionaries(
+    st.tuples(source_ids, object_ids), values, min_size=1, max_size=20
+)
+
+
+def _dataset_from(claim_map: dict) -> ClaimDataset:
+    return ClaimDataset(
+        Claim(source=s, object=o, value=v) for (s, o), v in claim_map.items()
+    )
+
+
+class TestConstruction:
+    def test_duplicate_identical_claim_is_noop(self):
+        dataset = ClaimDataset()
+        dataset.add(Claim("A", "o1", "v"))
+        dataset.add(Claim("A", "o1", "v"))
+        assert len(dataset) == 1
+
+    def test_conflicting_claim_same_key_rejected(self):
+        dataset = ClaimDataset()
+        dataset.add(Claim("A", "o1", "v"))
+        with pytest.raises(DataError):
+            dataset.add(Claim("A", "o1", "w"))
+
+    def test_from_table_round_trip(self, tiny_dataset):
+        assert tiny_dataset.value_of("A", "o1") == "x"
+        assert tiny_dataset.value_of("C", "o2") is None
+        assert len(tiny_dataset) == 5
+
+    def test_from_rows(self):
+        dataset = ClaimDataset.from_rows([("A", "o1", "v"), ("B", "o1", "w")])
+        assert dataset.sources == ["A", "B"]
+
+    def test_rejects_non_claim(self):
+        with pytest.raises(DataError):
+            ClaimDataset().add("not a claim")
+
+
+class TestIndexes:
+    def test_values_for_groups_providers(self, tiny_dataset):
+        values_for = tiny_dataset.values_for("o1")
+        assert values_for == {"x": {"A", "B"}, "y": {"C"}}
+
+    def test_providers_of(self, tiny_dataset):
+        assert tiny_dataset.providers_of("o1", "x") == {"A", "B"}
+        assert tiny_dataset.providers_of("o1", "z") == set()
+
+    def test_claims_by_source(self, tiny_dataset):
+        claims = tiny_dataset.claims_by("A")
+        assert set(claims) == {"o1", "o2"}
+
+    def test_coverage(self, tiny_dataset):
+        assert tiny_dataset.coverage("A") == 2
+        assert tiny_dataset.coverage("C") == 1
+        assert tiny_dataset.coverage("missing") == 0
+
+    def test_sources_and_objects_sorted(self, tiny_dataset):
+        assert tiny_dataset.sources == sorted(tiny_dataset.sources)
+        assert tiny_dataset.objects == sorted(tiny_dataset.objects)
+
+
+class TestSetAlgebra:
+    def test_overlap(self, tiny_dataset):
+        assert tiny_dataset.overlap("A", "B") == {"o1", "o2"}
+        assert tiny_dataset.overlap("A", "C") == {"o1"}
+
+    def test_only_in(self, tiny_dataset):
+        assert tiny_dataset.only_in("A", "C") == {"o2"}
+        assert tiny_dataset.only_in("C", "A") == set()
+
+    def test_agreement_counts(self, tiny_dataset):
+        same, different = tiny_dataset.agreement_counts("A", "B")
+        assert (same, different) == (1, 1)
+
+    def test_overlap_symmetric(self, tiny_dataset):
+        assert tiny_dataset.overlap("A", "B") == tiny_dataset.overlap("B", "A")
+
+
+class TestTransforms:
+    def test_map_values_rewrites(self, tiny_dataset):
+        mapped = tiny_dataset.map_values({("o1", "y"): "x"})
+        assert mapped.providers_of("o1", "x") == {"A", "B", "C"}
+
+    def test_map_values_leaves_unmapped(self, tiny_dataset):
+        mapped = tiny_dataset.map_values({})
+        assert len(mapped) == len(tiny_dataset)
+
+    def test_restrict_sources(self, tiny_dataset):
+        restricted = tiny_dataset.restrict_sources(["A"])
+        assert restricted.sources == ["A"]
+        assert len(restricted) == 2
+
+    def test_restrict_objects(self, tiny_dataset):
+        restricted = tiny_dataset.restrict_objects(["o2"])
+        assert restricted.objects == ["o2"]
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, tiny_dataset):
+        restored = ClaimDataset.from_json(tiny_dataset.to_json())
+        assert sorted(restored, key=repr) == sorted(tiny_dataset, key=repr)
+
+    def test_json_round_trip_tuple_values(self):
+        dataset = ClaimDataset([Claim("A", "o1", ("x", "y"))])
+        restored = ClaimDataset.from_json(dataset.to_json())
+        assert restored.value_of("A", "o1") == ("x", "y")
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(DataError):
+            ClaimDataset.from_json("{not json")
+
+    def test_non_array_json_raises(self):
+        with pytest.raises(DataError):
+            ClaimDataset.from_json('{"a": 1}')
+
+
+class TestProperties:
+    @given(claim_maps)
+    @settings(max_examples=60)
+    def test_indexes_agree(self, claim_map):
+        dataset = _dataset_from(claim_map)
+        assert len(dataset) == len(claim_map)
+        for (source, obj), value in claim_map.items():
+            assert dataset.value_of(source, obj) == value
+            assert source in dataset.providers_of(obj, value)
+
+    @given(claim_maps)
+    @settings(max_examples=60)
+    def test_values_for_partitions_providers(self, claim_map):
+        dataset = _dataset_from(claim_map)
+        for obj in dataset.objects:
+            providers = [
+                s for sources in dataset.values_for(obj).values() for s in sources
+            ]
+            assert sorted(providers) == sorted(set(providers))
+            assert set(providers) == set(dataset.claims_about(obj))
+
+    @given(claim_maps)
+    @settings(max_examples=40)
+    def test_json_round_trip_property(self, claim_map):
+        dataset = _dataset_from(claim_map)
+        restored = ClaimDataset.from_json(dataset.to_json())
+        assert sorted(restored, key=repr) == sorted(dataset, key=repr)
+
+    @given(claim_maps, st.sampled_from(["A", "B", "C", "D"]))
+    @settings(max_examples=40)
+    def test_overlap_plus_only_in_is_coverage(self, claim_map, source):
+        dataset = _dataset_from(claim_map)
+        for other in dataset.sources:
+            if other == source:
+                continue
+            overlap = dataset.overlap(source, other)
+            private = dataset.only_in(source, other)
+            assert overlap | private == set(dataset.claims_by(source))
+            assert overlap & private == set()

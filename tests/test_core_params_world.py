@@ -1,0 +1,164 @@
+"""Unit tests for model parameters and ground-truth worlds."""
+
+import pytest
+
+from repro.core.claims import ValuePeriod
+from repro.core.params import (
+    DependenceParams,
+    IterationParams,
+    OpinionParams,
+    TemporalParams,
+)
+from repro.core.world import (
+    DependenceEdge,
+    DependenceKind,
+    TemporalWorld,
+    World,
+    make_timeline,
+)
+from repro.exceptions import DataError, ParameterError
+
+
+class TestDependenceParams:
+    def test_priors_sum_to_one(self):
+        params = DependenceParams(alpha=0.3)
+        assert params.prior_independent + 2 * params.prior_direction == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.2])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ParameterError):
+            DependenceParams(alpha=alpha)
+
+    def test_rejects_bad_copy_rate(self):
+        with pytest.raises(ParameterError):
+            DependenceParams(copy_rate=1.0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            DependenceParams(n_false_values=0)
+
+
+class TestIterationParams:
+    def test_clamp_accuracy(self):
+        it = IterationParams(accuracy_floor=0.1, accuracy_ceiling=0.9)
+        assert it.clamp_accuracy(0.95) == 0.9
+        assert it.clamp_accuracy(0.05) == 0.1
+        assert it.clamp_accuracy(0.5) == 0.5
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ParameterError):
+            IterationParams(accuracy_floor=0.9, accuracy_ceiling=0.1)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ParameterError):
+            IterationParams(max_rounds=0)
+
+
+class TestOpinionParams:
+    def test_hypothesis_priors_sum_to_one(self):
+        params = OpinionParams(alpha=0.2)
+        assert params.prior_independent + 4 * params.prior_per_hypothesis == pytest.approx(1.0)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ParameterError):
+            OpinionParams(smoothing=0.0)
+
+
+class TestTemporalParams:
+    def test_defaults_valid(self):
+        TemporalParams()
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(ParameterError):
+            TemporalParams(max_copy_lag=0.0)
+
+    def test_rejects_bad_adjustment(self):
+        with pytest.raises(ParameterError):
+            TemporalParams(freshness_adjustment=1.5)
+
+    def test_rejects_bad_nt_floor(self):
+        with pytest.raises(ParameterError):
+            TemporalParams(nt_floor=1.0)
+
+
+class TestWorld:
+    def test_is_true(self):
+        world = World(truth={"o1": "v"})
+        assert world.is_true("o1", "v")
+        assert not world.is_true("o1", "w")
+
+    def test_is_true_unknown_object(self):
+        world = World(truth={"o1": "v"})
+        with pytest.raises(DataError):
+            world.is_true("o2", "v")
+
+    def test_dependent_pairs_unordered(self):
+        world = World(
+            truth={"o1": "v"},
+            edges=[DependenceEdge(copier="B", original="A")],
+        )
+        assert world.dependent_pairs() == {frozenset(("A", "B"))}
+
+    def test_copiers_only_similarity(self):
+        world = World(
+            truth={"o1": "v"},
+            edges=[
+                DependenceEdge("B", "A", kind=DependenceKind.SIMILARITY),
+                DependenceEdge("C", "A", kind=DependenceKind.DISSIMILARITY),
+            ],
+        )
+        assert world.copiers() == {"B"}
+
+    def test_edge_rejects_self_loop(self):
+        with pytest.raises(DataError):
+            DependenceEdge(copier="A", original="A")
+
+
+class TestTemporalWorld:
+    def test_make_timeline(self):
+        periods = make_timeline([(2006, "MSR"), (2002, "UW"), (2007, "UW2")])
+        assert [p.value for p in periods] == ["UW", "MSR", "UW2"]
+        assert periods[0].end == 2006
+        assert periods[-1].end is None
+
+    def test_rejects_gap(self):
+        with pytest.raises(DataError):
+            TemporalWorld(
+                timelines={
+                    "o1": [
+                        ValuePeriod("a", 2000, 2002),
+                        ValuePeriod("b", 2003, None),
+                    ]
+                }
+            )
+
+    def test_rejects_closed_final_period(self):
+        with pytest.raises(DataError):
+            TemporalWorld(timelines={"o1": [ValuePeriod("a", 2000, 2002)]})
+
+    def test_true_value_at(self):
+        world = TemporalWorld(
+            timelines={"o1": make_timeline([(2000, "a"), (2004, "b")])}
+        )
+        assert world.true_value_at("o1", 2003) == "a"
+        assert world.true_value_at("o1", 2004) == "b"
+        assert world.true_value_at("o1", 1999) is None
+
+    def test_was_ever_true(self):
+        world = TemporalWorld(
+            timelines={"o1": make_timeline([(2000, "a"), (2004, "b")])}
+        )
+        assert world.was_ever_true("o1", "a")
+        assert not world.was_ever_true("o1", "zz")
+
+    def test_transition_times_exclude_creation(self):
+        world = TemporalWorld(
+            timelines={"o1": make_timeline([(2000, "a"), (2004, "b")])}
+        )
+        assert world.transition_times("o1") == [2004]
+
+    def test_current_truth(self):
+        world = TemporalWorld(
+            timelines={"o1": make_timeline([(2000, "a"), (2004, "b")])}
+        )
+        assert world.current_truth() == {"o1": "b"}

@@ -1,0 +1,134 @@
+"""Unit tests for the temporal claim store."""
+
+import pytest
+
+from repro.core.claims import TemporalClaim
+from repro.core.temporal_dataset import TemporalDataset
+from repro.exceptions import DataError
+
+
+def _claims(rows):
+    return [
+        TemporalClaim(source=s, object=o, value=v, time=t)
+        for s, o, v, t in rows
+    ]
+
+
+@pytest.fixture
+def history_dataset():
+    return TemporalDataset(
+        _claims(
+            [
+                ("S1", "o1", "a", 2000),
+                ("S1", "o1", "b", 2004),
+                ("S2", "o1", "a", 2001),
+                ("S1", "o2", "x", 2002),
+            ]
+        )
+    )
+
+
+class TestHistories:
+    def test_history_sorted(self, history_dataset):
+        assert history_dataset.history("S1", "o1") == [(2000.0, "a"), (2004.0, "b")]
+
+    def test_history_unknown_pair_empty(self, history_dataset):
+        assert history_dataset.history("S9", "o1") == []
+
+    def test_same_time_same_value_is_noop(self):
+        dataset = TemporalDataset(_claims([("S1", "o1", "a", 2000)]))
+        dataset.add(TemporalClaim("S1", "o1", "a", 2000))
+        assert len(dataset) == 1
+
+    def test_same_time_conflicting_value_rejected(self):
+        dataset = TemporalDataset(_claims([("S1", "o1", "a", 2000)]))
+        with pytest.raises(DataError):
+            dataset.add(TemporalClaim("S1", "o1", "b", 2000))
+
+    def test_out_of_order_insertion_sorts(self):
+        dataset = TemporalDataset(
+            _claims([("S1", "o1", "b", 2004), ("S1", "o1", "a", 2000)])
+        )
+        assert dataset.history("S1", "o1") == [(2000.0, "a"), (2004.0, "b")]
+
+
+class TestValueAt:
+    def test_before_first_update_is_none(self, history_dataset):
+        assert history_dataset.value_at("S1", "o1", 1999) is None
+
+    def test_between_updates(self, history_dataset):
+        assert history_dataset.value_at("S1", "o1", 2002) == "a"
+
+    def test_at_update_instant(self, history_dataset):
+        assert history_dataset.value_at("S1", "o1", 2004) == "b"
+
+    def test_after_last_update(self, history_dataset):
+        assert history_dataset.value_at("S1", "o1", 2050) == "b"
+
+
+class TestSnapshots:
+    def test_snapshot_at(self, history_dataset):
+        snapshot = history_dataset.snapshot_at(2002)
+        assert snapshot.value_of("S1", "o1") == "a"
+        assert snapshot.value_of("S2", "o1") == "a"
+        assert snapshot.value_of("S1", "o2") == "x"
+
+    def test_snapshot_before_everything_is_empty(self, history_dataset):
+        assert len(history_dataset.snapshot_at(1990)) == 0
+
+    def test_latest_snapshot(self, history_dataset):
+        snapshot = history_dataset.latest_snapshot()
+        assert snapshot.value_of("S1", "o1") == "b"
+
+    def test_time_span(self, history_dataset):
+        assert history_dataset.time_span() == (2000.0, 2004.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(DataError):
+            TemporalDataset().time_span()
+
+
+class TestUpdateEvents:
+    def test_events_carry_previous(self, history_dataset):
+        events = list(history_dataset.update_events("S1"))
+        o1_events = [e for e in events if e.object == "o1"]
+        assert o1_events[0].previous is None
+        assert o1_events[1].previous == "a"
+
+    def test_adoption_time(self, history_dataset):
+        assert history_dataset.adoption_time("S1", "o1", "b") == 2004.0
+        assert history_dataset.adoption_time("S1", "o1", "zz") is None
+
+    def test_objects_of(self, history_dataset):
+        assert history_dataset.objects_of("S1") == {"o1", "o2"}
+
+
+class TestRestrictAndObserve:
+    def test_restrict_sources(self, history_dataset):
+        subset = history_dataset.restrict_sources(["S2"])
+        assert subset.sources == ["S2"]
+        assert subset.history("S2", "o1") == [(2001.0, "a")]
+
+    def test_observed_at_collapses_unchanged(self, history_dataset):
+        observed = history_dataset.observed_at([2001, 2002, 2003, 2005])
+        # S1/o1: seen as "a" at 2001 and as "b" at 2005 only.
+        assert [v for _, v in observed.history("S1", "o1")] == ["a", "b"]
+        assert observed.history("S1", "o1")[1][0] == 2005.0
+
+    def test_observed_at_misses_quick_flips(self):
+        dataset = TemporalDataset(
+            _claims(
+                [
+                    ("S1", "o1", "a", 2000),
+                    ("S1", "o1", "b", 2001.2),
+                    ("S1", "o1", "a", 2001.8),
+                ]
+            )
+        )
+        observed = dataset.observed_at([2001, 2003])
+        # The b-interlude happened entirely between observations.
+        assert [v for _, v in observed.history("S1", "o1")] == ["a"]
+
+    def test_observed_at_requires_times(self, history_dataset):
+        with pytest.raises(DataError):
+            history_dataset.observed_at([])

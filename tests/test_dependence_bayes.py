@@ -1,0 +1,205 @@
+"""Tests for the pairwise Bayes model and the dependence graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import DependenceParams
+from repro.dependence.bayes import (
+    PairDependence,
+    PairEvidence,
+    collect_evidence,
+    pair_posterior,
+    uniform_value_probabilities,
+)
+from repro.dependence.graph import DependenceGraph, discover_dependence
+from repro.exceptions import DataError
+
+accuracies = st.floats(min_value=0.05, max_value=0.95)
+counts = st.integers(min_value=0, max_value=40)
+
+
+def _evidence(kt=0.0, kf=0.0, kd=0):
+    return PairEvidence(s1="A", s2="B", kt_soft=kt, kf_soft=kf, kd=kd)
+
+
+class TestUniformInitialisation:
+    def test_uniform_over_observed_values(self, tiny_dataset):
+        probs = uniform_value_probabilities(tiny_dataset)
+        assert probs["o1"] == {"x": 0.5, "y": 0.5}
+        assert probs["o2"] == {"u": 0.5, "v": 0.5}
+
+    def test_single_value_gets_mass_one(self, table1):
+        probs = uniform_value_probabilities(table1)
+        assert probs["Balazinska"]["UW"] == 1.0
+
+
+class TestEvidenceCollection:
+    def test_counts_add_up_to_overlap(self, table1):
+        probs = uniform_value_probabilities(table1)
+        evidence = collect_evidence(table1, "S1", "S2", probs)
+        assert evidence.overlap_size == 5
+        assert evidence.kd == 2  # Suciu, Dong differ
+
+    def test_hard_probabilities_give_hard_counts(self, table1):
+        hard = {
+            obj: {v: (1.0 if v == "UW" else 0.0) for v in table1.values_for(obj)}
+            for obj in table1.objects
+        }
+        evidence = collect_evidence(table1, "S3", "S4", hard)
+        assert evidence.kt_soft == pytest.approx(5.0)
+        assert evidence.kf_soft == pytest.approx(0.0)
+
+
+class TestPairPosterior:
+    def test_shared_false_values_imply_dependence(self):
+        """Intuition 1: the multiple-choice-quiz analogy."""
+        posterior = pair_posterior(
+            _evidence(kf=3.0), 0.8, 0.8, DependenceParams()
+        )
+        assert posterior.p_dependent > 0.95
+
+    def test_shared_true_values_alone_are_weak(self):
+        posterior = pair_posterior(
+            _evidence(kt=5.0), 0.9, 0.9, DependenceParams()
+        )
+        assert posterior.p_dependent < 0.5
+
+    def test_disagreement_exonerates(self):
+        posterior = pair_posterior(
+            _evidence(kt=2.0, kd=8), 0.8, 0.8, DependenceParams()
+        )
+        assert posterior.p_independent > 0.9
+
+    def test_monotone_in_shared_false(self):
+        params = DependenceParams()
+        previous = 0.0
+        for kf in (0.5, 1.0, 2.0, 4.0):
+            p = pair_posterior(_evidence(kf=kf), 0.8, 0.8, params).p_dependent
+            assert p > previous
+            previous = p
+
+    def test_no_evidence_returns_prior(self):
+        params = DependenceParams(alpha=0.2)
+        posterior = pair_posterior(_evidence(), 0.8, 0.8, params)
+        assert posterior.p_dependent == pytest.approx(params.alpha)
+
+    def test_rejects_degenerate_accuracy(self):
+        with pytest.raises(DataError):
+            pair_posterior(_evidence(kt=1.0), 1.0, 0.8, DependenceParams())
+
+    def test_copies_probability_by_side(self):
+        posterior = pair_posterior(
+            _evidence(kf=2.0), 0.9, 0.4, DependenceParams()
+        )
+        assert posterior.copies_probability("A") == posterior.p_s1_copies_s2
+        assert posterior.copies_probability("B") == posterior.p_s2_copies_s1
+        with pytest.raises(DataError):
+            posterior.copies_probability("Z")
+
+    @given(accuracies, accuracies, counts, counts, counts)
+    @settings(max_examples=120)
+    def test_posterior_is_distribution(self, a1, a2, kt, kf, kd):
+        posterior = pair_posterior(
+            _evidence(kt=float(kt), kf=float(kf), kd=kd),
+            a1,
+            a2,
+            DependenceParams(),
+        )
+        total = (
+            posterior.p_independent
+            + posterior.p_s1_copies_s2
+            + posterior.p_s2_copies_s1
+        )
+        assert total == pytest.approx(1.0)
+        assert 0.0 <= posterior.p_dependent <= 1.0 + 1e-9
+
+    @given(accuracies, accuracies, counts, counts, counts)
+    @settings(max_examples=80)
+    def test_posterior_symmetric_under_pair_swap(self, a1, a2, kt, kf, kd):
+        params = DependenceParams()
+        forward = pair_posterior(
+            _evidence(kt=float(kt), kf=float(kf), kd=kd), a1, a2, params
+        )
+        swapped = pair_posterior(
+            PairEvidence(s1="B", s2="A", kt_soft=float(kt), kf_soft=float(kf), kd=kd),
+            a2,
+            a1,
+            params,
+        )
+        assert forward.p_dependent == pytest.approx(swapped.p_dependent)
+        assert forward.p_s1_copies_s2 == pytest.approx(swapped.p_s2_copies_s1)
+
+
+class TestDependenceGraph:
+    def _pair(self, s1, s2, p_dep):
+        half = p_dep / 2
+        return PairDependence(
+            s1=s1,
+            s2=s2,
+            p_independent=1 - p_dep,
+            p_s1_copies_s2=half,
+            p_s2_copies_s1=half,
+        )
+
+    def test_probability_defaults_to_zero(self):
+        graph = DependenceGraph()
+        assert graph.probability("A", "B") == 0.0
+
+    def test_pair_key_order_insensitive(self):
+        graph = DependenceGraph([self._pair("A", "B", 0.8)])
+        assert graph.probability("B", "A") == pytest.approx(0.8)
+
+    def test_self_pair_rejected(self):
+        graph = DependenceGraph()
+        with pytest.raises(DataError):
+            graph.probability("A", "A")
+
+    def test_detected_pairs_threshold(self):
+        graph = DependenceGraph(
+            [self._pair("A", "B", 0.8), self._pair("A", "C", 0.3)]
+        )
+        assert graph.detected_pairs(0.5) == {frozenset(("A", "B"))}
+
+    def test_independence_weight_decreases_with_counted(self):
+        graph = DependenceGraph([self._pair("A", "B", 0.9)])
+        alone = graph.independence_weight("A", [], 0.8)
+        with_b = graph.independence_weight("A", ["B"], 0.8)
+        assert alone == 1.0
+        assert with_b == pytest.approx(1 - 0.8 * 0.9)
+
+    def test_independence_weight_ignores_self(self):
+        graph = DependenceGraph([self._pair("A", "B", 0.9)])
+        assert graph.independence_weight("A", ["A"], 0.8) == 1.0
+
+    def test_dependence_score_is_max(self):
+        graph = DependenceGraph(
+            [self._pair("A", "B", 0.8), self._pair("A", "C", 0.3)]
+        )
+        assert graph.dependence_score("A") == pytest.approx(0.8)
+        assert graph.dependence_score("C") == pytest.approx(0.3)
+
+    def test_networkx_export(self):
+        graph = DependenceGraph([self._pair("A", "B", 0.8)])
+        nx_graph = graph.to_networkx()
+        assert nx_graph["A"]["B"]["weight"] == pytest.approx(0.8)
+
+    def test_copier_groups_components(self):
+        graph = DependenceGraph(
+            [
+                self._pair("A", "B", 0.9),
+                self._pair("B", "C", 0.9),
+                self._pair("X", "Y", 0.9),
+            ]
+        )
+        groups = graph.copier_groups(0.5)
+        assert {"A", "B", "C"} in groups
+        assert {"X", "Y"} in groups
+
+    def test_discover_respects_min_overlap(self, table1):
+        probs = uniform_value_probabilities(table1)
+        accs = {s: 0.8 for s in table1.sources}
+        graph = discover_dependence(table1, probs, accs, min_overlap=6)
+        assert len(graph) == 0
+        graph = discover_dependence(table1, probs, accs, min_overlap=1)
+        assert len(graph) == 10  # all pairs of 5 sources

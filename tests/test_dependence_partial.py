@@ -1,0 +1,140 @@
+"""Tests for accuracy-split (partial copier) evidence."""
+
+import pytest
+
+from repro.core.dataset import ClaimDataset
+from repro.dependence.partial import (
+    AccuracySplit,
+    accuracy_split,
+    category_splits,
+    direction_evidence,
+)
+from repro.exceptions import DataError
+
+
+def _hard_probs(dataset, truth):
+    return {
+        obj: {
+            value: (1.0 if value == truth[obj] else 0.0)
+            for value in dataset.values_for(obj)
+        }
+        for obj in dataset.objects
+    }
+
+
+@pytest.fixture
+def partial_copier_world():
+    """O is accurate everywhere; P copies O on o1-o3 and guesses o4-o6.
+
+    P's overlap accuracy (1.0, copied from accurate O) differs sharply
+    from its private accuracy (0.0) — the section 3.2 intuition-2
+    signature.
+    """
+    truth = {f"o{i}": "t" for i in range(1, 7)}
+    table = {
+        "o1": {"O": "t", "P": "t"},
+        "o2": {"O": "t", "P": "t"},
+        "o3": {"O": "t", "P": "t"},
+        "o4": {"O": "t", "P": "w1"},
+        "o5": {"O": "t", "P": "w2"},
+        "o6": {"O": "t", "P": "w3"},
+    }
+    # O covers everything; P's "private" objects are elsewhere.
+    table.update(
+        {
+            "p1": {"P": "w4"},
+            "p2": {"P": "w5"},
+            "p3": {"P": "w6"},
+        }
+    )
+    truth.update({"p1": "t", "p2": "t", "p3": "t"})
+    return ClaimDataset.from_table(table), truth
+
+
+class TestAccuracySplit:
+    def test_partial_copier_shows_split(self, partial_copier_world):
+        dataset, truth = partial_copier_world
+        probs = _hard_probs(dataset, truth)
+        split = accuracy_split(dataset, "P", "O", probs)
+        assert split.overlap_accuracy == pytest.approx(0.5)  # 3 copied + 3 own wrong
+        assert split.private_accuracy == pytest.approx(0.0)
+        assert split.gap > 0
+
+    def test_consistent_source_shows_no_split(self, table1):
+        probs = _hard_probs(
+            table1,
+            {
+                "Suciu": "UW",
+                "Halevy": "Google",
+                "Balazinska": "UW",
+                "Dalvi": "Yahoo!",
+                "Dong": "AT&T",
+            },
+        )
+        split = accuracy_split(table1, "S1", "S2", probs)
+        # S1 and S2 overlap completely: no private remainder, no z-score.
+        assert split.private_size == 0
+        assert split.z_score == 0.0
+        assert split.split_strength == 0.0
+
+    def test_split_against_self_rejected(self, table1):
+        with pytest.raises(DataError):
+            accuracy_split(table1, "S1", "S1", {})
+
+    def test_unknown_source_rejected(self, table1):
+        with pytest.raises(DataError):
+            accuracy_split(table1, "S9", "S1", {})
+
+    def test_z_score_grows_with_sample(self):
+        small = AccuracySplit("P", "O", 0.9, 0.3, overlap_size=5, private_size=5)
+        large = AccuracySplit("P", "O", 0.9, 0.3, overlap_size=50, private_size=50)
+        assert abs(large.z_score) > abs(small.z_score)
+
+    def test_split_strength_bounded(self):
+        split = AccuracySplit("P", "O", 1.0, 0.0, overlap_size=100, private_size=100)
+        assert 0.0 <= split.split_strength < 1.0
+
+
+class TestDirectionEvidence:
+    def test_copier_has_stronger_split(self, partial_copier_world):
+        dataset, truth = partial_copier_world
+        probs = _hard_probs(dataset, truth)
+        evidence = direction_evidence(dataset, "P", "O", probs)
+        assert evidence.likely_copier == "P"
+        assert evidence.direction_weight("P") > 0.5
+
+    def test_weights_sum_to_one(self, partial_copier_world):
+        dataset, truth = partial_copier_world
+        probs = _hard_probs(dataset, truth)
+        evidence = direction_evidence(dataset, "P", "O", probs)
+        total = evidence.direction_weight("P") + evidence.direction_weight("O")
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_side_rejected(self, partial_copier_world):
+        dataset, truth = partial_copier_world
+        probs = _hard_probs(dataset, truth)
+        evidence = direction_evidence(dataset, "P", "O", probs)
+        with pytest.raises(DataError):
+            evidence.direction_weight("Z")
+
+
+class TestCategorySplits:
+    def test_split_localised_to_copied_category(self, partial_copier_world):
+        dataset, truth = partial_copier_world
+        probs = _hard_probs(dataset, truth)
+        categories = {
+            "overlap": {"o1", "o2", "o3", "o4", "o5", "o6"},
+            "private": {"p1", "p2", "p3"},
+        }
+        splits = category_splits(dataset, "P", "O", probs, categories)
+        assert set(splits) == {"overlap", "private"}
+        assert splits["overlap"].overlap_size == 6
+        assert splits["private"].private_size == 3
+
+    def test_category_without_claims_skipped(self, partial_copier_world):
+        dataset, truth = partial_copier_world
+        probs = _hard_probs(dataset, truth)
+        splits = category_splits(
+            dataset, "P", "O", probs, {"empty": {"nothing"}}
+        )
+        assert splits == {}

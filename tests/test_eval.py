@@ -1,0 +1,152 @@
+"""Tests for evaluation metrics, tables and the experiment harness."""
+
+import pytest
+
+from repro.core.claims import ValuePeriod
+from repro.core.world import make_timeline
+from repro.eval import (
+    area_under_quality_curve,
+    compare_algorithms,
+    consensus_error,
+    detection_score,
+    distribution_l1,
+    pair_probabilities,
+    render_series,
+    render_table,
+    threshold_sweep,
+    timeline_accuracy,
+    truth_accuracy,
+)
+from repro.exceptions import DataError
+from repro.truth import Depen, NaiveVote
+
+
+def _pairs(*names):
+    return {frozenset(pair) for pair in names}
+
+
+class TestDetectionScore:
+    def test_perfect(self):
+        score = detection_score(_pairs(("a", "b")), _pairs(("a", "b")))
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_partial(self):
+        score = detection_score(
+            _pairs(("a", "b"), ("a", "c")), _pairs(("a", "b"), ("b", "c"))
+        )
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_empty_conventions(self):
+        assert detection_score(set(), _pairs(("a", "b"))).precision == 1.0
+        assert detection_score(_pairs(("a", "b")), set()).recall == 1.0
+
+    def test_f1_zero_when_nothing_matches(self):
+        score = detection_score(_pairs(("a", "b")), _pairs(("c", "d")))
+        assert score.f1 == 0.0
+
+    def test_threshold_sweep_monotone_detected(self):
+        probabilities = {
+            frozenset(("a", "b")): 0.9,
+            frozenset(("a", "c")): 0.4,
+        }
+        sweep = threshold_sweep(probabilities, _pairs(("a", "b")))
+        detected_counts = [score.detected for _, score in sweep]
+        assert detected_counts == sorted(detected_counts, reverse=True)
+
+    def test_threshold_sweep_validation(self):
+        with pytest.raises(DataError):
+            threshold_sweep({}, set(), thresholds=[1.5])
+
+
+class TestScalarMetrics:
+    def test_truth_accuracy(self):
+        assert truth_accuracy({"o": "v"}, {"o": "v", "p": "w"}) == 0.5
+
+    def test_truth_accuracy_empty_truth(self):
+        with pytest.raises(DataError):
+            truth_accuracy({}, {})
+
+    def test_consensus_error(self):
+        assert consensus_error({"a": 1.0}, {"a": 0.5}) == pytest.approx(0.5)
+
+    def test_consensus_error_missing_item(self):
+        with pytest.raises(DataError):
+            consensus_error({}, {"a": 1.0})
+
+    def test_distribution_l1_identical_is_zero(self):
+        dists = {"a": {"x": 0.7, "y": 0.3}}
+        assert distribution_l1(dists, dists) == 0.0
+
+    def test_distribution_l1_disjoint_is_two(self):
+        assert distribution_l1(
+            {"a": {"x": 1.0}}, {"a": {"y": 1.0}}
+        ) == pytest.approx(2.0)
+
+    def test_area_under_quality_curve(self):
+        assert area_under_quality_curve([0.0, 0.5, 1.0]) == pytest.approx(0.5)
+        with pytest.raises(DataError):
+            area_under_quality_curve([])
+
+
+class TestTimelineAccuracy:
+    def test_perfect_match(self):
+        timelines = {"o": make_timeline([(0, "a"), (5, "b")])}
+        assert timeline_accuracy(timelines, timelines) == 1.0
+
+    def test_half_wrong(self):
+        true = {"o": make_timeline([(0, "a"), (5, "b")])}
+        inferred = {"o": [ValuePeriod("a", 0, None)]}
+        accuracy = timeline_accuracy(inferred, true, grid=10)
+        assert accuracy == pytest.approx(0.5, abs=0.1)
+
+    def test_missing_object_counts_zero(self):
+        true = {"o": make_timeline([(0, "a"), (5, "b")])}
+        assert timeline_accuracy({}, true) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            timeline_accuracy({}, {}, grid=50)
+        with pytest.raises(DataError):
+            timeline_accuracy({}, {"o": make_timeline([(0, "a")])}, grid=1)
+
+
+class TestHarness:
+    def test_compare_algorithms(self, table1):
+        from repro.datasets.paper_tables import TABLE1_TRUTH
+
+        rows = compare_algorithms(table1, TABLE1_TRUTH, [NaiveVote(), Depen()])
+        by_name = {row["algorithm"]: row for row in rows}
+        assert by_name["depen"]["accuracy"] == 1.0
+        assert by_name["vote"]["accuracy"] < 1.0
+        assert all(row["seconds"] >= 0 for row in rows)
+
+    def test_compare_requires_algorithms(self, table1):
+        with pytest.raises(DataError):
+            compare_algorithms(table1, {"o": "v"}, [])
+
+    def test_pair_probabilities_extraction(self, table1):
+        result = Depen().discover(table1)
+        probs = pair_probabilities(result.dependence)
+        assert probs[frozenset(("S3", "S4"))] > 0.9
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        text = render_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in lines[2]
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(DataError):
+            render_table(["one"], [["a", "b"]])
+
+    def test_render_table_needs_headers(self):
+        with pytest.raises(DataError):
+            render_table([], [])
+
+    def test_render_series(self):
+        assert render_series("q", [0.1, 0.25]) == "q: [0.100, 0.250]"

@@ -1,0 +1,117 @@
+"""Tests for data fusion and probabilistic-answer combination."""
+
+import pytest
+
+from repro.dependence.bayes import PairDependence
+from repro.dependence.graph import DependenceGraph
+from repro.exceptions import DataError
+from repro.fusion import (
+    DataFusion,
+    combination_gap,
+    dependent_combination,
+    independent_combination,
+)
+from repro.truth import Depen, NaiveVote
+
+
+def _graph(p_dep: float, s1="A", s2="B") -> DependenceGraph:
+    half = p_dep / 2
+    return DependenceGraph(
+        [
+            PairDependence(
+                s1=s1,
+                s2=s2,
+                p_independent=1 - p_dep,
+                p_s1_copies_s2=half,
+                p_s2_copies_s1=half,
+            )
+        ]
+    )
+
+
+class TestDataFusion:
+    def test_fused_rows_cover_all_objects(self, table1):
+        result = DataFusion(discovery=Depen()).fuse(table1)
+        rows = result.fused_rows()
+        assert {row.object for row in rows} == set(table1.objects)
+
+    def test_fused_values_match_depen(self, table1):
+        from repro.datasets.paper_tables import TABLE1_TRUTH
+
+        result = DataFusion(discovery=Depen()).fuse(table1)
+        fused = {row.object: row.value for row in result.fused_rows()}
+        assert fused == TABLE1_TRUTH
+
+    def test_copied_support_discounted(self, table1):
+        result = DataFusion(discovery=Depen()).fuse(table1)
+        rows = {row.object: row for row in result.fused_rows()}
+        # Balazinska's UW has 5 supporters but 2 are copies of S3:
+        # effective independent support must be well below 5.
+        balazinska = rows["Balazinska"]
+        assert len(balazinska.supporters) == 5
+        assert balazinska.independent_support < 3.5
+
+    def test_vote_based_fusion_has_full_support(self, table1):
+        result = DataFusion(discovery=NaiveVote()).fuse(table1)
+        rows = {row.object: row for row in result.fused_rows()}
+        assert rows["Balazinska"].independent_support == 5.0
+
+    def test_probabilistic_rows_filter(self, table1):
+        result = DataFusion(discovery=Depen()).fuse(table1)
+        all_rows = result.probabilistic_rows()
+        confident = result.probabilistic_rows(min_probability=0.5)
+        assert len(confident) <= len(all_rows)
+        assert all(r.probability >= 0.5 for r in confident)
+
+    def test_probabilistic_rows_validation(self, table1):
+        result = DataFusion(discovery=Depen()).fuse(table1)
+        with pytest.raises(DataError):
+            result.probabilistic_rows(min_probability=2.0)
+
+
+class TestProbabilisticCombination:
+    def test_independent_noisy_or(self):
+        assert independent_combination({"A": 0.5, "B": 0.5}) == pytest.approx(0.75)
+
+    def test_single_source(self):
+        assert independent_combination({"A": 0.3}) == pytest.approx(0.3)
+
+    def test_validates_probabilities(self):
+        with pytest.raises(DataError):
+            independent_combination({"A": 1.5})
+        with pytest.raises(DataError):
+            independent_combination({})
+
+    def test_dependent_combination_discounts(self):
+        assertions = {"A": 0.8, "B": 0.8}
+        dependent = dependent_combination(assertions, _graph(1.0))
+        independent = independent_combination(assertions)
+        assert dependent < independent
+
+    def test_full_copy_collapses_to_one_source(self):
+        assertions = {"A": 0.8, "B": 0.8}
+        combined = dependent_combination(
+            assertions, _graph(1.0), copy_rate=0.999
+        )
+        assert combined == pytest.approx(0.8, abs=0.01)
+
+    def test_no_dependence_equals_independent(self):
+        assertions = {"A": 0.7, "B": 0.4}
+        assert dependent_combination(
+            assertions, DependenceGraph()
+        ) == pytest.approx(independent_combination(assertions))
+
+    def test_combination_gap_nonnegative(self):
+        assertions = {"A": 0.8, "B": 0.6}
+        assert combination_gap(assertions, _graph(0.9)) >= 0.0
+
+    def test_accuracy_order_counts_credible_first(self):
+        assertions = {"A": 0.9, "B": 0.2}
+        high_a_first = dependent_combination(
+            assertions, _graph(1.0), accuracies={"A": 0.9, "B": 0.1}
+        )
+        high_b_first = dependent_combination(
+            assertions, _graph(1.0), accuracies={"A": 0.1, "B": 0.9}
+        )
+        # Whoever is counted first keeps full weight.
+        assert high_a_first != high_b_first

@@ -1,0 +1,262 @@
+"""Tests for the synthetic world generators."""
+
+import pytest
+
+from repro.core.world import DependenceKind
+from repro.exceptions import ParameterError
+from repro.generators import (
+    BookstoreConfig,
+    CopierSpec,
+    RatingWorldConfig,
+    SnapshotConfig,
+    TemporalConfig,
+    TemporalCopierSpec,
+    TemporalSourceSpec,
+    generate_bookstore_catalog,
+    generate_rating_world,
+    generate_snapshot_world,
+    generate_temporal_world,
+    simple_copier_world,
+)
+from repro.generators.rng import make_rng, power_law_sizes, weighted_choice
+
+
+class TestRngHelpers:
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = make_rng(0)
+        for _ in range(50):
+            assert weighted_choice(rng, ["a", "b"], [1.0, 0.0]) == "a"
+
+    def test_weighted_choice_validation(self):
+        rng = make_rng(0)
+        with pytest.raises(ParameterError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ParameterError):
+            weighted_choice(rng, [], [])
+        with pytest.raises(ParameterError):
+            weighted_choice(rng, ["a"], [0.0])
+
+    def test_power_law_sizes_sum_and_bounds(self):
+        sizes = power_law_sizes(
+            count=100, largest=500, smallest=1, total=3000,
+            exponent=0.8, rng=make_rng(1),
+        )
+        assert sum(sizes) == 3000
+        assert all(1 <= s <= 500 for s in sizes)
+
+    def test_power_law_impossible_total(self):
+        with pytest.raises(ParameterError):
+            power_law_sizes(10, 5, 1, 1000, 0.8, make_rng(0))
+
+
+class TestSnapshotGenerator:
+    def test_deterministic(self):
+        a, _ = simple_copier_world(seed=5)
+        b, _ = simple_copier_world(seed=5)
+        assert sorted(a, key=repr) == sorted(b, key=repr)
+
+    def test_different_seeds_differ(self):
+        a, _ = simple_copier_world(seed=5)
+        b, _ = simple_copier_world(seed=6)
+        assert sorted(a, key=repr) != sorted(b, key=repr)
+
+    def test_world_records_edges(self):
+        _, world = simple_copier_world(n_copiers=2, seed=1)
+        assert len(world.edges) == 2
+        assert all(e.kind is DependenceKind.SIMILARITY for e in world.edges)
+
+    def test_copier_covers_subset_of_original(self):
+        dataset, world = simple_copier_world(
+            n_copiers=1, copier_coverage=0.5, seed=2
+        )
+        edge = world.edges[0]
+        copier_objects = set(dataset.claims_by(edge.copier))
+        original_objects = set(dataset.claims_by(edge.original))
+        assert copier_objects <= original_objects
+        assert len(copier_objects) < len(original_objects)
+
+    def test_accuracy_roughly_matches_config(self):
+        dataset, world = simple_copier_world(
+            n_objects=400, n_independent=1, n_copiers=0, accuracy=0.8, seed=3
+        )
+        correct = sum(
+            1
+            for obj, claim in dataset.claims_by("ind00").items()
+            if world.is_true(obj, claim.value)
+        )
+        assert 0.72 <= correct / 400 <= 0.88
+
+    def test_copier_chain_resolved(self):
+        config = SnapshotConfig(
+            n_objects=20,
+            independent_accuracies={"root": 0.8},
+            copiers=[
+                CopierSpec(copier="c1", original="root"),
+                CopierSpec(copier="c2", original="c1"),
+            ],
+        )
+        dataset, world = generate_snapshot_world(config, seed=0)
+        assert "c2" in dataset.sources
+
+    def test_copier_cycle_rejected(self):
+        config = SnapshotConfig(
+            n_objects=20,
+            independent_accuracies={"root": 0.8},
+            copiers=[
+                CopierSpec(copier="c1", original="c2"),
+                CopierSpec(copier="c2", original="c1"),
+            ],
+        )
+        with pytest.raises(ParameterError):
+            generate_snapshot_world(config, seed=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            SnapshotConfig(n_objects=0, independent_accuracies={"a": 0.5})
+        with pytest.raises(ParameterError):
+            SnapshotConfig(n_objects=5, independent_accuracies={})
+        with pytest.raises(ParameterError):
+            SnapshotConfig(
+                n_objects=5,
+                independent_accuracies={"a": 0.5},
+                copiers=[CopierSpec(copier="a", original="b")],
+            )
+
+
+class TestRatingGenerator:
+    def test_deterministic(self):
+        a = generate_rating_world(RatingWorldConfig(), seed=4)
+        b = generate_rating_world(RatingWorldConfig(), seed=4)
+        assert a.matrix.ratings_by("c0r00") == b.matrix.ratings_by("c0r00")
+
+    def test_edges_recorded_with_kinds(self):
+        world = generate_rating_world(
+            RatingWorldConfig(n_copiers=2, n_anti=1), seed=0
+        )
+        kinds = [e.kind for e in world.edges]
+        assert kinds.count(DependenceKind.SIMILARITY) == 2
+        assert kinds.count(DependenceKind.DISSIMILARITY) == 1
+
+    def test_genuine_raters_excludes_dependents(self):
+        world = generate_rating_world(
+            RatingWorldConfig(n_copiers=1, n_anti=1), seed=0
+        )
+        genuine = world.genuine_raters()
+        assert "copier00" not in genuine
+        assert "anti00" not in genuine
+
+    def test_anti_rater_mirrors_target(self):
+        world = generate_rating_world(
+            RatingWorldConfig(n_items=60, n_anti=1, n_copiers=0,
+                              influence_rate=0.95),
+            seed=1,
+        )
+        edge = world.edges[0]
+        matrix = world.matrix
+        mirrored = 0
+        co_rated = matrix.co_rated(edge.copier, edge.original)
+        for item in co_rated:
+            target = matrix.score_of(edge.original, item)
+            if matrix.score_of(edge.copier, item) == matrix.scale.mirror(target):
+                mirrored += 1
+        assert mirrored / len(co_rated) > 0.7
+
+
+class TestTemporalGenerator:
+    @pytest.fixture
+    def config(self):
+        return TemporalConfig(
+            n_objects=10,
+            time_span=20.0,
+            sources=[TemporalSourceSpec("fresh", lag=0.2)],
+            copiers=[TemporalCopierSpec("lazy", "fresh", poll_interval=2.0)],
+        )
+
+    def test_deterministic(self, config):
+        a, _ = generate_temporal_world(config, seed=7)
+        b, _ = generate_temporal_world(config, seed=7)
+        assert a.history("fresh", "obj000") == b.history("fresh", "obj000")
+
+    def test_timelines_are_valid(self, config):
+        _, world = generate_temporal_world(config, seed=7)
+        for obj in world.objects:
+            assert world.timelines[obj][-1].end is None
+
+    def test_copier_adoptions_trail_original(self, config):
+        dataset, world = generate_temporal_world(config, seed=7)
+        trailing = 0
+        total = 0
+        for obj in dataset.objects_of("lazy"):
+            for time, value in dataset.history("lazy", obj):
+                original_time = dataset.adoption_time("fresh", obj, value)
+                if original_time is not None:
+                    total += 1
+                    if time >= original_time:
+                        trailing += 1
+        assert total > 0
+        assert trailing / total > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TemporalConfig(n_objects=0, sources=[TemporalSourceSpec("s")])
+        with pytest.raises(ParameterError):
+            TemporalConfig(
+                n_objects=5,
+                sources=[TemporalSourceSpec("s")],
+                copiers=[TemporalCopierSpec("c", "ghost")],
+            )
+
+
+class TestBookstoreGenerator:
+    @pytest.fixture(scope="class")
+    def catalog_world(self):
+        return generate_bookstore_catalog(seed=42)
+
+    def test_paper_scale_statistics(self, catalog_world):
+        catalog, _ = catalog_world
+        stats = catalog.statistics()
+        assert stats["stores"] == 876
+        assert stats["books"] == 1263
+        assert abs(stats["listings"] - 24364) / 24364 < 0.10
+        assert stats["min_books_per_store"] <= 2
+        assert stats["max_books_per_store"] >= 1000
+
+    def test_author_variant_spread(self, catalog_world):
+        catalog, _ = catalog_world
+        stats = catalog.statistics()
+        assert stats["min_author_variants"] == 1
+        assert 10 <= stats["max_author_variants"] <= 30
+        assert 3 <= stats["mean_author_variants"] <= 7
+
+    def test_accuracy_range(self, catalog_world):
+        _, world = catalog_world
+        accuracies = list(world.store_accuracy.values())
+        assert min(accuracies) < 0.05
+        assert max(accuracies) <= 0.92
+
+    def test_planted_pairs_order_of_paper(self, catalog_world):
+        catalog, world = catalog_world
+        pairs = world.dependent_pairs()
+        assert 380 <= len(pairs) <= 560  # paper: 471
+        for pair in list(pairs)[:20]:
+            a, b = sorted(pair)
+            assert len(catalog.shared_books(a, b)) >= 10
+
+    def test_deterministic(self):
+        a, _ = generate_bookstore_catalog(BookstoreConfig(
+            n_stores=30, n_books=50, n_listings=300, max_books_per_store=50,
+            n_copier_cliques=2, clique_size=3, copier_min_books=5,
+            copier_max_books=20,
+        ), seed=1)
+        b, _ = generate_bookstore_catalog(BookstoreConfig(
+            n_stores=30, n_books=50, n_listings=300, max_books_per_store=50,
+            n_copier_cliques=2, clique_size=3, copier_min_books=5,
+            copier_max_books=20,
+        ), seed=1)
+        assert a.statistics() == b.statistics()
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            BookstoreConfig(n_stores=1)
+        with pytest.raises(ParameterError):
+            BookstoreConfig(n_listings=10)

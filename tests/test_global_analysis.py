@@ -1,0 +1,94 @@
+"""Tests for clique consolidation and the independent core."""
+
+import pytest
+
+from repro.dependence.global_analysis import (
+    CopierClique,
+    copier_cliques,
+    independent_core,
+)
+from repro.exceptions import DataError
+from repro.generators import simple_copier_world
+from repro.truth import Depen
+
+
+@pytest.fixture(scope="module")
+def discovered():
+    dataset, world = simple_copier_world(
+        n_objects=80, n_independent=4, n_copiers=3, accuracy=0.75, seed=7
+    )
+    result = Depen().discover(dataset)
+    return dataset, world, result
+
+
+class TestCopierCliques:
+    def test_planted_clique_found_as_one_component(self, discovered):
+        _, world, result = discovered
+        cliques = copier_cliques(result.dependence, result.accuracies)
+        clique_members = {frozenset(c.members) for c in cliques}
+        expected = frozenset(world.copiers() | {world.edges[0].original})
+        assert expected in clique_members
+
+    def test_original_identified_when_copiers_are_weaker(self):
+        """With partial, less-competent copiers the original's higher
+        accuracy identifies it. (Full-coverage equal-accuracy copiers
+        are genuinely unidentifiable — any member then represents the
+        clique equally well.)"""
+        dataset, world = simple_copier_world(
+            n_objects=150,
+            n_independent=4,
+            n_copiers=2,
+            accuracy=0.8,
+            copy_rate=0.7,
+            copier_coverage=0.6,
+            seed=3,
+        )
+        result = Depen().discover(dataset)
+        cliques = copier_cliques(result.dependence, result.accuracies)
+        target = next(c for c in cliques if set(c.members) & world.copiers())
+        assert target.likely_original == world.edges[0].original
+
+    def test_table1_clique(self, table1):
+        result = Depen().discover(table1)
+        cliques = copier_cliques(result.dependence, result.accuracies)
+        members = {frozenset(c.members) for c in cliques}
+        assert frozenset({"S3", "S4", "S5"}) in members
+
+    def test_threshold_validation(self, discovered):
+        _, _, result = discovered
+        with pytest.raises(DataError):
+            copier_cliques(result.dependence, threshold=1.5)
+
+    def test_clique_invariants(self):
+        with pytest.raises(DataError):
+            CopierClique(members=("A",), originality=(1.0,))
+        with pytest.raises(DataError):
+            CopierClique(members=("A", "B"), originality=(1.0,))
+
+
+class TestIndependentCore:
+    def test_core_keeps_one_clique_representative(self, discovered):
+        dataset, world, result = discovered
+        core = independent_core(
+            result.dependence, dataset.sources, result.accuracies
+        )
+        clique = world.copiers() | {world.edges[0].original}
+        # Exactly one clique member represents the shared content...
+        assert len(clique & set(core)) == 1
+        # ...and every source outside the clique survives.
+        outside = set(dataset.sources) - clique
+        assert outside <= set(core)
+
+    def test_core_on_table1(self, table1):
+        result = Depen().discover(table1)
+        core = independent_core(
+            result.dependence, table1.sources, result.accuracies
+        )
+        assert "S1" in core
+        assert "S2" in core
+        assert len({"S3", "S4", "S5"} & set(core)) == 1
+
+    def test_empty_sources_rejected(self, discovered):
+        _, _, result = discovered
+        with pytest.raises(DataError):
+            independent_core(result.dependence, [])

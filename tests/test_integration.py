@@ -1,0 +1,194 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import pytest
+
+from repro.core.params import TemporalParams
+from repro.dependence.opinions import discover_rater_dependence
+from repro.eval import detection_score, truth_accuracy
+from repro.fusion import DataFusion
+from repro.generators import (
+    BookstoreConfig,
+    generate_bookstore_catalog,
+    simple_copier_world,
+)
+from repro.linkage import JointResolver, author_list_similarity
+from repro.opinions import DependenceAwareConsensus
+from repro.query import (
+    KeywordQuery,
+    LookupQuery,
+    OnlineQueryEngine,
+    marginal_gain_order,
+    random_order,
+)
+from repro.recommend import build_scorecards, recommend_sources
+from repro.truth import Depen, NaiveVote
+
+
+@pytest.fixture(scope="module")
+def small_bookstore():
+    """A scaled-down bookstore world for end-to-end pipelines.
+
+    Sparser than the paper-scale default so that independent store
+    pairs rarely reach the overlap prefilter — the same geometry the
+    full catalog has at 876 stores × 1263 books.
+    """
+    config = BookstoreConfig(
+        n_stores=40,
+        n_books=200,
+        n_listings=900,
+        max_books_per_store=80,
+        n_copier_cliques=3,
+        clique_size=3,
+        copier_min_books=10,
+        copier_max_books=30,
+        n_authors=60,
+        n_publishers=8,
+    )
+    return generate_bookstore_catalog(config, seed=17)
+
+
+def canonicalise_claims(claims):
+    """Linkage preprocessing: merge representation variants per book."""
+    from repro.linkage import canonicalisation_map
+
+    mapping = {}
+    for obj in claims.objects:
+        values = claims.values_for(obj)
+        support = {v: len(p) for v, p in values.items()}
+        local = canonicalisation_map(
+            list(values), author_list_similarity, 0.9, support
+        )
+        for raw, canon in local.items():
+            mapping[(obj, raw)] = canon
+    return claims.map_values(mapping)
+
+
+class TestSnapshotPipeline:
+    def test_depen_then_fusion_then_recommendation(self):
+        dataset, world = simple_copier_world(
+            n_objects=80, n_independent=5, n_copiers=3, accuracy=0.75, seed=21
+        )
+        result = Depen().discover(dataset)
+        assert truth_accuracy(result.decisions, world.truth) >= truth_accuracy(
+            NaiveVote().discover(dataset).decisions, world.truth
+        )
+
+        fusion = DataFusion(discovery=Depen()).fuse(dataset)
+        rows = fusion.fused_rows()
+        assert len(rows) == len(world.truth)
+
+        coverages = {s: dataset.coverage(s) for s in dataset.sources}
+        cards = build_scorecards(
+            result.accuracies, coverages, result.dependence
+        )
+        picks = recommend_sources(cards, result.dependence, k=3)
+        # Recommended trio should not include two members of the clique.
+        clique = world.copiers() | {e.original for e in world.edges}
+        assert sum(1 for p in picks if p in clique) <= 1
+
+
+class TestBookstorePipeline:
+    def test_dependence_discovery_on_author_claims(self, small_bookstore):
+        """Linkage + popularity-aware Bayes recovers the planted cliques
+        with useful precision; recall stays high."""
+        from repro.core.params import DependenceParams
+
+        catalog, world = small_bookstore
+        canonical = canonicalise_claims(catalog.field_claims("authors"))
+        result = Depen(
+            params=DependenceParams(false_value_model="empirical"),
+            min_overlap=8,
+        ).discover(canonical)
+        detected = result.dependence.detected_pairs(0.5)
+        score = detection_score(detected, world.dependent_pairs())
+        assert score.recall >= 0.5
+        assert score.precision >= 0.3
+
+    def test_linkage_improves_author_resolution(self, small_bookstore):
+        """The joint resolver produces usable decisions and a sensible
+        three-way labelling; canonicalisation compresses the value space
+        (its main job — splitting a value across spellings both weakens
+        and fakes support)."""
+        catalog, world = small_bookstore
+        claims = catalog.field_claims("authors")
+        resolver = JointResolver(
+            similarity=author_list_similarity,
+            merge_threshold=0.9,
+            gray_threshold=0.7,
+        )
+        resolved = resolver.resolve(claims)
+
+        truth = {book: record.authors for book, record in world.records.items()}
+
+        def canonical_accuracy(decisions):
+            correct = 0
+            for book, authors in truth.items():
+                decided = decisions.get(book)
+                if decided is not None and author_list_similarity(
+                    tuple(decided), authors
+                ) > 0.9:
+                    correct += 1
+            return correct / len(truth)
+
+        assert canonical_accuracy(resolved.truth.decisions) >= 0.6
+
+        raw_variants = sum(len(claims.values_for(o)) for o in claims.objects)
+        canonical_variants = len(set(resolved.canonical_map.values()))
+        assert canonical_variants < raw_variants
+
+        labels = set(resolved.labels.values())
+        assert "truth" in labels
+        assert "wrong" in labels
+
+    def test_online_ordering_beats_random(self, small_bookstore):
+        catalog, world = small_bookstore
+        claims = catalog.field_claims("authors")
+        offline = Depen(min_overlap=5).discover(claims)
+        engine = OnlineQueryEngine(
+            catalog,
+            accuracies=offline.accuracies,
+            dependence=offline.dependence,
+        )
+        query = KeywordQuery("java")
+        reference = query.evaluate(world.true_records())
+
+        smart = engine.run(
+            query,
+            marginal_gain_order(catalog, offline.accuracies, offline.dependence),
+            reference=reference,
+        )
+        naive = engine.run(
+            query, random_order(catalog.stores, seed=3), reference=reference
+        )
+        from repro.eval import area_under_quality_curve
+
+        assert area_under_quality_curve(
+            smart.quality_series()
+        ) >= area_under_quality_curve(naive.quality_series())
+
+    def test_lookup_query_fused_answer(self, small_bookstore):
+        catalog, world = small_bookstore
+        book = catalog.books[0]
+        engine = OnlineQueryEngine(catalog)
+        records = engine.final_records()
+        answer = LookupQuery(book).evaluate(records)
+        assert isinstance(answer, tuple)
+
+
+class TestOpinionPipeline:
+    def test_consensus_uses_detection(self, table2_matrix):
+        detection = discover_rater_dependence(table2_matrix)
+        consensus = DependenceAwareConsensus().aggregate(table2_matrix)
+        pair = consensus.dependence.get("R1", "R4")
+        assert pair.p_dissimilarity >= detection.get("R1", "R4").p_dissimilarity - 0.2
+
+
+class TestTemporalPipeline:
+    def test_observed_snapshots_still_detect_lazy_copier(self, table3):
+        """Incomplete observations (section 3.1): yearly crawls of
+        Table 3 still expose S3."""
+        observed = table3.observed_at(range(2001, 2009))
+        from repro.dependence.temporal import discover_temporal_dependence
+
+        graph = discover_temporal_dependence(observed, TemporalParams())
+        assert graph.probability("S1", "S3") > graph.probability("S1", "S2")

@@ -1,0 +1,109 @@
+"""Tests for author-name parsing and author-list similarity."""
+
+import pytest
+
+from repro.exceptions import LinkageError
+from repro.linkage.authors import (
+    author_list_similarity,
+    canonical_author_list,
+    name_similarity,
+    parse_author,
+)
+
+
+class TestParseAuthor:
+    def test_first_last(self):
+        name = parse_author("Jeffrey Ullman")
+        assert name.first == ("jeffrey",)
+        assert name.last == "ullman"
+
+    def test_last_comma_first(self):
+        name = parse_author("Ullman, Jeffrey D.")
+        assert name.last == "ullman"
+        assert name.first == ("jeffrey", "d")
+
+    def test_initials(self):
+        name = parse_author("J. D. Ullman")
+        assert name.first == ("j", "d")
+        assert name.initials() == ("j", "d")
+
+    def test_hyphenated_surname(self):
+        name = parse_author("Hector Garcia-Molina")
+        assert name.last == "garcia-molina"
+
+    def test_unparseable_raises(self):
+        with pytest.raises(LinkageError):
+            parse_author("12345")
+
+    def test_canonical_form(self):
+        assert parse_author("Ullman, Jeffrey").canonical() == "jeffrey ullman"
+
+
+class TestNameSimilarity:
+    def test_format_variants_score_high(self):
+        assert name_similarity("Jeffrey Ullman", "Ullman, Jeffrey") > 0.95
+
+    def test_initial_matches_full_name(self):
+        assert name_similarity("J. Ullman", "Jeffrey Ullman") > 0.9
+
+    def test_different_people_score_low(self):
+        assert name_similarity("Jeffrey Ullman", "Divesh Srivastava") < 0.6
+
+    def test_misspelling_scores_between(self):
+        sim = name_similarity("Jeffrey Ullman", "Jeffrey Ulman")
+        assert 0.8 < sim < 1.0
+
+    def test_same_family_different_given(self):
+        high = name_similarity("Jeffrey Ullman", "Jeffrey Ullman")
+        cross = name_similarity("Jeffrey Ullman", "Jennifer Ullman")
+        assert cross < high
+
+
+class TestAuthorListSimilarity:
+    def test_identical(self):
+        authors = ("Jeffrey Ullman", "Jennifer Widom")
+        assert author_list_similarity(authors, authors) == 1.0
+
+    def test_reformatted_list_close_to_one(self):
+        a = ("Jeffrey Ullman", "Jennifer Widom")
+        b = ("Ullman, Jeffrey", "Widom, Jennifer")
+        assert author_list_similarity(a, b) > 0.9
+
+    def test_missing_author_penalised(self):
+        a = ("Jeffrey Ullman", "Jennifer Widom")
+        b = ("Jeffrey Ullman",)
+        sim = author_list_similarity(a, b)
+        assert 0.3 < sim < 0.8
+
+    def test_misorder_mildly_penalised(self):
+        a = ("Jeffrey Ullman", "Jennifer Widom")
+        b = ("Jennifer Widom", "Jeffrey Ullman")
+        sim = author_list_similarity(a, b)
+        assert 0.85 < sim < 1.0
+
+    def test_wrong_author_penalised_more_than_misorder(self):
+        a = ("Jeffrey Ullman", "Jennifer Widom")
+        misordered = ("Jennifer Widom", "Jeffrey Ullman")
+        wrong = ("Jeffrey Ullman", "Random Stranger")
+        assert author_list_similarity(a, wrong) < author_list_similarity(
+            a, misordered
+        )
+
+    def test_empty_list(self):
+        assert author_list_similarity((), ("Jeffrey Ullman",)) == 0.0
+
+    def test_symmetry(self):
+        a = ("Jeffrey Ullman", "Jennifer Widom")
+        b = ("Jennifer Widom",)
+        assert author_list_similarity(a, b) == pytest.approx(
+            author_list_similarity(b, a)
+        )
+
+
+class TestCanonicalisation:
+    def test_canonical_author_list(self):
+        raw = ("Ullman, Jeffrey", "J. Widom")
+        assert canonical_author_list(raw) == ("jeffrey ullman", "j widom")
+
+    def test_unparseable_entry_lowercased(self):
+        assert canonical_author_list(("???",)) == ("???",)

@@ -1,0 +1,134 @@
+"""Tests for representation clustering and joint linkage + truth discovery."""
+
+import pytest
+
+from repro.core.dataset import ClaimDataset
+from repro.exceptions import LinkageError
+from repro.linkage.clustering import (
+    canonicalisation_map,
+    choose_representative,
+    cluster_values,
+)
+from repro.linkage.resolve import JointResolver
+from repro.linkage.strings import jaro_winkler_similarity
+
+
+class TestClustering:
+    def test_single_link_chains(self):
+        # "abcdef" ~ "abcdex" ~ "abcdxx": chain into one cluster.
+        clusters = cluster_values(
+            ["abcdef", "abcdex", "abcdxx", "zzzzzz"],
+            jaro_winkler_similarity,
+            threshold=0.9,
+        )
+        assert ["abcdef", "abcdex", "abcdxx"] in clusters
+        assert ["zzzzzz"] in clusters
+
+    def test_threshold_validation(self):
+        with pytest.raises(LinkageError):
+            cluster_values(["a"], jaro_winkler_similarity, threshold=0.0)
+
+    def test_bad_similarity_function_rejected(self):
+        with pytest.raises(LinkageError):
+            cluster_values(["a", "b"], lambda x, y: 2.0, threshold=0.5)
+
+    def test_deterministic_output_order(self):
+        values = ["beta", "alpha", "betb"]
+        first = cluster_values(values, jaro_winkler_similarity, 0.9)
+        second = cluster_values(list(reversed(values)), jaro_winkler_similarity, 0.9)
+        assert first == second
+
+    def test_representative_prefers_support(self):
+        rep = choose_representative(["short", "longer"], support={"short": 5})
+        assert rep == "short"
+
+    def test_representative_prefers_length_without_support(self):
+        rep = choose_representative(["J. Ullman", "Jeffrey Ullman"])
+        assert rep == "Jeffrey Ullman"
+
+    def test_representative_empty_cluster(self):
+        with pytest.raises(LinkageError):
+            choose_representative([])
+
+    def test_canonicalisation_map_total(self):
+        mapping = canonicalisation_map(
+            ["abcdef", "abcdex", "zzzzzz"], jaro_winkler_similarity, 0.9
+        )
+        assert set(mapping) == {"abcdef", "abcdex", "zzzzzz"}
+        assert mapping["abcdef"] == mapping["abcdex"]
+
+
+class TestJointResolver:
+    @pytest.fixture
+    def dirty_dataset(self):
+        """Five sources; the truth 'Jeffrey Ullman' appears in two
+        spellings; 'Xing Dong'-style wrong value appears once."""
+        return ClaimDataset.from_table(
+            {
+                "book1": {
+                    "A": "Jeffrey Ullman",
+                    "B": "Jeffrey Ullman",
+                    "C": "Jeffrey Ulman",   # misspelling (gray zone)
+                    "D": "Jeffrey Ullman",
+                    "E": "Divesh Srivastava",  # genuinely different
+                },
+                "book2": {
+                    "A": "Jennifer Widom",
+                    "B": "Jennifer Widom",
+                    "C": "Jennifer Widom",
+                    "D": "J. Widom",
+                    "E": "Jennifer Widom",
+                },
+            }
+        )
+
+    def test_resolves_spelling_into_truth(self, dirty_dataset):
+        resolver = JointResolver(similarity=jaro_winkler_similarity)
+        result = resolver.resolve(dirty_dataset)
+        assert result.truth.decisions["book1"] == "Jeffrey Ullman"
+        assert result.truth.decisions["book2"] == "Jennifer Widom"
+
+    def test_labels_three_way(self, dirty_dataset):
+        resolver = JointResolver(similarity=jaro_winkler_similarity)
+        result = resolver.resolve(dirty_dataset)
+        assert result.label("book1", "Jeffrey Ullman") == "truth"
+        assert result.label("book1", "Jeffrey Ulman") in ("alternative", "wrong")
+        assert result.label("book1", "Divesh Srivastava") == "wrong"
+
+    def test_gray_zone_merge_requires_weak_support(self):
+        """A well-supported near-variant stays a competing value."""
+        dataset = ClaimDataset.from_table(
+            {
+                "o": {
+                    "A": "Jeffrey Ullman",
+                    "B": "Jeffrey Ullman",
+                    "C": "Jeffrey Ulman",
+                    "D": "Jeffrey Ulman",
+                    "E": "Jeffrey Ulman",
+                }
+            }
+        )
+        resolver = JointResolver(
+            similarity=jaro_winkler_similarity,
+            merge_threshold=0.99,
+            gray_threshold=0.9,
+        )
+        result = resolver.resolve(dataset)
+        # Both spellings well supported: no absorption, majority wins.
+        assert result.canonical_map[("o", "Jeffrey Ulman")] == "Jeffrey Ulman"
+
+    def test_unresolved_value_label_raises(self, dirty_dataset):
+        resolver = JointResolver(similarity=jaro_winkler_similarity)
+        result = resolver.resolve(dirty_dataset)
+        with pytest.raises(LinkageError):
+            result.label("book1", "Never Claimed")
+
+    def test_threshold_validation(self):
+        with pytest.raises(LinkageError):
+            JointResolver(
+                similarity=jaro_winkler_similarity,
+                merge_threshold=0.5,
+                gray_threshold=0.8,
+            )
+        with pytest.raises(LinkageError):
+            JointResolver(similarity=jaro_winkler_similarity, support_ratio=1.5)

@@ -1,0 +1,108 @@
+"""Tests for string similarity primitives, including metric properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LinkageError
+from repro.linkage.strings import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_jaccard,
+)
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+SIMILARITIES = [
+    levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    token_jaccard,
+    ngram_similarity,
+]
+
+
+class TestLevenshtein:
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("flaw", "lawn") == 2
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_similarity_normalised(self):
+        assert levenshtein_similarity("abcd", "abcx") == pytest.approx(0.75)
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_distance_symmetric(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words, words, words)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_distance_bounds(self, a, b):
+        d = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+class TestJaro:
+    def test_known_values(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_disjoint_strings(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        plain = jaro_similarity("dwayne", "duane")
+        boosted = jaro_winkler_similarity("dwayne", "duane")
+        assert boosted >= plain
+
+    def test_winkler_prefix_scale_validation(self):
+        with pytest.raises(LinkageError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+
+class TestTokenAndNgram:
+    def test_token_jaccard(self):
+        assert token_jaccard("data fusion", "fusion of data") == pytest.approx(2 / 3)
+
+    def test_ngram_known(self):
+        assert ngram_similarity("night", "nacht") == pytest.approx(1 / 7)
+
+    def test_ngram_short_strings(self):
+        assert ngram_similarity("a", "b") == 0.0
+        assert ngram_similarity("a", "a") == 1.0
+
+    def test_ngram_validates_n(self):
+        with pytest.raises(LinkageError):
+            ngram_similarity("ab", "cd", n=0)
+
+
+@pytest.mark.parametrize("similarity", SIMILARITIES)
+class TestSharedProperties:
+    @given(a=words, b=words)
+    @settings(max_examples=50)
+    def test_symmetric(self, similarity, a, b):
+        assert similarity(a, b) == pytest.approx(similarity(b, a))
+
+    @given(a=words)
+    @settings(max_examples=30)
+    def test_identity_is_one(self, similarity, a):
+        assert similarity(a, a) == 1.0
+
+    @given(a=words, b=words)
+    @settings(max_examples=50)
+    def test_bounded(self, similarity, a, b):
+        assert 0.0 <= similarity(a, b) <= 1.0

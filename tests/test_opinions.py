@@ -1,0 +1,205 @@
+"""Tests for rating matrices, consensus and opinion pooling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.claims import Rating
+from repro.datasets.paper_tables import RATING_SCALE, TABLE2
+from repro.exceptions import DataError, ParameterError
+from repro.opinions import (
+    DependenceAwareConsensus,
+    RatingMatrix,
+    RatingScale,
+    dependence_adjusted_pool,
+    effective_sample_size,
+    linear_pool,
+    log_pool,
+)
+
+
+class TestRatingScale:
+    def test_mirror_is_involution(self):
+        scale = RatingScale(RATING_SCALE)
+        for level in RATING_SCALE:
+            assert scale.mirror(scale.mirror(level)) == level
+
+    def test_mirror_maps_extremes(self):
+        scale = RatingScale(RATING_SCALE)
+        assert scale.mirror("Good") == "Bad"
+        assert scale.mirror("Neutral") == "Neutral"
+
+    def test_distance(self):
+        scale = RatingScale(RATING_SCALE)
+        assert scale.distance("Bad", "Good") == 2
+        assert scale.distance("Good", "Good") == 0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DataError):
+            RatingScale(("Good", "Good"))
+
+    def test_rejects_singleton(self):
+        with pytest.raises(DataError):
+            RatingScale(("OnlyOne",))
+
+    def test_unknown_level_raises(self):
+        scale = RatingScale(RATING_SCALE)
+        with pytest.raises(DataError):
+            scale.index("Amazing")
+
+
+class TestRatingMatrix:
+    def test_from_table(self, table2_matrix):
+        assert table2_matrix.raters == ["R1", "R2", "R3", "R4"]
+        assert table2_matrix.items == sorted(TABLE2)
+        assert table2_matrix.score_of("R1", "The Pianist") == "Good"
+
+    def test_duplicate_rating_rejected(self, table2_matrix):
+        with pytest.raises(DataError):
+            table2_matrix.add(Rating(rater="R1", item="The Pianist", score="Bad"))
+
+    def test_off_scale_score_rejected(self, table2_matrix):
+        with pytest.raises(DataError):
+            table2_matrix.add(Rating(rater="R9", item="The Pianist", score="Meh"))
+
+    def test_co_rated(self, table2_matrix):
+        assert table2_matrix.co_rated("R1", "R4") == sorted(TABLE2)
+
+    def test_consensus_is_distribution(self, table2_matrix):
+        dist = table2_matrix.consensus("The Pianist")
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert set(dist) == set(RATING_SCALE)
+
+    def test_consensus_excludes(self, table2_matrix):
+        full = table2_matrix.consensus("The Matrix", smoothing=0.1)
+        without = table2_matrix.consensus(
+            "The Matrix", exclude=("R3", "R4"), smoothing=0.1
+        )
+        assert without["Good"] < full["Good"]
+
+    def test_consensus_weights(self, table2_matrix):
+        weights = {"R1": 0.0, "R2": 1.0, "R3": 1.0, "R4": 0.0}
+        dist = table2_matrix.consensus("The Pianist", weights=weights, smoothing=0.1)
+        assert dist["Good"] < dist["Bad"]
+
+    def test_mean_score(self, table2_matrix):
+        # The Pianist: Good(2), Neutral(1), Bad(0), Bad(0) -> 0.75
+        assert table2_matrix.mean_score("The Pianist") == pytest.approx(0.75)
+
+    def test_mean_score_no_ratings(self, table2_matrix):
+        with pytest.raises(DataError):
+            table2_matrix.mean_score("Unrated Movie")
+
+
+class TestDependenceAwareConsensus:
+    def test_naive_mode_keeps_unit_weights(self, table2_matrix):
+        result = DependenceAwareConsensus(aware=False).aggregate(table2_matrix)
+        assert all(w == 1.0 for w in result.weights.values())
+
+    def test_aware_mode_downweights_the_anti_pair(self, table2_matrix):
+        result = DependenceAwareConsensus().aggregate(table2_matrix)
+        untouched = min(result.weights["R2"], result.weights["R3"])
+        pair_weight = max(result.weights["R1"], result.weights["R4"])
+        assert pair_weight < untouched
+
+    def test_aware_distributions_closer_to_leave_pair_out_oracle(
+        self, table2_matrix
+    ):
+        """Down-weighting the R1/R4 pair moves the consensus toward the
+        consensus of the unentangled raters (R2, R3)."""
+        from repro.eval import distribution_l1
+
+        oracle = {
+            item: table2_matrix.consensus(item, exclude=("R1", "R4"))
+            for item in table2_matrix.items
+        }
+        naive = DependenceAwareConsensus(aware=False).aggregate(table2_matrix)
+        aware = DependenceAwareConsensus(aware=True).aggregate(table2_matrix)
+        assert distribution_l1(aware.distributions, oracle) < distribution_l1(
+            naive.distributions, oracle
+        )
+
+    def test_consensus_level(self, table2_matrix):
+        result = DependenceAwareConsensus().aggregate(table2_matrix)
+        assert result.consensus_level("The Matrix") in RATING_SCALE
+
+    def test_empty_matrix_rejected(self):
+        scale = RatingScale(RATING_SCALE)
+        with pytest.raises(DataError):
+            DependenceAwareConsensus().aggregate(RatingMatrix(scale))
+
+
+class TestPooling:
+    def test_linear_pool_mixture(self):
+        pooled = linear_pool(
+            [{"a": 1.0}, {"a": 0.5, "b": 0.5}], weights=[1.0, 1.0]
+        )
+        assert pooled["a"] == pytest.approx(0.75)
+        assert pooled["b"] == pytest.approx(0.25)
+
+    def test_linear_pool_weight_validation(self):
+        with pytest.raises(ParameterError):
+            linear_pool([{"a": 1.0}], weights=[0.0])
+        with pytest.raises(ParameterError):
+            linear_pool([{"a": 1.0}], weights=[1.0, 1.0])
+
+    def test_log_pool_veto(self):
+        pooled = log_pool([{"a": 0.5, "b": 0.5}, {"a": 1.0}])
+        assert pooled == {"a": 1.0}
+
+    def test_log_pool_degenerate_raises(self):
+        with pytest.raises(DataError):
+            log_pool([{"a": 1.0}, {"b": 1.0}])
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(DataError):
+            linear_pool([{"a": 0.4}])
+
+    def test_effective_sample_size(self):
+        assert effective_sample_size({"A": 1.0, "B": 1.0, "C": 0.2}) == pytest.approx(2.2)
+
+    def test_effective_sample_size_validates(self):
+        with pytest.raises(DataError):
+            effective_sample_size({"A": 1.5})
+        with pytest.raises(DataError):
+            effective_sample_size({})
+
+    def test_dependence_adjusted_pool(self):
+        dists = {"A": {"x": 0.9, "y": 0.1}, "B": {"x": 0.9, "y": 0.1}}
+        pooled, ess = dependence_adjusted_pool(
+            dists, {"A": 1.0, "B": 0.1}, method="linear"
+        )
+        assert ess == pytest.approx(1.1)
+        assert pooled["x"] == pytest.approx(0.9)
+
+    def test_dependence_adjusted_pool_missing_weight(self):
+        with pytest.raises(ParameterError):
+            dependence_adjusted_pool({"A": {"x": 1.0}}, {})
+
+    def test_unknown_method(self):
+        with pytest.raises(ParameterError):
+            dependence_adjusted_pool(
+                {"A": {"x": 1.0}}, {"A": 1.0}, method="median"
+            )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50)
+    def test_linear_pool_is_distribution(self, masses):
+        dists = []
+        for m in masses:
+            dists.append({"x": m / (m + 1), "y": 1 / (m + 1)})
+        pooled = linear_pool(dists)
+        assert sum(pooled.values()) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40)
+    def test_log_pool_of_identical_is_identity(self, p):
+        dist = {"x": p, "y": 1 - p}
+        pooled = log_pool([dist, dist, dist])
+        assert pooled["x"] == pytest.approx(p)

@@ -1,0 +1,96 @@
+"""Consistency checks on the encoded paper tables themselves."""
+
+import pytest
+
+from repro.datasets.paper_tables import (
+    RATING_SCALE,
+    TABLE1,
+    TABLE1_COPIERS,
+    TABLE1_TRUTH,
+    TABLE2,
+    TABLE2_ANTI_PAIRS,
+    TABLE3,
+    TABLE3_TIMELINES,
+    table1_dataset,
+    table3_dataset,
+)
+
+
+class TestTable1Encoding:
+    def test_five_sources_five_objects(self):
+        dataset = table1_dataset()
+        assert dataset.sources == ["S1", "S2", "S3", "S4", "S5"]
+        assert len(dataset.objects) == 5
+
+    def test_s1_asserts_exactly_the_truth(self):
+        for obj, truth in TABLE1_TRUTH.items():
+            assert TABLE1[obj]["S1"] == truth
+
+    def test_s4_is_an_exact_copy_of_s3(self):
+        for obj, row in TABLE1.items():
+            assert row["S4"] == row["S3"]
+
+    def test_s5_differs_from_s3_exactly_once(self):
+        differences = [
+            obj for obj, row in TABLE1.items() if row["S5"] != row["S3"]
+        ]
+        assert differences == ["Suciu"]
+
+    def test_copier_edges(self):
+        assert ("S4", "S3") in TABLE1_COPIERS
+        assert ("S5", "S3") in TABLE1_COPIERS
+
+    def test_restriction_to_prefix(self):
+        dataset = table1_dataset(("S1",))
+        assert dataset.sources == ["S1"]
+
+
+class TestTable2Encoding:
+    def test_r4_mirrors_r1_on_every_movie(self):
+        mirror = {"Good": "Bad", "Neutral": "Neutral", "Bad": "Good"}
+        for row in TABLE2.values():
+            assert row["R4"] == mirror[row["R1"]]
+
+    def test_scale_covers_all_scores(self):
+        for row in TABLE2.values():
+            for score in row.values():
+                assert score in RATING_SCALE
+
+    def test_anti_pair_encoded(self):
+        assert ("R4", "R1") in TABLE2_ANTI_PAIRS
+
+
+class TestTable3Encoding:
+    def test_dataset_round_trip(self):
+        dataset = table3_dataset()
+        assert dataset.sources == ["S1", "S2", "S3"]
+        assert dataset.history("S1", "Suciu") == [
+            (2002.0, "UW"), (2006.0, "MSR"), (2007.0, "UW"),
+        ]
+
+    def test_s1_tracks_the_true_timelines(self):
+        """Each of S1's assertions matches the ground-truth timeline at
+        the moment it was made (the caption's 'up-to-date true values')."""
+        for obj, history in TABLE3.items():
+            for time, value in TABLE3[obj]["S1"]:
+                periods = TABLE3_TIMELINES[obj]
+                true_now = next(
+                    (p.value for p in periods if p.contains(time)), None
+                )
+                assert true_now == value, (obj, time, value)
+
+    def test_timelines_are_contiguous_and_open_ended(self):
+        for obj, periods in TABLE3_TIMELINES.items():
+            for earlier, later in zip(periods, periods[1:]):
+                assert earlier.end == later.start
+            assert periods[-1].end is None
+
+    def test_final_timeline_values_match_table1_truth(self):
+        for obj, periods in TABLE3_TIMELINES.items():
+            assert periods[-1].value == TABLE1_TRUTH[obj]
+
+    def test_s3_never_asserts_a_never_true_value(self):
+        for obj, row in TABLE3.items():
+            timeline_values = {p.value for p in TABLE3_TIMELINES[obj]}
+            for _, value in row.get("S3", []):
+                assert value in timeline_values

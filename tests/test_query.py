@@ -1,0 +1,244 @@
+"""Tests for the catalog, queries, ordering policies and the online engine."""
+
+import pytest
+
+from repro.dependence.bayes import PairDependence
+from repro.dependence.graph import DependenceGraph
+from repro.exceptions import DataError, QueryError
+from repro.query import (
+    BookCatalog,
+    BooksByAuthorQuery,
+    KeywordQuery,
+    Listing,
+    LookupQuery,
+    OnlineQueryEngine,
+    TopPublisherQuery,
+    accuracy_order,
+    coverage_order,
+    marginal_gain_order,
+    random_order,
+)
+
+
+def _listing(store, book, title="Effective Java", authors=("Joshua Bloch",),
+             publisher="Harbor Press", year=2001, category="Programming"):
+    return Listing(
+        store=store, book=book, title=title, authors=authors,
+        publisher=publisher, year=year, category=category,
+    )
+
+
+@pytest.fixture
+def catalog():
+    catalog = BookCatalog()
+    catalog.add(_listing("s1", "b1"))
+    catalog.add(_listing("s2", "b1", authors=("J. Bloch",)))
+    catalog.add(_listing("s1", "b2", title="Foundations of Databases",
+                         authors=("Serge Abiteboul",), category="Database",
+                         publisher="Summit Books"))
+    catalog.add(_listing("s3", "b2", title="Foundations of Databases",
+                         authors=("Serge Abiteboul",), category="Database",
+                         publisher="Summit Books"))
+    catalog.add(_listing("s3", "b3", title="Advanced Java",
+                         authors=("Jeffrey Ullman",), category="Programming"))
+    return catalog
+
+
+class TestCatalog:
+    def test_duplicate_listing_rejected(self, catalog):
+        with pytest.raises(DataError):
+            catalog.add(_listing("s1", "b1", title="Different"))
+
+    def test_identical_listing_is_noop(self, catalog):
+        before = len(catalog)
+        catalog.add(_listing("s1", "b1"))
+        assert len(catalog) == before
+
+    def test_field_claims_projection(self, catalog):
+        claims = catalog.field_claims("authors")
+        assert claims.value_of("s1", "b1") == ("Joshua Bloch",)
+        assert claims.value_of("s2", "b1") == ("J. Bloch",)
+
+    def test_field_claims_unknown_field(self, catalog):
+        with pytest.raises(DataError):
+            catalog.field_claims("price")
+
+    def test_shared_books(self, catalog):
+        assert catalog.shared_books("s1", "s2") == {"b1"}
+        assert catalog.shared_books("s1", "s3") == {"b2"}
+
+    def test_remove_store(self, catalog):
+        catalog.remove_store("s2")
+        assert "s2" not in catalog.stores
+        assert catalog.shared_books("s1", "s2") == set()
+
+    def test_statistics(self, catalog):
+        stats = catalog.statistics()
+        assert stats["stores"] == 3.0
+        assert stats["books"] == 3.0
+        assert stats["listings"] == 5.0
+
+    def test_restrict_stores(self, catalog):
+        sub = catalog.restrict_stores(["s1"])
+        assert sub.stores == ["s1"]
+        assert len(sub) == 2
+
+
+class TestQueries:
+    @pytest.fixture
+    def records(self, catalog):
+        return OnlineQueryEngine(catalog).final_records()
+
+    def test_keyword_query(self, records):
+        assert KeywordQuery("java").evaluate(records) == frozenset({"b1", "b3"})
+
+    def test_lookup_query(self, records):
+        assert LookupQuery("b2").evaluate(records) == ("Serge Abiteboul",)
+
+    def test_lookup_missing_book(self, records):
+        assert LookupQuery("b9").evaluate(records) is None
+
+    def test_books_by_author_fuzzy(self, records):
+        result = BooksByAuthorQuery("Joshua Bloch").evaluate(records)
+        assert result == frozenset({"b1"})
+
+    def test_top_publisher(self, records):
+        assert TopPublisherQuery("Database").evaluate(records) == "Summit Books"
+
+    def test_top_publisher_empty_category(self, records):
+        assert TopPublisherQuery("Poetry").evaluate(records) is None
+
+    def test_answer_f1_sets(self):
+        from repro.query.queries import Query
+
+        assert Query.answer_f1(frozenset({"a"}), frozenset({"a", "b"})) == pytest.approx(2 / 3)
+        assert Query.answer_f1(frozenset(), frozenset()) == 1.0
+        assert Query.answer_f1(frozenset({"x"}), frozenset()) == 0.0
+
+    def test_answer_f1_scalars(self):
+        from repro.query.queries import Query
+
+        assert Query.answer_f1("a", "a") == 1.0
+        assert Query.answer_f1("a", "b") == 0.0
+
+
+class TestOrderingPolicies:
+    def test_random_order_deterministic(self, catalog):
+        assert random_order(catalog.stores, seed=1) == random_order(
+            catalog.stores, seed=1
+        )
+
+    def test_coverage_order(self, catalog):
+        order = coverage_order(catalog)
+        assert order[0] in ("s1", "s3")  # both cover 2 books
+
+    def test_accuracy_order(self, catalog):
+        order = accuracy_order(catalog.stores, {"s1": 0.2, "s2": 0.9, "s3": 0.5})
+        assert order == ["s2", "s3", "s1"]
+
+    def test_marginal_gain_prefers_independent(self):
+        # X and Y both carry {b1, b2}, Z only {b1}. X and Y are all-but
+        # surely dependent, so after X the small-but-independent Z must
+        # outrank Y (whose content is probably a copy of X's).
+        catalog = BookCatalog()
+        catalog.add(_listing("X", "b1"))
+        catalog.add(_listing("X", "b2", title="Other"))
+        catalog.add(_listing("Y", "b1"))
+        catalog.add(_listing("Y", "b2", title="Other"))
+        catalog.add(_listing("Z", "b1"))
+        graph = DependenceGraph(
+            [
+                PairDependence(
+                    s1="X", s2="Y",
+                    p_independent=0.02,
+                    p_s1_copies_s2=0.49, p_s2_copies_s1=0.49,
+                )
+            ]
+        )
+        accuracies = {"X": 0.8, "Y": 0.8, "Z": 0.8}
+        order = marginal_gain_order(catalog, accuracies, graph)
+        assert order[0] == "X"
+        assert order[1] == "Z"
+
+    def test_marginal_gain_max_sources(self, catalog):
+        order = marginal_gain_order(catalog, {}, max_sources=2)
+        assert len(order) == 2
+
+    def test_marginal_gain_validates(self, catalog):
+        with pytest.raises(QueryError):
+            marginal_gain_order(catalog, {}, max_sources=0)
+
+
+class TestOnlineEngine:
+    def test_quality_reaches_one_at_the_end(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        run = engine.run(KeywordQuery("java"), order=catalog.stores)
+        assert run.steps[-1].quality == 1.0
+
+    def test_quality_series_length(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        run = engine.run(KeywordQuery("java"), order=catalog.stores)
+        assert len(run.quality_series()) == len(catalog.stores)
+
+    def test_probes_to_quality(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        run = engine.run(KeywordQuery("java"), order=["s1", "s2", "s3"])
+        assert run.probes_to_quality(1.0) <= 3
+
+    def test_probes_to_quality_validation(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        run = engine.run(KeywordQuery("java"), order=catalog.stores)
+        with pytest.raises(QueryError):
+            run.probes_to_quality(2.0)
+
+    def test_reference_override(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        run = engine.run(
+            KeywordQuery("java"),
+            order=catalog.stores,
+            reference=frozenset({"b1", "b3"}),
+        )
+        assert run.steps[-1].quality == 1.0
+
+    def test_unknown_store_in_order(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        with pytest.raises(QueryError):
+            engine.run(KeywordQuery("java"), order=["s1", "ghost"])
+
+    def test_empty_order_rejected(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        with pytest.raises(QueryError):
+            engine.run(KeywordQuery("java"), order=[])
+
+    def test_max_probes(self, catalog):
+        engine = OnlineQueryEngine(catalog)
+        run = engine.run(KeywordQuery("java"), order=catalog.stores, max_probes=1)
+        assert len(run.steps) == 1
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(QueryError):
+            OnlineQueryEngine(BookCatalog())
+
+    def test_dependence_aware_fusion_changes_records(self):
+        """A copier echoing a bad value must not outvote a good store."""
+        catalog = BookCatalog()
+        catalog.add(_listing("good", "b1", authors=("Joshua Bloch",)))
+        catalog.add(_listing("bad", "b1", authors=("Wrong Person",)))
+        catalog.add(_listing("copy", "b1", authors=("Wrong Person",)))
+        accuracies = {"good": 0.9, "bad": 0.5, "copy": 0.5}
+        naive = OnlineQueryEngine(catalog, accuracies).final_records()
+        assert naive["b1"]["authors"] == ("Wrong Person",)
+
+        graph = DependenceGraph(
+            [
+                PairDependence(
+                    s1="bad", s2="copy",
+                    p_independent=0.02,
+                    p_s1_copies_s2=0.49, p_s2_copies_s1=0.49,
+                )
+            ]
+        )
+        aware = OnlineQueryEngine(
+            catalog, accuracies, dependence=graph, copy_rate=0.9
+        ).final_records()
+        assert aware["b1"]["authors"] == ("Joshua Bloch",)

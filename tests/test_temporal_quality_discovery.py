@@ -1,0 +1,106 @@
+"""Tests for source quality metrics and temporal truth discovery."""
+
+import pytest
+
+from repro.core.claims import ValuePeriod
+from repro.datasets.paper_tables import TABLE3_TIMELINES
+from repro.exceptions import DataError
+from repro.temporal import (
+    TemporalTruthDiscovery,
+    assess_quality,
+    capture_lag,
+)
+from repro.temporal.quality import capture_lag_signed
+
+
+class TestCaptureLag:
+    def test_instant_capture(self, table3):
+        period = ValuePeriod("MSR", 2006, 2007)
+        assert capture_lag(table3, "S2", "Suciu", period) == 0.0
+
+    def test_lagged_capture(self, table3):
+        period = ValuePeriod("UW", 2006, None)
+        assert capture_lag(table3, "S3", "Balazinska", period) == 1.0
+
+    def test_missed_period(self, table3):
+        period = ValuePeriod("MSR", 2006, 2007)
+        assert capture_lag(table3, "S3", "Suciu", period) is None
+
+    def test_signed_lag_negative_for_early_adopter(self, table3):
+        # S2 adopted UW for Halevy in 2001; the true period starts 2002.
+        period = ValuePeriod("UW", 2002, 2006)
+        assert capture_lag_signed(table3, "S2", "Halevy", period) == -1.0
+
+    def test_signed_and_clamped_agree_for_positive(self, table3):
+        period = ValuePeriod("UW", 2006, None)
+        assert capture_lag_signed(table3, "S3", "Balazinska", period) == 1.0
+
+
+class TestAssessQuality:
+    def test_s1_dominates_coverage(self, table3):
+        quality = assess_quality(table3, TABLE3_TIMELINES)
+        assert quality["S1"].coverage > quality["S2"].coverage
+        assert quality["S1"].coverage > quality["S3"].coverage
+
+    def test_s3_laggiest(self, table3):
+        quality = assess_quality(table3, TABLE3_TIMELINES)
+        assert quality["S3"].mean_lag > quality["S1"].mean_lag
+
+    def test_freshness_score_orders_sources(self, table3):
+        quality = assess_quality(table3, TABLE3_TIMELINES)
+        assert (
+            quality["S1"].freshness_score() > quality["S3"].freshness_score()
+        )
+
+    def test_freshness_score_validates_half_life(self, table3):
+        quality = assess_quality(table3, TABLE3_TIMELINES)
+        with pytest.raises(DataError):
+            quality["S1"].freshness_score(half_life=0.0)
+
+    def test_empty_timelines_rejected(self, table3):
+        with pytest.raises(DataError):
+            assess_quality(table3, {})
+
+
+class TestTemporalTruthDiscovery:
+    def test_current_truth_matches_paper(self, table3):
+        result = TemporalTruthDiscovery().discover(table3)
+        assert result.current_truth == {
+            "Suciu": "UW",
+            "Halevy": "Google",
+            "Balazinska": "UW",
+            "Dalvi": "Yahoo!",
+            "Dong": "AT&T",
+        }
+
+    def test_outdated_not_false(self, table3):
+        """Example 3.2's refinement: S2 and S3 are out of date, not wrong."""
+        result = TemporalTruthDiscovery().discover(table3)
+        for source in ("S2", "S3"):
+            counts = result.status_counts(source)
+            assert counts["false"] == 0
+            assert counts["outdated"] > 0
+
+    def test_s1_fully_current(self, table3):
+        result = TemporalTruthDiscovery().discover(table3)
+        counts = result.status_counts("S1")
+        assert counts["outdated"] == 0
+        assert counts["false"] == 0
+
+    def test_dependence_attached(self, table3):
+        result = TemporalTruthDiscovery().discover(table3)
+        assert result.dependence.probability("S1", "S3") > 0.5
+
+    def test_unaware_mode_skips_dependence(self, table3):
+        result = TemporalTruthDiscovery(aware=False).discover(table3)
+        assert len(result.dependence) == 0
+
+    def test_quality_attached(self, table3):
+        result = TemporalTruthDiscovery().discover(table3)
+        assert set(result.quality) == {"S1", "S2", "S3"}
+
+    def test_rejects_empty_dataset(self):
+        from repro.core.temporal_dataset import TemporalDataset
+
+        with pytest.raises(DataError):
+            TemporalTruthDiscovery().discover(TemporalDataset())

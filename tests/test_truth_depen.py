@@ -1,0 +1,131 @@
+"""Tests for DEPEN — the paper's core algorithm (Examples 2.1 and 3.1)."""
+
+import pytest
+
+from repro.core.params import DependenceParams, IterationParams
+from repro.datasets.paper_tables import TABLE1_TRUTH
+from repro.eval import detection_score
+from repro.generators import simple_copier_world
+from repro.truth import Accu, Depen, NaiveVote
+
+
+class TestDepenOnTable1:
+    """The paper's headline example, end to end."""
+
+    def test_recovers_all_five_truths_despite_copiers(self, table1):
+        result = Depen().discover(table1)
+        assert result.decisions == TABLE1_TRUTH
+
+    def test_perfect_without_copiers_too(self, table1_no_copiers):
+        result = Depen().discover(table1_no_copiers)
+        assert result.accuracy_against(TABLE1_TRUTH) == 1.0
+
+    def test_detects_the_copier_clique(self, table1):
+        """Example 3.1: S3, S4, S5 share false values -> dependent."""
+        result = Depen().discover(table1)
+        dependence = result.dependence
+        assert dependence.probability("S3", "S4") > 0.9
+        assert dependence.probability("S3", "S5") > 0.9
+        assert dependence.probability("S4", "S5") > 0.9
+
+    def test_honest_sources_not_flagged(self, table1):
+        """Accurate sources sharing true values stay independent
+        (the 'accurate sources' challenge of section 3.1)."""
+        result = Depen().discover(table1)
+        dependence = result.dependence
+        assert dependence.probability("S1", "S2") < 0.2
+        assert dependence.probability("S1", "S3") < 0.2
+        assert dependence.probability("S2", "S3") < 0.2
+
+    def test_estimated_accuracies_rank_correctly(self, table1):
+        result = Depen().discover(table1)
+        accuracies = result.accuracies
+        assert accuracies["S1"] > accuracies["S2"] > accuracies["S3"]
+        assert accuracies["S3"] >= accuracies["S5"]
+
+    def test_copier_groups(self, table1):
+        result = Depen().discover(table1)
+        groups = result.dependence.copier_groups(threshold=0.5)
+        assert {"S3", "S4", "S5"} in groups
+
+    def test_beats_vote_and_accu(self, table1):
+        depen_acc = Depen().discover(table1).accuracy_against(TABLE1_TRUTH)
+        vote_acc = NaiveVote().discover(table1).accuracy_against(TABLE1_TRUTH)
+        accu_acc = Accu().discover(table1).accuracy_against(TABLE1_TRUTH)
+        assert depen_acc == 1.0
+        assert depen_acc > vote_acc
+        assert depen_acc > accu_acc
+
+
+class TestDepenOnSyntheticWorlds:
+    def test_detects_planted_clique(self, copier_world):
+        dataset, world = copier_world
+        result = Depen().discover(dataset)
+        detected = result.dependence.detected_pairs(0.5)
+        # Direct copier->original edges must all be found; pairs of
+        # sibling copiers (same original) also legitimately show up.
+        assert world.dependent_pairs() <= detected
+        siblings = {
+            frozenset((a, b))
+            for a in world.copiers()
+            for b in world.copiers()
+            if a < b
+        }
+        assert detected <= world.dependent_pairs() | siblings
+
+    def test_truth_at_least_as_good_as_vote(self, copier_world):
+        dataset, world = copier_world
+        depen_acc = Depen().discover(dataset).accuracy_against(world.truth)
+        vote_acc = NaiveVote().discover(dataset).accuracy_against(world.truth)
+        assert depen_acc >= vote_acc
+
+    def test_partial_copier_detected(self):
+        dataset, world = simple_copier_world(
+            n_objects=120,
+            n_independent=4,
+            n_copiers=2,
+            accuracy=0.7,
+            copy_rate=0.6,
+            copier_coverage=0.5,
+            seed=13,
+        )
+        result = Depen().discover(dataset)
+        score = detection_score(
+            result.dependence.detected_pairs(0.5), world.dependent_pairs()
+        )
+        assert score.recall == 1.0
+
+    def test_no_copiers_no_detections(self):
+        dataset, world = simple_copier_world(
+            n_objects=100, n_independent=6, n_copiers=0, accuracy=0.8, seed=3
+        )
+        result = Depen().discover(dataset)
+        assert result.dependence.detected_pairs(0.5) == set()
+
+    def test_min_overlap_skips_thin_pairs(self, table1):
+        result = Depen(min_overlap=10).discover(table1)
+        # Overlaps are all 5 objects < 10: nothing analysed, votes undiscounted.
+        assert len(result.dependence) == 0
+
+
+class TestDepenConfiguration:
+    def test_respects_round_cap(self, table1):
+        result = Depen(iteration=IterationParams(max_rounds=2)).discover(table1)
+        assert result.rounds <= 2
+
+    def test_custom_params_accepted(self, table1):
+        params = DependenceParams(alpha=0.1, copy_rate=0.5, n_false_values=10)
+        result = Depen(params=params).discover(table1)
+        assert result.decisions  # runs to completion
+
+    def test_result_distributions_normalised(self, table1):
+        result = Depen().discover(table1)
+        for dist in result.distributions.values():
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_confidence_of_decisions(self, table1):
+        result = Depen().discover(table1)
+        for obj in TABLE1_TRUTH:
+            assert result.confidence(obj) >= max(
+                result.distributions[obj].values()
+            ) - 1e-12

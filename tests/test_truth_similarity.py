@@ -1,0 +1,82 @@
+"""Tests for the ACCUSIM value-similarity vote adjustment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.linkage.strings import jaro_winkler_similarity
+from repro.truth.similarity import SimilarityMatrix, similarity_adjusted_counts
+
+
+def _binary_similarity(a, b):
+    return 1.0 if a[0] == b[0] else 0.0  # same first letter = variants
+
+
+class TestSimilarityAdjustedCounts:
+    def test_variants_support_each_other(self):
+        counts = {"alpha": 3.0, "alphb": 2.0, "zeta": 4.0}
+        adjusted = similarity_adjusted_counts(counts, _binary_similarity, rho=1.0)
+        assert adjusted["alpha"] == pytest.approx(5.0)
+        assert adjusted["alphb"] == pytest.approx(5.0)
+        assert adjusted["zeta"] == pytest.approx(4.0)
+
+    def test_adjustment_can_flip_the_winner(self):
+        counts = {"alpha": 3.0, "alphb": 2.0, "zeta": 4.0}
+        plain_winner = max(counts, key=counts.get)
+        adjusted = similarity_adjusted_counts(counts, _binary_similarity, rho=0.8)
+        adjusted_winner = max(adjusted, key=adjusted.get)
+        assert plain_winner == "zeta"
+        assert adjusted_winner in ("alpha", "alphb")
+
+    def test_rho_zero_is_identity(self):
+        counts = {"a": 1.0, "b": 2.0}
+        assert similarity_adjusted_counts(counts, _binary_similarity, rho=0.0) == counts
+
+    def test_rho_validation(self):
+        with pytest.raises(ParameterError):
+            similarity_adjusted_counts({"a": 1.0}, _binary_similarity, rho=1.5)
+
+    def test_bad_similarity_rejected(self):
+        with pytest.raises(ParameterError):
+            similarity_adjusted_counts(
+                {"a": 1.0, "b": 1.0}, lambda x, y: 3.0, rho=0.5
+            )
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["aa", "ab", "ba", "bb"]),
+            st.floats(min_value=0.0, max_value=10.0),
+            min_size=2,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_adjustment_never_decreases_counts(self, counts, rho):
+        adjusted = similarity_adjusted_counts(counts, _binary_similarity, rho)
+        for value in counts:
+            assert adjusted[value] >= counts[value] - 1e-12
+
+
+class TestSimilarityMatrix:
+    def test_memoises_and_is_symmetric(self):
+        matrix = SimilarityMatrix(
+            ["martha", "marhta", "zeta"], jaro_winkler_similarity
+        )
+        assert matrix("martha", "marhta") == matrix("marhta", "martha")
+        assert matrix("martha", "martha") == 1.0
+
+    def test_unknown_pairs_default_to_zero(self):
+        matrix = SimilarityMatrix(["a", "b"], jaro_winkler_similarity)
+        assert matrix("a", "zzz") == 0.0
+
+    def test_rejects_bad_similarity(self):
+        with pytest.raises(ParameterError):
+            SimilarityMatrix(["a", "b"], lambda x, y: -1.0)
+
+    def test_usable_with_adjustment(self):
+        values = ["alpha", "alphb", "zeta"]
+        matrix = SimilarityMatrix(values, jaro_winkler_similarity)
+        counts = {v: 1.0 for v in values}
+        adjusted = similarity_adjusted_counts(counts, matrix, rho=0.5)
+        assert adjusted["alpha"] > counts["alpha"]
