@@ -6,16 +6,31 @@ is extremely challenging". We measure DEPEN runtime as the number of
 sources and objects grows; expected shape: roughly quadratic in the
 number of overlapping sources (pairwise analysis dominates), roughly
 linear in objects.
+
+This module also carries the before/after benchmark for the batch
+evidence engine: the per-pair reference path (``batch=False``) versus
+:class:`~repro.dependence.evidence.EvidenceCache` reused across rounds,
+plus a round-scaling case showing the structural pass amortising.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
+from repro.core.params import DependenceParams, IterationParams
+from repro.dependence.bayes import uniform_value_probabilities
+from repro.dependence.evidence import EvidenceCache
+from repro.dependence.graph import discover_dependence
 from repro.eval import render_table
 from repro.generators import simple_copier_world
 from repro.truth import Depen
-from repro.core.params import IterationParams
+
+# Shared CI runners have noisy neighbours and shifting CPU frequency;
+# wall-clock ratios measured there gate with looser thresholds so the
+# numerical-equivalence assertions (which never flake) stay the real
+# gate. Local runs keep the strict acceptance thresholds.
+_ON_CI = bool(os.environ.get("CI"))
 
 
 def _run(n_sources: int, n_objects: int) -> float:
@@ -64,3 +79,130 @@ def test_scaling_in_objects(benchmark):
 
     assert timings[400] > timings[100] * 1.2
     assert timings[400] < timings[100] * 30
+
+
+def _pair_sweep_inputs(n_sources: int, n_objects: int, seed: int = 11):
+    dataset, _ = simple_copier_world(
+        n_objects=n_objects,
+        n_independent=n_sources - 4,
+        n_copiers=4,
+        accuracy=0.8,
+        seed=seed,
+    )
+    value_probs = uniform_value_probabilities(dataset)
+    accuracies = {s: 0.8 for s in dataset.sources}
+    return dataset, value_probs, accuracies
+
+
+def test_pair_sweep_batch_vs_per_pair(benchmark):
+    """Before/after: per-pair evidence collection vs the batch engine.
+
+    The 50-source workload of the acceptance criterion: ~1225 candidate
+    pairs over 300 objects, three dependence rounds (evidence refreshed
+    per round, structural cache built once). The batch engine must be at
+    least 5x faster than the per-pair reference path.
+    """
+    dataset, value_probs, accuracies = _pair_sweep_inputs(50, 300)
+    params = DependenceParams()
+    rounds = 3
+    candidate_pairs = sorted(dataset.co_coverage_counts(1))
+    benchmark.pedantic(
+        lambda: discover_dependence(
+            dataset, value_probs, accuracies, params,
+            candidate_pairs=candidate_pairs,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def time_per_pair() -> float:
+        nonlocal legacy
+        started = time.perf_counter()
+        for _ in range(rounds):
+            legacy = discover_dependence(
+                dataset,
+                value_probs,
+                accuracies,
+                params,
+                candidate_pairs=candidate_pairs,
+                batch=False,
+            )
+        return time.perf_counter() - started
+
+    def time_batch() -> float:
+        nonlocal batched
+        started = time.perf_counter()
+        cache = EvidenceCache(dataset, candidate_pairs, params=params)
+        for _ in range(rounds):
+            batched = discover_dependence(
+                dataset, value_probs, accuracies, params, evidence_cache=cache
+            )
+        return time.perf_counter() - started
+
+    # Best-of-2, interleaved, so a CPU-frequency shift or a noisy
+    # neighbour during one window doesn't decide the comparison.
+    legacy = batched = None
+    p1, b1 = time_per_pair(), time_batch()
+    p2, b2 = time_per_pair(), time_batch()
+    per_pair_seconds = min(p1, p2)
+    batch_seconds = min(b1, b2)
+
+    # Same posteriors from both paths (the engine is a pure optimisation).
+    assert len(batched) == len(legacy)
+    worst = max(
+        abs(batched.get(p.s1, p.s2).p_dependent - p.p_dependent)
+        for p in legacy
+    )
+    assert worst < 1e-9
+
+    speedup = per_pair_seconds / batch_seconds
+    print()
+    print("S1: dependence pair sweep, per-pair path vs batch engine")
+    print(
+        render_table(
+            ["path", "pairs", "rounds", "seconds"],
+            [
+                ["per-pair", len(candidate_pairs), rounds, per_pair_seconds],
+                ["batch", len(candidate_pairs), rounds, batch_seconds],
+                ["speedup", "", "", speedup],
+            ],
+        )
+    )
+    assert speedup >= (2.0 if _ON_CI else 5.0)
+
+
+def test_pair_sweep_round_scaling(benchmark):
+    """Round-to-round caching: extra rounds only pay the soft refresh.
+
+    With the structural pass amortised, 8 rounds must cost well under
+    8x one round (the first round carries the cache build).
+    """
+    dataset, value_probs, accuracies = _pair_sweep_inputs(30, 300)
+    params = DependenceParams()
+    benchmark.pedantic(
+        lambda: EvidenceCache(dataset, params=params), rounds=1, iterations=1
+    )
+
+    def run(rounds: int) -> float:
+        started = time.perf_counter()
+        cache = EvidenceCache(dataset, params=params)
+        for _ in range(rounds):
+            discover_dependence(
+                dataset, value_probs, accuracies, params, evidence_cache=cache
+            )
+        return time.perf_counter() - started
+
+    rows = []
+    timings = {}
+    for rounds in (1, 2, 4, 8):
+        timings[rounds] = run(rounds)
+        rows.append([rounds, timings[rounds]])
+    print()
+    print("S1: dependence-step time vs rounds (structural pass amortises)")
+    print(render_table(["rounds", "seconds"], rows))
+
+    # Amortisation: the marginal cost of an extra round (soft refresh +
+    # posteriors) stays below a full from-scratch dependence step.
+    marginal = (timings[8] - timings[1]) / 7
+    assert timings[8] < timings[1] * 8
+    assert marginal < timings[1] * (2.0 if _ON_CI else 1.0)

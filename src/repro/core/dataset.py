@@ -20,12 +20,17 @@ is more likely to be a partial copier" (section 3.2).
 from __future__ import annotations
 
 import json
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
+from types import MappingProxyType
 from typing import Any
 
 from repro.core.claims import Claim
 from repro.core.types import ObjectId, SourceId, Value
 from repro.exceptions import DataError
+
+#: Shared empty read-only mapping, returned by the ``*_view`` accessors for
+#: absent keys so callers never trigger an allocation on the miss path.
+_EMPTY_VIEW: Mapping = MappingProxyType({})
 
 
 class ClaimDataset:
@@ -168,6 +173,48 @@ class ClaimDataset:
     def coverage(self, source: SourceId) -> int:
         """Number of objects ``source`` provides a value for."""
         return len(self._by_source.get(source, {}))
+
+    # ------------------------------------------------------------------
+    # zero-copy views
+    # ------------------------------------------------------------------
+    #
+    # The plain accessors above (`claims_by`, `values_for`, ...) return
+    # defensive copies — safe, but on the hot paths of dependence
+    # discovery and vote counting those copies dominate the runtime:
+    # every candidate pair used to re-copy both sources' claim dicts and
+    # every vote re-copied every provider set, once per round. The
+    # ``*_view`` accessors below return read-only views of the internal
+    # indexes instead (``MappingProxyType`` — creation is O(1)). Callers
+    # MUST NOT mutate the nested containers (e.g. the provider sets
+    # inside :meth:`values_for_view`); use the copying accessors when a
+    # mutable result is needed.
+
+    def claims_by_view(self, source: SourceId) -> Mapping[ObjectId, Claim]:
+        """Read-only view of everything ``source`` asserts (zero-copy)."""
+        claims = self._by_source.get(source)
+        return _EMPTY_VIEW if claims is None else MappingProxyType(claims)
+
+    def claims_about_view(self, obj: ObjectId) -> Mapping[SourceId, Claim]:
+        """Read-only view of all assertions about ``obj`` (zero-copy)."""
+        claims = self._by_object.get(obj)
+        return _EMPTY_VIEW if claims is None else MappingProxyType(claims)
+
+    def values_for_view(self, obj: ObjectId) -> Mapping[Value, set[SourceId]]:
+        """Read-only view of ``obj``'s values and provider sets (zero-copy).
+
+        The provider sets are the live internal ones — treat them as
+        frozen.
+        """
+        values = self._by_object_value.get(obj)
+        return _EMPTY_VIEW if values is None else MappingProxyType(values)
+
+    def providers_count(self, obj: ObjectId, value: Value) -> int:
+        """``len(providers_of(obj, value))`` without copying the set."""
+        values = self._by_object_value.get(obj)
+        if values is None:
+            return 0
+        providers = values.get(value)
+        return 0 if providers is None else len(providers)
 
     # ------------------------------------------------------------------
     # set algebra over source coverage (section 3.2, intuition 2)

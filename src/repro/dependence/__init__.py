@@ -8,6 +8,7 @@ from repro.dependence.bayes import (
     pair_posterior,
     uniform_value_probabilities,
 )
+from repro.dependence.evidence import EvidenceCache
 from repro.dependence.global_analysis import (
     CopierClique,
     copier_cliques,
@@ -18,6 +19,7 @@ from repro.dependence.partial import (
     AccuracySplit,
     DirectionEvidence,
     accuracy_split,
+    batch_accuracy_splits,
     category_splits,
     direction_evidence,
 )
@@ -27,10 +29,12 @@ __all__ = [
     "CopierClique",
     "DependenceGraph",
     "DirectionEvidence",
+    "EvidenceCache",
     "PairDependence",
     "PairEvidence",
     "accuracy_split",
     "analyze_pair",
+    "batch_accuracy_splits",
     "category_splits",
     "collect_evidence",
     "copier_cliques",

@@ -25,6 +25,11 @@ chicken-and-egg the paper resolves iteratively), evidence is computed
 estimate exists, callers should pass uniform value probabilities
 (:func:`uniform_value_probabilities`); hard 0/1 probabilities recover the
 classic ``kt/kf/kd`` counting.
+
+This module holds the per-pair model (evidence dataclasses, likelihoods,
+posterior combination). Batch evidence collection over *all* candidate
+pairs — the per-round hot path — lives in
+:mod:`repro.dependence.evidence`.
 """
 
 from __future__ import annotations
@@ -74,6 +79,15 @@ class PairEvidence:
     the object's *other* providers asserting the same value — the input
     of the empirical false-value model. ``None`` means only the
     aggregate counts were collected (uniform model).
+
+    ``shared_count`` is the exact integer number of shared (equal-valued)
+    overlap objects, recorded by evidence collection. Mathematically
+    ``kt_soft + kf_soft == shared_count``, but the two soft sums
+    accumulate float error independently, so deriving the count by
+    rounding their sum can drift; hand-built evidence with genuinely
+    fractional soft counts (marginal-style estimates) can even be off by
+    ±1. ``None`` means the count was not recorded (hand-built aggregate
+    evidence) and :attr:`overlap_size` falls back to rounding.
     """
 
     s1: SourceId
@@ -82,10 +96,13 @@ class PairEvidence:
     kf_soft: float
     kd: int
     shared_values: tuple[tuple[float, float], ...] | None = None
+    shared_count: int | None = None
 
     @property
     def overlap_size(self) -> int:
         """Number of objects both sources cover."""
+        if self.shared_count is not None:
+            return self.shared_count + self.kd
         return round(self.kt_soft + self.kf_soft) + self.kd
 
     @property
@@ -109,6 +126,14 @@ def collect_evidence(
     providers (one minus value probability, summed) — i.e. the chance
     that another *erring* provider repeats this particular mistake. A
     popular mistake approaches 1; a pair-exclusive one approaches 0.
+
+    This is the per-pair *reference* path: it re-walks the pair's
+    overlap on every call. Iterative callers analysing many pairs per
+    round should use :class:`~repro.dependence.evidence.EvidenceCache`,
+    which produces identical evidence from one sweep over the by-object
+    index. The overlap is walked in sorted-object order so that the
+    batch engine (which sweeps objects in the same order) accumulates
+    the soft sums in the identical order, bit for bit.
     """
     kt = 0.0
     kf = 0.0
@@ -118,10 +143,9 @@ def collect_evidence(
     claims2 = dataset.claims_by(s2)
     if len(claims1) > len(claims2):
         claims1, claims2 = claims2, claims1
-    for obj, claim in claims1.items():
-        other = claims2.get(obj)
-        if other is None:
-            continue
+    for obj in sorted(obj for obj in claims1 if obj in claims2):
+        claim = claims1[obj]
+        other = claims2[obj]
         if claim.value != other.value:
             kd += 1
             continue
@@ -149,6 +173,7 @@ def collect_evidence(
         kf_soft=kf,
         kd=kd,
         shared_values=tuple(shared),
+        shared_count=len(shared),
     )
 
 

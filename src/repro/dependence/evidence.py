@@ -1,0 +1,322 @@
+"""Batch pair-evidence engine with round-to-round caching.
+
+The iterative algorithms (DEPEN and friends) re-estimate pairwise
+dependence every round. Done naively — :func:`~repro.dependence.bayes.collect_evidence`
+once per candidate pair — each round re-walks the dataset O(pairs)
+times, re-copying both sources' claim dicts per pair and, under the
+empirical false-value model, recomputing each object's expected wrong
+count once per pair per shared value. :class:`EvidenceCache` replaces
+all of that with one structural pass at construction plus one cheap
+soft refresh per round.
+
+Cached vs refreshed split
+-------------------------
+
+The pair evidence ``(kt_soft, kf_soft, kd, shared_values)`` factors into
+a part that depends only on *which claims exist* (static across rounds —
+the claims never change while truth is being iterated) and a part that
+depends on the current ``value_probs``:
+
+**Cached once, at construction** (one sweep over the by-object index):
+
+* the candidate pair set and, per pair, its *agreement list* — the
+  shared ``(object, value)`` entries where both sources assert the same
+  value, in sorted-object order — and its integer ``kd`` (overlap
+  objects where they differ);
+* agreement entries are deduplicated across pairs: every pair agreeing
+  on ``(obj, v)`` references the same entry slot, so a value shared by
+  a whole copier clique is refreshed once, not once per pair;
+* per entry, the provider count ``m`` (for the empirical popularity);
+* per object, the ordered ``(value, provider_count)`` list feeding the
+  expected-wrong-provider count ``k_false``.
+
+**Refreshed each round** (:meth:`EvidenceCache.refresh`, one sweep over
+the deduplicated entries): the truth probability ``p_true`` of every
+entry, and — empirical model only — each object's ``k_false`` and the
+resulting per-entry popularity.
+
+Fast aggregate path
+-------------------
+
+Under the uniform false-value model with ``evidence_form="expected_log"``
+the per-shared-value log-likelihood loop collapses: every shared value
+uses the same ``Pf`` (``q_v`` is the uniform ``1/n`` floor for all of
+them), so ``Σ [pᵢ·ln Pt + (1-pᵢ)·ln Pf] = kt·ln Pt + kf·ln Pf`` — exactly
+the aggregate :func:`~repro.dependence.bayes._log_likelihood`. In that
+mode the engine skips materialising ``shared_values`` entirely and emits
+aggregate-count evidence, which
+:func:`~repro.dependence.bayes.pair_posterior` scores with the closed
+form. Pass ``exact=True`` to force per-value evidence anyway; the exact
+mode reproduces :func:`~repro.dependence.bayes.collect_evidence` bit for
+bit (same accumulation order — both walk objects sorted).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.dataset import ClaimDataset
+from repro.core.params import DependenceParams
+from repro.core.types import SourceId, Value
+from repro.dependence.bayes import PairEvidence, ValueProbabilities
+from repro.exceptions import DataError
+
+_EMPTY_PROBS: dict[Value, float] = {}
+
+
+class _PairSlot:
+    """Static structure of one candidate pair: agreement entries + kd."""
+
+    __slots__ = ("s1", "s2", "agree", "kd")
+
+    def __init__(self, s1: SourceId, s2: SourceId) -> None:
+        self.s1 = s1
+        self.s2 = s2
+        self.agree: list[int] = []  # entry ids, in sorted-object order
+        self.kd = 0
+
+
+class EvidenceCache:
+    """Per-round batch evidence for all candidate pairs of a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The (immutable while iterating) claim store.
+    candidate_pairs:
+        The pairs to analyse; ``None`` derives them from
+        :meth:`~repro.core.dataset.ClaimDataset.co_coverage_counts` with
+        ``min_overlap``. Pairs are normalised to ``s1 < s2``. Pairs with
+        no overlap are legal and yield zero evidence (prior posterior).
+    min_overlap:
+        Overlap prefilter used only when ``candidate_pairs`` is ``None``.
+    params:
+        Selects the false-value model (whether popularity is needed) and
+        the evidence form (whether the fast aggregate path applies).
+    exact:
+        Force per-value ``shared_values`` evidence even when the fast
+        aggregate path would be valid — bit-for-bit identical to the
+        per-pair :func:`~repro.dependence.bayes.collect_evidence`.
+
+    Typical use::
+
+        cache = EvidenceCache(dataset, params=params)
+        for each round:
+            for (s1, s2), ev in cache.collect_all(value_probs).items():
+                graph.add(pair_posterior(ev, acc[s1], acc[s2], params))
+    """
+
+    def __init__(
+        self,
+        dataset: ClaimDataset,
+        candidate_pairs: Iterable[tuple[SourceId, SourceId]] | None = None,
+        *,
+        min_overlap: int = 1,
+        params: DependenceParams | None = None,
+        exact: bool = False,
+    ) -> None:
+        if params is None:
+            params = DependenceParams()
+        if min_overlap < 1:
+            raise DataError(f"min_overlap must be >= 1, got {min_overlap}")
+        self._false_value_model = params.false_value_model
+        self._evidence_form = params.evidence_form
+        self._with_popularity = params.false_value_model == "empirical"
+        self._fast = (
+            not exact
+            and not self._with_popularity
+            and params.evidence_form == "expected_log"
+        )
+        self._refreshed = False
+
+        if candidate_pairs is None:
+            candidate_pairs = sorted(dataset.co_coverage_counts(min_overlap))
+        self._slots: dict[tuple[SourceId, SourceId], _PairSlot] = {}
+        for s1, s2 in candidate_pairs:
+            if s1 == s2:
+                raise DataError(f"a source cannot pair with itself: {s1!r}")
+            key = (s1, s2) if s1 < s2 else (s2, s1)
+            self._slots[key] = _PairSlot(*key)
+
+        # --- structural pass: one sweep over the by-object index ------
+        # Per object: pair up the providers once, splitting each
+        # candidate pair's overlap into agreement entries and kd.
+        # Objects are visited in sorted order so every pair's agreement
+        # list — and therefore every soft sum built from it — follows
+        # the same order as the per-pair reference walk.
+        groups: list[tuple[object, list[int], list[Value]]] = []
+        # entry_m feeds only the empirical popularity; skip collecting it
+        # (and the per-object value counts) under the uniform model.
+        entry_m: list[int] = []
+        value_counts: list[list[tuple[Value, int]]] = []
+        n_entries = 0
+        slots = self._slots
+        for obj in dataset.objects:
+            providers = dataset.claims_about_view(obj)
+            if len(providers) < 2:
+                continue
+            sources = sorted(providers)
+            eids: list[int] = []
+            values: list[Value] = []
+            local: dict[Value, int] = {}
+            for i, s1 in enumerate(sources):
+                v1 = providers[s1].value
+                for s2 in sources[i + 1 :]:
+                    slot = slots.get((s1, s2))
+                    if slot is None:
+                        continue
+                    if providers[s2].value != v1:
+                        slot.kd += 1
+                        continue
+                    eid = local.get(v1)
+                    if eid is None:
+                        eid = n_entries
+                        n_entries += 1
+                        local[v1] = eid
+                        if self._with_popularity:
+                            entry_m.append(dataset.providers_count(obj, v1))
+                        eids.append(eid)
+                        values.append(v1)
+                    slot.agree.append(eid)
+            if eids:
+                groups.append((obj, eids, values))
+                if self._with_popularity:
+                    value_counts.append(
+                        [
+                            (value, len(sources_of))
+                            for value, sources_of in dataset.values_for_view(
+                                obj
+                            ).items()
+                        ]
+                    )
+        self._groups = groups
+        self._entry_m = entry_m
+        self._value_counts = value_counts
+        # refreshed parts
+        self._p = [0.0] * n_entries
+        self._pop = [1.0] * n_entries if self._with_popularity else None
+
+    # ------------------------------------------------------------------
+    # per-round refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self, value_probs: ValueProbabilities) -> None:
+        """Recompute the ``value_probs``-dependent soft parts.
+
+        One sweep over the deduplicated agreement entries; under the
+        empirical model each object's ``k_false`` is computed once here
+        instead of once per pair per shared value.
+        """
+        self._refreshed = True
+        p = self._p
+        if self._pop is None:
+            for obj, eids, values in self._groups:
+                obj_probs = value_probs.get(obj, _EMPTY_PROBS)
+                for eid, value in zip(eids, values):
+                    p[eid] = obj_probs.get(value, 0.0)
+            return
+        pop = self._pop
+        entry_m = self._entry_m
+        for (obj, eids, values), counts in zip(self._groups, self._value_counts):
+            obj_probs = value_probs.get(obj, _EMPTY_PROBS)
+            k_false = sum(
+                count * (1.0 - obj_probs.get(value, 0.0))
+                for value, count in counts
+            )
+            for eid, value in zip(eids, values):
+                p[eid] = obj_probs.get(value, 0.0)
+                if k_false > 1.0:
+                    pop[eid] = min(1.0, (entry_m[eid] - 1) / (k_false - 1.0))
+                else:
+                    pop[eid] = 1.0
+
+    # ------------------------------------------------------------------
+    # evidence accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def pairs(self) -> list[tuple[SourceId, SourceId]]:
+        """The candidate pairs, normalised ``s1 < s2``."""
+        return list(self._slots)
+
+    def check_compatible(self, params: DependenceParams) -> None:
+        """Raise unless the cache was built for this evidence model.
+
+        The cache bakes the false-value model (popularity collected or
+        not) and the evidence form (fast aggregate path or not) into its
+        structure; scoring its output under different params would be
+        silently wrong.
+        """
+        if (
+            params.false_value_model != self._false_value_model
+            or params.evidence_form != self._evidence_form
+        ):
+            raise DataError(
+                "evidence cache was built for "
+                f"false_value_model={self._false_value_model!r}, "
+                f"evidence_form={self._evidence_form!r}; cannot score under "
+                f"false_value_model={params.false_value_model!r}, "
+                f"evidence_form={params.evidence_form!r} — build a new cache"
+            )
+
+    def evidence(self, s1: SourceId, s2: SourceId) -> PairEvidence:
+        """Evidence for one pair, from the *last* :meth:`refresh`."""
+        if not self._refreshed:
+            raise DataError(
+                "evidence cache has not been refreshed yet — call "
+                "refresh(value_probs) or collect_all(value_probs) first"
+            )
+        key = (s1, s2) if s1 < s2 else (s2, s1)
+        slot = self._slots.get(key)
+        if slot is None:
+            raise DataError(f"pair ({s1!r}, {s2!r}) is not a candidate pair")
+        return self._build(slot)
+
+    def collect_all(
+        self, value_probs: ValueProbabilities
+    ) -> dict[tuple[SourceId, SourceId], PairEvidence]:
+        """Refresh and return evidence for every candidate pair."""
+        self.refresh(value_probs)
+        return {key: self._build(slot) for key, slot in self._slots.items()}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[tuple[SourceId, SourceId]]:
+        return iter(self._slots)
+
+    def _build(self, slot: _PairSlot) -> PairEvidence:
+        p = self._p
+        kt = 0.0
+        kf = 0.0
+        if self._fast:
+            for eid in slot.agree:
+                p_true = p[eid]
+                kt += p_true
+                kf += 1.0 - p_true
+            shared_values = None
+        else:
+            pop = self._pop
+            shared: list[tuple[float, float]] = []
+            if pop is None:
+                for eid in slot.agree:
+                    p_true = p[eid]
+                    kt += p_true
+                    kf += 1.0 - p_true
+                    shared.append((p_true, -1.0))  # -1: use the uniform 1/n
+            else:
+                for eid in slot.agree:
+                    p_true = p[eid]
+                    kt += p_true
+                    kf += 1.0 - p_true
+                    shared.append((p_true, pop[eid]))
+            shared_values = tuple(shared)
+        return PairEvidence(
+            s1=slot.s1,
+            s2=slot.s2,
+            kt_soft=kt,
+            kf_soft=kf,
+            kd=slot.kd,
+            shared_values=shared_values,
+            shared_count=len(slot.agree),
+        )

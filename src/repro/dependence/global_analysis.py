@@ -60,10 +60,11 @@ def _originality(
 ) -> float:
     """Blend of "not the copying side" mass and accuracy, in [0, 1]."""
     directed = []
+    adjacent = graph.pairs_of(source)  # O(degree) adjacency view
     for other in members:
         if other == source:
             continue
-        pair = graph.get(source, other)
+        pair = adjacent.get(other)
         if pair is None:
             continue
         # Posterior that *the other* copies from this source, given the

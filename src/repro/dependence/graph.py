@@ -17,7 +17,8 @@ such as finding copier cliques.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
+from types import MappingProxyType
 
 import networkx as nx
 
@@ -28,8 +29,12 @@ from repro.dependence.bayes import (
     PairDependence,
     ValueProbabilities,
     analyze_pair,
+    pair_posterior,
 )
+from repro.dependence.evidence import EvidenceCache
 from repro.exceptions import DataError
+
+_EMPTY_ADJACENCY: Mapping[SourceId, PairDependence] = MappingProxyType({})
 
 
 def _pair_key(s1: SourceId, s2: SourceId) -> tuple[SourceId, SourceId]:
@@ -43,12 +48,18 @@ class DependenceGraph:
 
     def __init__(self, pairs: Iterable[PairDependence] = ()) -> None:
         self._pairs: dict[tuple[SourceId, SourceId], PairDependence] = {}
+        # Per-source adjacency: source -> {other: pair}. Kept in sync by
+        # add() so per-source queries (dependence_score, pairs_of) are
+        # O(degree) instead of scanning every stored pair.
+        self._adjacent: dict[SourceId, dict[SourceId, PairDependence]] = {}
         for pair in pairs:
             self.add(pair)
 
     def add(self, pair: PairDependence) -> None:
         """Insert or replace the posterior for one pair."""
         self._pairs[_pair_key(pair.s1, pair.s2)] = pair
+        self._adjacent.setdefault(pair.s1, {})[pair.s2] = pair
+        self._adjacent.setdefault(pair.s2, {})[pair.s1] = pair
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -85,17 +96,23 @@ class DependenceGraph:
             if pair.p_dependent >= threshold
         }
 
+    def pairs_of(self, source: SourceId) -> Mapping[SourceId, PairDependence]:
+        """Read-only adjacency view: ``{other: pair}`` for ``source``'s pairs."""
+        adjacent = self._adjacent.get(source)
+        return _EMPTY_ADJACENCY if adjacent is None else MappingProxyType(adjacent)
+
     def dependence_score(self, source: SourceId) -> float:
         """How entangled ``source`` is: max dependence posterior over its pairs.
 
         Used by source recommendation: a source whose every value might be
-        copied contributes little *new* information.
+        copied contributes little *new* information. Answered from the
+        per-source adjacency index in O(degree) — scanning all stored
+        pairs per query made recommendation O(sources · pairs).
         """
-        best = 0.0
-        for (a, b), pair in self._pairs.items():
-            if source in (a, b):
-                best = max(best, pair.p_dependent)
-        return best
+        adjacent = self._adjacent.get(source)
+        if not adjacent:
+            return 0.0
+        return max(pair.p_dependent for pair in adjacent.values())
 
     def independence_weight(
         self, source: SourceId, counted: Iterable[SourceId], copy_rate: float
@@ -140,6 +157,8 @@ def discover_dependence(
     params: DependenceParams | None = None,
     min_overlap: int = 1,
     candidate_pairs: Iterable[tuple[SourceId, SourceId]] | None = None,
+    evidence_cache: EvidenceCache | None = None,
+    batch: bool = True,
 ) -> DependenceGraph:
     """Analyse every source pair with enough overlap and build the graph.
 
@@ -151,16 +170,48 @@ def discover_dependence(
     ``candidate_pairs`` bypasses the overlap scan (iterative callers
     compute the pair set once and reuse it every round — the overlap
     structure never changes between rounds).
+
+    By default the evidence for all pairs comes from one batch sweep
+    (:class:`~repro.dependence.evidence.EvidenceCache`). Iterative
+    callers should build the cache once and pass it as
+    ``evidence_cache`` so the structural pass is also amortised across
+    rounds (:class:`~repro.truth.depen.Depen` does). ``batch=False``
+    selects the per-pair reference path
+    (:func:`~repro.dependence.bayes.analyze_pair` per pair) — it exists
+    for equivalence testing and benchmarking, not for production use.
     """
     if params is None:
         params = DependenceParams()
     if min_overlap < 1:
         raise DataError(f"min_overlap must be >= 1, got {min_overlap}")
-    if candidate_pairs is None:
-        candidate_pairs = sorted(dataset.co_coverage_counts(min_overlap))
     graph = DependenceGraph()
-    for s1, s2 in candidate_pairs:
+    if not batch:
+        if evidence_cache is not None:
+            raise DataError(
+                "evidence_cache is a batch-path input; it cannot be combined "
+                "with batch=False (the per-pair reference path)"
+            )
+        if candidate_pairs is None:
+            candidate_pairs = sorted(dataset.co_coverage_counts(min_overlap))
+        for s1, s2 in candidate_pairs:
+            graph.add(
+                analyze_pair(dataset, s1, s2, value_probs, accuracies, params)
+            )
+        return graph
+    cache = evidence_cache
+    if cache is None:
+        cache = EvidenceCache(
+            dataset, candidate_pairs, min_overlap=min_overlap, params=params
+        )
+    else:
+        if candidate_pairs is not None:
+            raise DataError(
+                "pass either candidate_pairs or evidence_cache, not both — "
+                "the cache already fixes the pair set"
+            )
+        cache.check_compatible(params)
+    for (s1, s2), evidence in cache.collect_all(value_probs).items():
         graph.add(
-            analyze_pair(dataset, s1, s2, value_probs, accuracies, params)
+            pair_posterior(evidence, accuracies[s1], accuracies[s2], params)
         )
     return graph

@@ -20,6 +20,11 @@ as *direction* evidence for the main Bayes model: of the two sources in a
 dependent pair, the one with the stronger split is the likelier copier
 (the original's accuracy is a property of the source, not of where it
 overlaps a particular other source).
+
+:func:`accuracy_split` is the per-pair form; when splits are needed for
+a whole round's pair list, :func:`batch_accuracy_splits` computes each
+source's total truth mass once and charges every pair only for its
+overlap.
 """
 
 from __future__ import annotations
@@ -89,10 +94,10 @@ def accuracy_split(
     """
     if source == other:
         raise DataError("cannot split a source against itself")
-    claims = dataset.claims_by(source)
+    claims = dataset.claims_by_view(source)
     if not claims:
         raise DataError(f"source {source!r} provides no claims")
-    other_objects = set(dataset.claims_by(other))
+    other_objects = dataset.claims_by_view(other)
 
     overlap_mass = 0.0
     overlap_count = 0
@@ -160,13 +165,82 @@ def direction_evidence(
     s2: SourceId,
     value_probs: ValueProbabilities,
 ) -> DirectionEvidence:
-    """Accuracy-split direction evidence for a pair (both splits)."""
+    """Accuracy-split direction evidence for a pair (both splits).
+
+    Computed through :func:`batch_accuracy_splits` so the pair's overlap
+    is walked once and shared by both directed splits.
+    """
+    splits = batch_accuracy_splits(dataset, [(s1, s2)], value_probs)
     return DirectionEvidence(
         s1=s1,
         s2=s2,
-        split1=accuracy_split(dataset, s1, s2, value_probs),
-        split2=accuracy_split(dataset, s2, s1, value_probs),
+        split1=splits[(s1, s2)],
+        split2=splits[(s2, s1)],
     )
+
+
+def batch_accuracy_splits(
+    dataset: ClaimDataset,
+    pairs: list[tuple[SourceId, SourceId]],
+    value_probs: ValueProbabilities,
+) -> dict[tuple[SourceId, SourceId], AccuracySplit]:
+    """Both directed splits for many pairs, sharing per-source totals.
+
+    :func:`accuracy_split` walks the source's full claim set per call —
+    for the pair list of a dependence round that is O(pairs · coverage)
+    full walks. Here each source's total truth mass is computed once and
+    each pair only walks its *overlap*; the private side is derived as
+    ``total - overlap``. Returns ``{(source, other): split}`` with both
+    orientations for every input pair. Results match
+    :func:`accuracy_split` up to float summation order (the private mass
+    is a difference rather than a direct sum).
+    """
+    totals: dict[SourceId, tuple[float, int]] = {}
+
+    def total_of(source: SourceId) -> tuple[float, int]:
+        cached = totals.get(source)
+        if cached is not None:
+            return cached
+        claims = dataset.claims_by_view(source)
+        if not claims:
+            raise DataError(f"source {source!r} provides no claims")
+        mass = 0.0
+        for obj, claim in claims.items():
+            mass += value_probs.get(obj, {}).get(claim.value, 0.0)
+        totals[source] = (mass, len(claims))
+        return totals[source]
+
+    splits: dict[tuple[SourceId, SourceId], AccuracySplit] = {}
+    for s1, s2 in pairs:
+        if s1 == s2:
+            raise DataError("cannot split a source against itself")
+        claims1 = dataset.claims_by_view(s1)
+        claims2 = dataset.claims_by_view(s2)
+        smaller = claims1 if len(claims1) <= len(claims2) else claims2
+        larger = claims2 if smaller is claims1 else claims1
+        overlap = [obj for obj in smaller if obj in larger]
+        n_overlap = len(overlap)
+        for source, other, claims in ((s1, s2, claims1), (s2, s1, claims2)):
+            total_mass, total_count = total_of(source)
+            overlap_mass = 0.0
+            for obj in overlap:
+                overlap_mass += value_probs.get(obj, {}).get(
+                    claims[obj].value, 0.0
+                )
+            n_private = total_count - n_overlap
+            splits[(source, other)] = AccuracySplit(
+                source=source,
+                other=other,
+                overlap_accuracy=(
+                    overlap_mass / n_overlap if n_overlap else 0.0
+                ),
+                private_accuracy=(
+                    (total_mass - overlap_mass) / n_private if n_private else 0.0
+                ),
+                overlap_size=n_overlap,
+                private_size=n_private,
+            )
+    return splits
 
 
 def category_splits(

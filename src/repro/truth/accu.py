@@ -15,8 +15,8 @@ from repro.exceptions import ConvergenceError
 from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
 from repro.truth.vote_counting import (
     accuracy_score,
+    all_independent_vote_counts,
     decisions_and_distributions,
-    independent_vote_counts,
     soft_accuracies,
 )
 
@@ -58,10 +58,7 @@ class Accu(TruthDiscovery):
                 s: accuracy_score(it.clamp_accuracy(a), self.n_false_values)
                 for s, a in accuracies.items()
             }
-            counts = {
-                obj: independent_vote_counts(dataset, obj, scores)
-                for obj in dataset.objects
-            }
+            counts = all_independent_vote_counts(dataset, scores)
             new_decisions, distributions = decisions_and_distributions(
                 dataset, counts
             )

@@ -28,13 +28,14 @@ from __future__ import annotations
 from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams, IterationParams
 from repro.dependence.bayes import uniform_value_probabilities
+from repro.dependence.evidence import EvidenceCache
 from repro.dependence.graph import DependenceGraph, discover_dependence
 from repro.exceptions import ConvergenceError
 from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
 from repro.truth.vote_counting import (
     accuracy_score,
+    all_discounted_vote_counts,
     decisions_and_distributions,
-    discounted_vote_counts,
     soft_accuracies,
 )
 
@@ -78,8 +79,12 @@ class Depen(TruthDiscovery):
         converged = False
         rounds = 0
 
-        candidate_pairs = sorted(
-            dataset.co_coverage_counts(self.min_overlap)
+        # The overlap structure never changes between rounds, so the
+        # candidate pairs and every structural part of the pair evidence
+        # are computed once; only the value_probs-dependent soft parts
+        # are refreshed each round inside discover_dependence.
+        evidence_cache = EvidenceCache(
+            dataset, min_overlap=self.min_overlap, params=self.params
         )
         for rounds in range(1, it.max_rounds + 1):
             clamped = {s: it.clamp_accuracy(a) for s, a in accuracies.items()}
@@ -89,23 +94,19 @@ class Depen(TruthDiscovery):
                 clamped,
                 self.params,
                 min_overlap=self.min_overlap,
-                candidate_pairs=candidate_pairs,
+                evidence_cache=evidence_cache,
             )
             scores = {
                 s: accuracy_score(a, self.params.n_false_values)
                 for s, a in clamped.items()
             }
-            counts = {
-                obj: discounted_vote_counts(
-                    dataset,
-                    obj,
-                    scores,
-                    dependence,
-                    self.params.copy_rate,
-                    clamped,
-                )
-                for obj in dataset.objects
-            }
+            counts = all_discounted_vote_counts(
+                dataset,
+                scores,
+                dependence,
+                self.params.copy_rate,
+                clamped,
+            )
             new_decisions, distributions = decisions_and_distributions(
                 dataset, counts
             )

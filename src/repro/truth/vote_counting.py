@@ -58,9 +58,21 @@ def independent_vote_counts(
 ) -> dict[Value, float]:
     """ACCU vote counts: each provider contributes its full score."""
     counts: dict[Value, float] = {}
-    for value, providers in dataset.values_for(obj).items():
+    for value, providers in dataset.values_for_view(obj).items():
         counts[value] = sum(scores[source] for source in providers)
     return counts
+
+
+def all_independent_vote_counts(
+    dataset: ClaimDataset,
+    scores: dict[SourceId, float],
+) -> dict[ObjectId, dict[Value, float]]:
+    """ACCU vote counts for every object in one pass (zero-copy views)."""
+    _require_entries(dataset, scores, "scores")
+    return {
+        obj: independent_vote_counts(dataset, obj, scores)
+        for obj in dataset.objects
+    }
 
 
 def discounted_vote_counts(
@@ -80,10 +92,42 @@ def discounted_vote_counts(
     counted — ``Π (1 - c·P(dep))`` over the counted set. Ordering by
     accuracy puts the most credible provider first, so suspected copiers
     are the ones discounted.
+
+    Every provider of ``obj`` must have an entry in both ``accuracies``
+    and ``scores``; a missing source raises
+    :class:`~repro.exceptions.ParameterError` naming it (previously a
+    missing accuracy silently sorted the source last and then surfaced
+    as an opaque ``KeyError``).
     """
+    for value, providers in dataset.values_for_view(obj).items():
+        for source in providers:
+            if source not in accuracies:
+                raise ParameterError(
+                    f"no accuracy estimate for source {source!r} "
+                    f"(provider of object {obj!r})"
+                )
+            if source not in scores:
+                raise ParameterError(
+                    f"no accuracy score for source {source!r} "
+                    f"(provider of object {obj!r})"
+                )
+    return _discounted_counts(
+        dataset, obj, scores, dependence, copy_rate, accuracies
+    )
+
+
+def _discounted_counts(
+    dataset: ClaimDataset,
+    obj: ObjectId,
+    scores: dict[SourceId, float],
+    dependence: DependenceGraph,
+    copy_rate: float,
+    accuracies: dict[SourceId, float],
+) -> dict[Value, float]:
+    """Unchecked kernel of :func:`discounted_vote_counts`."""
     counts: dict[Value, float] = {}
-    for value, providers in dataset.values_for(obj).items():
-        ordered = sorted(providers, key=lambda s: (-accuracies.get(s, 0.0), s))
+    for value, providers in dataset.values_for_view(obj).items():
+        ordered = sorted(providers, key=lambda s: (-accuracies[s], s))
         counted: list[SourceId] = []
         total = 0.0
         for source in ordered:
@@ -92,6 +136,41 @@ def discounted_vote_counts(
             counted.append(source)
         counts[value] = total
     return counts
+
+
+def all_discounted_vote_counts(
+    dataset: ClaimDataset,
+    scores: dict[SourceId, float],
+    dependence: DependenceGraph,
+    copy_rate: float,
+    accuracies: dict[SourceId, float],
+) -> dict[ObjectId, dict[Value, float]]:
+    """DEPEN vote counts for every object in one pass (zero-copy views).
+
+    Validates the accuracy maps against the whole dataset once, then
+    runs the unchecked kernel per object — the per-round hot loop pays
+    no per-provider membership checks.
+    """
+    _require_entries(dataset, scores, "scores")
+    _require_entries(dataset, accuracies, "accuracies")
+    return {
+        obj: _discounted_counts(
+            dataset, obj, scores, dependence, copy_rate, accuracies
+        )
+        for obj in dataset.objects
+    }
+
+
+def _require_entries(
+    dataset: ClaimDataset, mapping: dict[SourceId, float], name: str
+) -> None:
+    """Fail fast, naming the first dataset source missing from ``mapping``."""
+    for source in dataset.sources:
+        if source not in mapping:
+            raise ParameterError(
+                f"no entry in {name!r} for source {source!r}; every source "
+                "of the dataset needs one"
+            )
 
 
 def decide(vote_counts: dict[Value, float]) -> Value:
@@ -129,7 +208,7 @@ def soft_accuracies(
     """
     accuracies: dict[SourceId, float] = {}
     for source in dataset.sources:
-        claims = dataset.claims_by(source)
+        claims = dataset.claims_by_view(source)
         mass = sum(
             distributions.get(obj, {}).get(claim.value, 0.0)
             for obj, claim in claims.items()

@@ -179,6 +179,29 @@ class TestDependenceGraph:
         assert graph.dependence_score("A") == pytest.approx(0.8)
         assert graph.dependence_score("C") == pytest.approx(0.3)
 
+    def test_dependence_score_unknown_source_is_zero(self):
+        graph = DependenceGraph([self._pair("A", "B", 0.8)])
+        assert graph.dependence_score("Z") == 0.0
+
+    def test_adjacency_tracks_replacement(self):
+        """add() replaces in both the pair store and the adjacency index."""
+        graph = DependenceGraph([self._pair("A", "B", 0.9)])
+        graph.add(self._pair("B", "A", 0.2))  # replaces, order-insensitive
+        assert len(graph) == 1
+        assert graph.dependence_score("A") == pytest.approx(0.2)
+        assert graph.dependence_score("B") == pytest.approx(0.2)
+
+    def test_pairs_of_adjacency_view(self):
+        graph = DependenceGraph(
+            [self._pair("A", "B", 0.8), self._pair("A", "C", 0.3)]
+        )
+        adjacent = graph.pairs_of("A")
+        assert set(adjacent) == {"B", "C"}
+        assert adjacent["B"].p_dependent == pytest.approx(0.8)
+        assert graph.pairs_of("Z") == {}
+        with pytest.raises(TypeError):
+            graph.pairs_of("A")["D"] = self._pair("A", "D", 0.5)
+
     def test_networkx_export(self):
         graph = DependenceGraph([self._pair("A", "B", 0.8)])
         nx_graph = graph.to_networkx()

@@ -6,10 +6,43 @@ from repro.core.dataset import ClaimDataset
 from repro.dependence.partial import (
     AccuracySplit,
     accuracy_split,
+    batch_accuracy_splits,
     category_splits,
     direction_evidence,
 )
 from repro.exceptions import DataError
+
+
+class TestBatchAccuracySplits:
+    def test_matches_per_pair_splits(self, copier_world):
+        dataset, _ = copier_world
+        from repro.dependence.bayes import uniform_value_probabilities
+
+        probs = uniform_value_probabilities(dataset)
+        sources = dataset.sources
+        pairs = [
+            (sources[i], sources[j])
+            for i in range(len(sources))
+            for j in range(i + 1, len(sources))
+        ]
+        splits = batch_accuracy_splits(dataset, pairs, probs)
+        for s1, s2 in pairs:
+            for source, other in ((s1, s2), (s2, s1)):
+                batch = splits[(source, other)]
+                reference = accuracy_split(dataset, source, other, probs)
+                assert batch.overlap_size == reference.overlap_size
+                assert batch.private_size == reference.private_size
+                assert batch.overlap_accuracy == pytest.approx(
+                    reference.overlap_accuracy
+                )
+                assert batch.private_accuracy == pytest.approx(
+                    reference.private_accuracy
+                )
+
+    def test_rejects_self_pair(self, copier_world):
+        dataset, _ = copier_world
+        with pytest.raises(DataError):
+            batch_accuracy_splits(dataset, [("ind00", "ind00")], {})
 
 
 def _hard_probs(dataset, truth):

@@ -8,9 +8,12 @@ from repro.core.dataset import ClaimDataset
 from repro.datasets.paper_tables import TABLE1_TRUTH
 from repro.exceptions import DataError, ParameterError
 from repro.truth import Accu, NaiveVote, TruthFinder
+from repro.dependence.graph import DependenceGraph
 from repro.truth.vote_counting import (
     accuracy_score,
+    all_discounted_vote_counts,
     decide,
+    discounted_vote_counts,
     softmax_distribution,
 )
 
@@ -98,6 +101,54 @@ class TestTruthFinder:
         result = TruthFinder().discover(dataset)
         for trust in result.accuracies.values():
             assert 0.0 <= trust <= 1.0
+
+
+class TestDiscountedVoteCountValidation:
+    """Satellite bugfix: a provider missing from the accuracy maps must
+    fail fast with a named ParameterError, not sort last and KeyError."""
+
+    def _dataset(self):
+        return ClaimDataset.from_table(
+            {"o1": {"A": "x", "B": "x", "C": "y"}}
+        )
+
+    def test_missing_accuracy_names_the_source(self):
+        dataset = self._dataset()
+        scores = {"A": 1.0, "B": 1.0, "C": 1.0}
+        accuracies = {"A": 0.8, "B": 0.8}  # C missing
+        with pytest.raises(ParameterError, match="'C'"):
+            discounted_vote_counts(
+                dataset, "o1", scores, DependenceGraph(), 0.8, accuracies
+            )
+
+    def test_missing_score_names_the_source(self):
+        dataset = self._dataset()
+        scores = {"A": 1.0, "C": 1.0}  # B missing
+        accuracies = {"A": 0.8, "B": 0.8, "C": 0.8}
+        with pytest.raises(ParameterError, match="'B'"):
+            discounted_vote_counts(
+                dataset, "o1", scores, DependenceGraph(), 0.8, accuracies
+            )
+
+    def test_batch_variant_validates_whole_dataset(self):
+        dataset = self._dataset()
+        with pytest.raises(ParameterError, match="'C'"):
+            all_discounted_vote_counts(
+                dataset,
+                {"A": 1.0, "B": 1.0, "C": 1.0},
+                DependenceGraph(),
+                0.8,
+                {"A": 0.8, "B": 0.8},
+            )
+
+    def test_complete_maps_still_count(self):
+        dataset = self._dataset()
+        scores = {"A": 1.0, "B": 1.0, "C": 1.0}
+        accuracies = {"A": 0.8, "B": 0.8, "C": 0.8}
+        counts = discounted_vote_counts(
+            dataset, "o1", scores, DependenceGraph(), 0.8, accuracies
+        )
+        assert counts == {"x": pytest.approx(2.0), "y": pytest.approx(1.0)}
 
 
 class TestVoteCounting:
