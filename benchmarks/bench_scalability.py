@@ -10,7 +10,8 @@ linear in objects.
 This module also carries the before/after benchmark for the batch
 evidence engine: the per-pair reference path (``batch=False``) versus
 :class:`~repro.dependence.evidence.EvidenceCache` reused across rounds,
-plus a round-scaling case showing the structural pass amortising.
+plus a round-scaling case showing the structural pass amortising, and
+the ingest-vs-rebuild curve for incremental (dirty-object) maintenance.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams, IterationParams
 from repro.dependence.bayes import uniform_value_probabilities
 from repro.dependence.evidence import EvidenceCache
@@ -206,3 +208,86 @@ def test_pair_sweep_round_scaling(benchmark):
     marginal = (timings[8] - timings[1]) / 7
     assert timings[8] < timings[1] * 8
     assert marginal < timings[1] * (2.0 if _ON_CI else 1.0)
+
+
+def test_ingest_vs_rebuild_scaling(benchmark):
+    """Incremental maintenance scales with the dirty set, not the dataset.
+
+    The 50-source workload again: a slice of objects receives late
+    claims. The incremental path (batch ingest + dirty-object sync +
+    evidence refresh) is compared with a cold rebuild of the evidence
+    cache on the final dataset followed by the same refresh. Acceptance:
+    >=5x faster when <10% of the objects are dirty — and the two paths'
+    evidence must be bit-for-bit identical.
+    """
+    dataset_full, _ = simple_copier_world(
+        n_objects=300, n_independent=46, n_copiers=4, accuracy=0.8, seed=11
+    )
+    claims = list(dataset_full)
+    objects = sorted({c.object for c in claims})
+    late_sources = set(sorted({c.source for c in claims})[:5])
+    params = DependenceParams()
+
+    def split(fraction):
+        dirty = set(objects[: int(len(objects) * fraction)])
+        holdout = [
+            c for c in claims if c.object in dirty and c.source in late_sources
+        ]
+        base = [
+            c
+            for c in claims
+            if not (c.object in dirty and c.source in late_sources)
+        ]
+        return base, holdout
+
+    def measure(fraction):
+        base, holdout = split(fraction)
+        dataset = ClaimDataset(base)
+        cache = EvidenceCache(dataset, params=params)
+        cache.collect_all(uniform_value_probabilities(dataset))  # warm state
+
+        started = time.perf_counter()
+        dataset.add_claims(holdout)
+        cache.sync()
+        probs = uniform_value_probabilities(dataset)
+        incremental = cache.collect_all(probs)
+        incremental_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cold_cache = EvidenceCache(dataset, params=params)
+        cold = cold_cache.collect_all(probs)
+        rebuild_seconds = time.perf_counter() - started
+
+        assert incremental == cold  # bit-for-bit, PairEvidence equality
+        return len(holdout), incremental_seconds, rebuild_seconds
+
+    benchmark.pedantic(lambda: measure(0.05), rounds=1, iterations=1)
+    rows = []
+    speedups = {}
+    for fraction in (0.02, 0.05, 0.10):
+        # Best-of-2 per path so one noisy window doesn't decide it.
+        n1, i1, r1 = measure(fraction)
+        _, i2, r2 = measure(fraction)
+        incremental_seconds = min(i1, i2)
+        rebuild_seconds = min(r1, r2)
+        speedups[fraction] = rebuild_seconds / incremental_seconds
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                n1,
+                incremental_seconds,
+                rebuild_seconds,
+                speedups[fraction],
+            ]
+        )
+    print()
+    print("S1: incremental ingest vs cold rebuild (50 sources, 300 objects)")
+    print(
+        render_table(
+            ["dirty", "claims", "incremental s", "rebuild s", "speedup"],
+            rows,
+        )
+    )
+    floor = 2.0 if _ON_CI else 5.0
+    for fraction, speedup in speedups.items():
+        assert speedup >= floor, (fraction, speedup)

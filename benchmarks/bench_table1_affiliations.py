@@ -9,7 +9,7 @@ while flagging exactly {S3, S4, S5} as dependent.
 from __future__ import annotations
 
 from repro.datasets.paper_tables import TABLE1_TRUTH, table1_dataset
-from repro.eval import compare_algorithms, render_table
+from repro.eval import render_table
 from repro.truth import Accu, Depen, NaiveVote, TruthFinder
 
 

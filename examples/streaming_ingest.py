@@ -1,0 +1,85 @@
+"""Streaming ingest: dependence posteriors that stay fresh under traffic.
+
+Simulates a service absorbing claim batches continuously. A copier
+clique's tell-tale shared errors only accumulate as claims arrive, so
+the dependence posteriors sharpen batch by batch — and the engine pays
+only for the *dirty* objects of each batch (plus a cheap soft refresh),
+never a full re-sweep. The final state is provably identical to a cold
+rebuild; the win is the cost of staying fresh.
+
+Run:  PYTHONPATH=src python examples/streaming_ingest.py
+"""
+
+import random
+import time
+
+from repro import DependenceParams, StreamingDependenceEngine
+from repro.generators import simple_copier_world
+
+
+def main() -> None:
+    # A 20-source world, 200 objects, with a 3-copier clique.
+    dataset, world = simple_copier_world(
+        n_objects=200, n_independent=17, n_copiers=3, accuracy=0.8, seed=42
+    )
+    claims = sorted(dataset, key=lambda c: (str(c.object), c.source))
+    rng = random.Random(0)
+    rng.shuffle(claims)
+
+    planted = sorted(
+        tuple(sorted((e.copier, e.original))) for e in world.edges
+    )
+    print(f"planted copier edges: {planted}\n")
+    print(
+        f"{'batch':>5} {'claims':>7} {'dirty':>6} {'pairs':>6} "
+        f"{'ingest ms':>10} {'detected pairs (P >= 0.9)'}"
+    )
+
+    # n_false_values matches the generated world (20 false alternatives
+    # per object) — overstating n makes every shared false value look
+    # more damning than it is. The empirical false-value model weighs
+    # each shared value by its observed popularity, which keeps large
+    # overlaps between genuinely independent sources from accumulating
+    # spurious evidence (the default expected_log+uniform combination is
+    # deliberately aggressive for tiny inputs like Table 1, and
+    # over-detects at this scale). min_overlap=10 is the paper's
+    # Example 4.1 prefilter ("at least the same 10 books").
+    engine = StreamingDependenceEngine(
+        params=DependenceParams(
+            n_false_values=20, false_value_model="empirical"
+        ),
+        min_overlap=10,
+    )
+    batch_size = 400
+    for index, start in enumerate(range(0, len(claims), batch_size)):
+        batch = claims[start : start + batch_size]
+        started = time.perf_counter()
+        delta = engine.ingest(batch)  # structural repair: dirty objects only
+        ingest_ms = (time.perf_counter() - started) * 1e3
+        # Re-running DEPEN on the live state reuses the engine's evidence
+        # cache, so the iterative loop pays no structural pass; it also
+        # re-anchors the accuracy estimates the posteriors condition on.
+        engine.run_truth()
+        detected = sorted(
+            tuple(sorted(pair))
+            for pair in engine.graph.detected_pairs(threshold=0.9)
+        )
+        print(
+            f"{index:>5} {len(engine.dataset):>7} "
+            f"{len(delta.dirty_objects):>6} {len(engine.graph):>6} "
+            f"{ingest_ms:>10.1f} {detected}"
+        )
+
+    result = engine.run_truth()
+    accuracy = result.accuracy_against(world.truth)
+    print(f"\nDEPEN on the final stream: accuracy {accuracy:.3f} against truth")
+    copiers = sorted(
+        source
+        for source in engine.dataset.sources
+        if engine.graph.dependence_score(source) >= 0.9
+    )
+    print(f"sources entangled in a detected pair: {copiers}")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,7 +49,11 @@ from repro.core import (
     TemporalWorld,
     World,
 )
-from repro.dependence import DependenceGraph, discover_dependence
+from repro.dependence import (
+    DependenceGraph,
+    StreamingDependenceEngine,
+    discover_dependence,
+)
 from repro.truth import Accu, Depen, NaiveVote, TruthFinder, TruthResult
 
 __version__ = "0.1.0"
@@ -67,6 +71,7 @@ __all__ = [
     "NaiveVote",
     "OpinionParams",
     "Rating",
+    "StreamingDependenceEngine",
     "TemporalClaim",
     "TemporalDataset",
     "TemporalParams",

@@ -6,7 +6,7 @@ modules.
 """
 
 from repro.core.claims import Claim, Rating, TemporalClaim, ValuePeriod
-from repro.core.dataset import ClaimDataset
+from repro.core.dataset import ClaimDataset, IngestDelta
 from repro.core.params import (
     DependenceParams,
     IterationParams,
@@ -28,6 +28,7 @@ __all__ = [
     "DependenceEdge",
     "DependenceKind",
     "DependenceParams",
+    "IngestDelta",
     "IterationParams",
     "OpinionParams",
     "Rating",

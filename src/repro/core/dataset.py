@@ -15,12 +15,29 @@ the *overlap* of two sources (objects both cover) and each source's
 information it shares in common with another data source is significantly
 different from its accuracy on the remaining information, the data source
 is more likely to be a partial copier" (section 3.2).
+
+Ingest and change tracking
+--------------------------
+
+The store is mutable under a restricted discipline: claims are only ever
+*added* (a claim, once present, never changes value and is never
+removed — conflicting re-assertions raise). Every successful add bumps a
+monotonic :attr:`~ClaimDataset.version` and is recorded in a mutation
+log, so consumers that cache derived structure (the batch evidence
+engine, vote-order caches) can ask "what changed since version v?"
+(:meth:`~ClaimDataset.new_claims_since`) and invalidate only the dirty
+objects instead of assuming immutability. :meth:`~ClaimDataset.add_claims`
+is the batch ingest entry point and returns an :class:`IngestDelta`
+summarising the batch.
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
 from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from operator import itemgetter
 from types import MappingProxyType
 from typing import Any
 
@@ -31,6 +48,24 @@ from repro.exceptions import DataError
 #: Shared empty read-only mapping, returned by the ``*_view`` accessors for
 #: absent keys so callers never trigger an allocation on the miss path.
 _EMPTY_VIEW: Mapping = MappingProxyType({})
+
+
+@dataclass(frozen=True, slots=True)
+class IngestDelta:
+    """Summary of one :meth:`ClaimDataset.add_claims` batch.
+
+    ``added`` new claims were inserted (``duplicates`` re-asserted an
+    identical existing claim and were no-ops), touching ``dirty_objects``;
+    ``version`` is the dataset version after the batch.
+    """
+
+    added: int
+    duplicates: int
+    dirty_objects: frozenset[ObjectId]
+    version: int
+
+    def __bool__(self) -> bool:
+        return self.added > 0
 
 
 class ClaimDataset:
@@ -48,6 +83,11 @@ class ClaimDataset:
         self._by_source: dict[SourceId, dict[ObjectId, Claim]] = {}
         self._by_object: dict[ObjectId, dict[SourceId, Claim]] = {}
         self._by_object_value: dict[ObjectId, dict[Value, set[SourceId]]] = {}
+        # Monotonic mutation tracking: every successful add bumps the
+        # version and appends (version, source, object) to the log.
+        self._version = 0
+        self._log: list[tuple[int, SourceId, ObjectId]] = []
+        self._log_floor = 0
         for claim in claims:
             self.add(claim)
 
@@ -74,6 +114,94 @@ class ClaimDataset:
         self._by_object_value.setdefault(claim.object, {}).setdefault(
             claim.value, set()
         ).add(claim.source)
+        self._version += 1
+        self._log.append((self._version, claim.source, claim.object))
+
+    def add_claims(self, claims: Iterable[Claim]) -> IngestDelta:
+        """Batch ingest: insert many claims, returning what changed.
+
+        Identical duplicates are tolerated (ingest pipelines replay);
+        conflicting re-assertions raise :class:`~repro.exceptions.DataError`
+        exactly as :meth:`add` does, with everything added before the
+        offending claim retained.
+        """
+        start = self._version
+        duplicates = 0
+        dirty: set[ObjectId] = set()
+        for claim in claims:
+            before = self._version
+            self.add(claim)
+            if self._version == before:
+                duplicates += 1
+            else:
+                dirty.add(claim.object)
+        return IngestDelta(
+            added=self._version - start,
+            duplicates=duplicates,
+            dirty_objects=frozenset(dirty),
+            version=self._version,
+        )
+
+    # ------------------------------------------------------------------
+    # change tracking
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (number of claims ever added)."""
+        return self._version
+
+    def _log_start(self, version: int) -> int:
+        """Index of the first log entry newer than ``version``."""
+        if version > self._version:
+            raise DataError(
+                f"version {version} is in the future (dataset is at "
+                f"{self._version})"
+            )
+        if version < self._log_floor:
+            raise DataError(
+                f"mutation log was compacted past version {version} "
+                f"(log starts after {self._log_floor}); rebuild derived "
+                "state from scratch instead"
+            )
+        return bisect_right(self._log, version, key=itemgetter(0))
+
+    def dirty_objects_since(self, version: int) -> set[ObjectId]:
+        """Objects touched by claims added after ``version``."""
+        return {obj for _, _, obj in self._log[self._log_start(version) :]}
+
+    def new_claims_since(self, version: int) -> dict[ObjectId, set[SourceId]]:
+        """Per dirty object, the sources whose claims arrived after ``version``.
+
+        This is the delta consumers need for dirty-object invalidation:
+        values never change and claims are never removed, so "which
+        sources are new per object" fully describes the mutation.
+        """
+        delta: dict[ObjectId, set[SourceId]] = {}
+        for _, source, obj in self._log[self._log_start(version) :]:
+            delta.setdefault(obj, set()).add(source)
+        return delta
+
+    def compact_log(self, upto_version: int | None = None) -> int:
+        """Drop mutation-log entries at or before ``upto_version``.
+
+        Long-running ingest loops call this once every consumer has
+        synced past ``upto_version`` (default: the current version), so
+        the log does not grow without bound. Returns the number of
+        entries dropped. Asking for changes older than the compaction
+        point afterwards raises.
+        """
+        cutoff = self._version if upto_version is None else upto_version
+        if cutoff > self._version:
+            raise DataError(
+                f"cannot compact past version {cutoff}: dataset is at "
+                f"{self._version} (a future floor would strand every "
+                "synced consumer)"
+            )
+        start = bisect_right(self._log, cutoff, key=itemgetter(0))
+        del self._log[:start]
+        self._log_floor = max(self._log_floor, cutoff)
+        return start
 
     @classmethod
     def from_table(

@@ -53,6 +53,15 @@ class DependenceParams:
     latent truth properly (``ln(p·Pt + (1-p)·Pf)``); it is
     better-calibrated on larger inputs but too timid to bootstrap the
     worked examples. Both coincide once value probabilities harden.
+
+    ``max_providers_per_object`` guards the structural evidence pass
+    against pathologically *hot* objects: pair enumeration is
+    O(providers²) per object, so an object with thousands of providers
+    dominates the sweep. When set, only the first ``max`` providers (in
+    sorted source order — deterministic, so incremental maintenance and
+    cold rebuilds agree) take part in pair enumeration for that object;
+    truncations are logged and recorded by the evidence engine, never
+    silent. ``None`` (the default) disables the cap.
     """
 
     alpha: float = 0.2
@@ -60,6 +69,7 @@ class DependenceParams:
     n_false_values: int = 100
     false_value_model: str = "uniform"
     evidence_form: str = "expected_log"
+    max_providers_per_object: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 1.0:
@@ -81,6 +91,14 @@ class DependenceParams:
             raise ParameterError(
                 "evidence_form must be 'expected_log' or 'marginal', got "
                 f"{self.evidence_form!r}"
+            )
+        if (
+            self.max_providers_per_object is not None
+            and self.max_providers_per_object < 2
+        ):
+            raise ParameterError(
+                "max_providers_per_object must be >= 2 (a pair needs two "
+                f"providers) or None, got {self.max_providers_per_object}"
             )
 
     @property

@@ -57,6 +57,12 @@ class TemporalDataset:
         self._history: dict[tuple[SourceId, ObjectId], list[tuple[float, Value]]] = {}
         self._sources: set[SourceId] = set()
         self._objects: set[ObjectId] = set()
+        # Coverage indexes, maintained by add(): which objects a source
+        # tracks and which sources cover an object. Batch dependence
+        # collection sweeps the by-object index instead of intersecting
+        # per-source coverage once per pair.
+        self._by_source: dict[SourceId, set[ObjectId]] = {}
+        self._by_object: dict[ObjectId, set[SourceId]] = {}
         self._sorted = True
         for claim in claims:
             self.add(claim)
@@ -80,6 +86,8 @@ class TemporalDataset:
         history.append((claim.time, claim.value))
         self._sources.add(claim.source)
         self._objects.add(claim.object)
+        self._by_source.setdefault(claim.source, set()).add(claim.object)
+        self._by_object.setdefault(claim.object, set()).add(claim.source)
         self._sorted = False
 
     def _ensure_sorted(self) -> None:
@@ -134,7 +142,11 @@ class TemporalDataset:
 
     def objects_of(self, source: SourceId) -> set[ObjectId]:
         """Objects for which ``source`` ever asserted a value."""
-        return {obj for (s, obj) in self._history if s == source}
+        return set(self._by_source.get(source, ()))
+
+    def sources_for(self, obj: ObjectId) -> set[SourceId]:
+        """Sources that ever asserted a value for ``obj``."""
+        return set(self._by_object.get(obj, ()))
 
     def value_at(
         self, source: SourceId, obj: ObjectId, t: float

@@ -8,6 +8,11 @@ from repro.dependence.bayes import (
     pair_posterior,
     uniform_value_probabilities,
 )
+from repro.dependence.collector import (
+    PairSlotCollector,
+    ProviderCap,
+    pair_key,
+)
 from repro.dependence.evidence import EvidenceCache
 from repro.dependence.global_analysis import (
     CopierClique,
@@ -23,6 +28,7 @@ from repro.dependence.partial import (
     category_splits,
     direction_evidence,
 )
+from repro.dependence.streaming import StreamingDependenceEngine
 
 __all__ = [
     "AccuracySplit",
@@ -32,6 +38,9 @@ __all__ = [
     "EvidenceCache",
     "PairDependence",
     "PairEvidence",
+    "PairSlotCollector",
+    "ProviderCap",
+    "StreamingDependenceEngine",
     "accuracy_split",
     "analyze_pair",
     "batch_accuracy_splits",
@@ -41,6 +50,7 @@ __all__ = [
     "direction_evidence",
     "discover_dependence",
     "independent_core",
+    "pair_key",
     "pair_posterior",
     "uniform_value_probabilities",
 ]

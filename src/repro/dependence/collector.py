@@ -1,0 +1,214 @@
+"""Shared structural-pass machinery for the three dependence modalities.
+
+All three dependence detectors — snapshot copy detection over a
+:class:`~repro.core.dataset.ClaimDataset`, temporal co-adoption analysis
+over a :class:`~repro.core.temporal_dataset.TemporalDataset`, and rater
+similarity/dissimilarity over a
+:class:`~repro.opinions.ratings.RatingMatrix` — share one computational
+shape:
+
+1. **one structural pass** over a *by-item* provider index (by object,
+   by object again, by rated item), enumerating the provider pairs of
+   each item into per-pair *slots* of item-level evidence records, which
+   depend only on *which claims exist* and are therefore cached across
+   rounds;
+2. **a cheap soft refresh per round** of the parts that depend on the
+   current model state (value probabilities, reference timelines, rater
+   weights), applied over the cached slots.
+
+Done naively — one dataset walk per candidate pair — each round costs
+O(pairs) full walks; the structural pass costs one walk total. This
+module holds the pieces of that pattern that are genuinely common:
+
+* :func:`pair_key` — pair normalisation (``s1 < s2``) with self-pair
+  rejection, used by every slot registry and result container;
+* :class:`ProviderCap` — the deterministic hot-item guard: pair
+  enumeration is O(providers²) per item, so pathologically hot items
+  (thousands of providers) are truncated to a configured cap, with every
+  truncation logged and recorded — never silent;
+* :class:`PairSlotCollector` — the skeleton of the structural pass:
+  slot registry, candidate admission (a fixed pair set, or every pair
+  observed), and the per-item pair sweep.
+
+:class:`~repro.dependence.evidence.EvidenceCache` (snapshot) builds on
+:func:`pair_key` and :class:`ProviderCap` directly — its pass also
+maintains incremental dirty-object state, which stays in that module.
+:class:`~repro.dependence.temporal.CoAdoptionCollector` and
+:class:`~repro.dependence.opinions.RaterPairCollector` subclass
+:class:`PairSlotCollector`.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.core.types import ObjectId, SourceId
+from repro.exceptions import DataError
+
+logger = logging.getLogger("repro.dependence")
+
+PairKey = tuple[SourceId, SourceId]
+
+
+def pair_key(s1: SourceId, s2: SourceId) -> PairKey:
+    """Normalise a source pair to ``s1 < s2``; self-pairs are rejected."""
+    if s1 == s2:
+        raise DataError(f"a source cannot pair with itself: {s1!r}")
+    return (s1, s2) if s1 < s2 else (s2, s1)
+
+
+class ProviderCap:
+    """Deterministic per-item provider cap for pair enumeration.
+
+    With ``cap=None`` every provider participates. Otherwise only the
+    first ``cap`` providers *in sorted source order* of a hot item are
+    enumerated — a deterministic function of the item's current provider
+    set, so an incrementally maintained structure and a cold rebuild of
+    the final state agree exactly. Each truncation is logged at WARNING
+    and recorded in :attr:`truncated` (``item -> providers dropped``), so
+    nothing is capped silently.
+    """
+
+    __slots__ = ("cap", "_truncated")
+
+    def __init__(self, cap: int | None) -> None:
+        if cap is not None and cap < 2:
+            raise DataError(f"provider cap must be >= 2 or None, got {cap}")
+        self.cap = cap
+        self._truncated: dict[ObjectId, int] = {}
+
+    @property
+    def truncated(self) -> Mapping[ObjectId, int]:
+        """Items whose pair enumeration was truncated: ``{item: dropped}``."""
+        return dict(self._truncated)
+
+    def kept(self, item: ObjectId, providers: Sequence) -> Sequence:
+        """The prefix of ``providers`` (sorted by source) that participates."""
+        cap = self.cap
+        if cap is None or len(providers) <= cap:
+            return providers
+        dropped = len(providers) - cap
+        if self._truncated.get(item) != dropped:
+            self._truncated[item] = dropped
+            logger.warning(
+                "hot-item guard: item %r has %d providers (cap %d); "
+                "%d provider(s) excluded from pair enumeration",
+                item,
+                len(providers),
+                cap,
+                dropped,
+            )
+        return providers[:cap]
+
+
+class PairSlotCollector:
+    """Skeleton of the cached structural pass over a by-item index.
+
+    Subclasses define the slot type (:meth:`_new_slot`) and what one
+    item contributes to a pair's slot (:meth:`_collect`), then call
+    :meth:`build` with the by-item groups: ``(item, providers)`` tuples
+    where ``providers`` is a sequence of ``(source, payload)`` pairs in
+    sorted source order. The payload carries whatever per-(item, source)
+    state the modality needs — the claimed value, the first-adoption
+    map, the rating.
+
+    ``candidate_pairs`` fixes the pair set (pairs outside it are skipped
+    during the sweep); ``None`` admits every pair that co-occurs on some
+    item. Per-pair minimum-evidence thresholds (overlap, co-adoptions,
+    co-rated items) are modality policy and belong in the subclass or at
+    scoring time.
+    """
+
+    def __init__(
+        self,
+        candidate_pairs: Iterable[tuple[SourceId, SourceId]] | None = None,
+        *,
+        max_providers_per_item: int | None = None,
+    ) -> None:
+        self._slots: dict[PairKey, Any] = {}
+        self._fixed = candidate_pairs is not None
+        self._cap = ProviderCap(max_providers_per_item)
+        if candidate_pairs is not None:
+            for s1, s2 in candidate_pairs:
+                key = pair_key(s1, s2)
+                self._slots[key] = self._new_slot(*key)
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _new_slot(self, s1: SourceId, s2: SourceId) -> Any:
+        """Create the empty slot for a (normalised) pair."""
+        raise NotImplementedError
+
+    def _collect(
+        self,
+        slot: Any,
+        item: ObjectId,
+        s1: SourceId,
+        payload1: Any,
+        s2: SourceId,
+        payload2: Any,
+    ) -> None:
+        """Record one item's structural contribution to a pair's slot."""
+        raise NotImplementedError
+
+    # -- the structural pass --------------------------------------------
+
+    def build(
+        self,
+        groups: Iterable[tuple[ObjectId, Sequence[tuple[SourceId, Any]]]],
+    ) -> None:
+        """Run the structural pass over the by-item groups.
+
+        Items must be supplied in sorted order and each group's providers
+        in sorted source order, so every slot accumulates its records in
+        a deterministic order (per-pair reference walks visit items
+        sorted too — this is what makes batch and per-pair evidence
+        comparable bit for bit).
+        """
+        slots = self._slots
+        fixed = self._fixed
+        for item, providers in groups:
+            kept = self._cap.kept(item, providers)
+            for i, (s1, payload1) in enumerate(kept):
+                for s2, payload2 in kept[i + 1 :]:
+                    slot = slots.get((s1, s2))
+                    if slot is None:
+                        if fixed:
+                            continue
+                        slot = self._new_slot(s1, s2)
+                        slots[(s1, s2)] = slot
+                    self._collect(slot, item, s1, payload1, s2, payload2)
+
+    # -- registry accessors ---------------------------------------------
+
+    @property
+    def pairs(self) -> list[PairKey]:
+        """The collected pairs, normalised ``s1 < s2``."""
+        return list(self._slots)
+
+    @property
+    def truncated_items(self) -> Mapping[ObjectId, int]:
+        """Hot items whose enumeration was capped: ``{item: dropped}``."""
+        return self._cap.truncated
+
+    def slot(self, s1: SourceId, s2: SourceId) -> Any:
+        """The slot for one pair; raises if the pair was never collected."""
+        key = pair_key(s1, s2)
+        slot = self._slots.get(key)
+        if slot is None:
+            raise DataError(f"pair ({s1!r}, {s2!r}) was not collected")
+        return slot
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[PairKey]:
+        return iter(self._slots)
+
+    def __contains__(self, pair: tuple[SourceId, SourceId]) -> bool:
+        s1, s2 = pair
+        if s1 == s2:
+            return False  # a self-pair is never collected, not an error
+        return ((s1, s2) if s1 < s2 else (s2, s1)) in self._slots

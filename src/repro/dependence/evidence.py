@@ -1,4 +1,4 @@
-"""Batch pair-evidence engine with round-to-round caching.
+"""Batch pair-evidence engine with round-to-round and ingest-to-ingest caching.
 
 The iterative algorithms (DEPEN and friends) re-estimate pairwise
 dependence every round. Done naively — :func:`~repro.dependence.bayes.collect_evidence`
@@ -13,11 +13,11 @@ Cached vs refreshed split
 -------------------------
 
 The pair evidence ``(kt_soft, kf_soft, kd, shared_values)`` factors into
-a part that depends only on *which claims exist* (static across rounds —
-the claims never change while truth is being iterated) and a part that
-depends on the current ``value_probs``:
+a part that depends only on *which claims exist* (static across rounds)
+and a part that depends on the current ``value_probs``:
 
-**Cached once, at construction** (one sweep over the by-object index):
+**Cached structurally** (one sweep over the by-object index at
+construction, then maintained incrementally under ingest):
 
 * the candidate pair set and, per pair, its *agreement list* — the
   shared ``(object, value)`` entries where both sources assert the same
@@ -34,6 +34,36 @@ depends on the current ``value_probs``:
 the deduplicated entries): the truth probability ``p_true`` of every
 entry, and — empirical model only — each object's ``k_false`` and the
 resulting per-entry popularity.
+
+Incremental maintenance under ingest
+------------------------------------
+
+The cache subscribes to its dataset's mutation log
+(:meth:`~repro.core.dataset.ClaimDataset.new_claims_since`). Because
+claims are only ever *added* (values never change, claims are never
+removed), an ingest batch is fully described by "which sources are new
+per dirty object", and :meth:`EvidenceCache.sync` repairs exactly the
+structure those objects touch:
+
+* the pair slots gain the dirty objects' new agreement/``kd``
+  contributions (agreement lists keep sorted-object order via bisection,
+  so the soft sums still accumulate in cold-rebuild order);
+* per-pair overlap counts are maintained; a pair crossing the
+  ``min_overlap`` threshold is *backfilled* (its full structure is
+  collected from the two sources' coverage) — so the candidate set
+  stays exactly what a cold rebuild would derive;
+* dirty objects' provider counts (``m``, ``k_false`` inputs) are
+  recomputed; clean objects are untouched;
+* with a hot-object cap (``params.max_providers_per_object``), a dirty
+  object's capped provider prefix may change — its old contributions
+  are removed and the new prefix's re-collected, and pairs dropping
+  below ``min_overlap`` are retired.
+
+The invariant, asserted by the equivalence tests: after *any* sequence
+of ingest batches, the evidence served for every pair is bit-for-bit
+identical to a cold ``EvidenceCache`` built on the final dataset.
+:meth:`refresh`/:meth:`collect_all` sync automatically, so iterating
+callers never observe a stale structural state.
 
 Fast aggregate path
 -------------------
@@ -53,12 +83,14 @@ bit (same accumulation order — both walk objects sorted).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from bisect import insort
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams
-from repro.core.types import SourceId, Value
+from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.bayes import PairEvidence, ValueProbabilities
+from repro.dependence.collector import PairKey, ProviderCap, pair_key
 from repro.exceptions import DataError
 
 _EMPTY_PROBS: dict[Value, float] = {}
@@ -82,17 +114,22 @@ class EvidenceCache:
     Parameters
     ----------
     dataset:
-        The (immutable while iterating) claim store.
+        The claim store. It may keep growing (ingest); the cache tracks
+        its mutation log and repairs itself on :meth:`sync` (called
+        automatically by :meth:`refresh`/:meth:`collect_all`).
     candidate_pairs:
-        The pairs to analyse; ``None`` derives them from
-        :meth:`~repro.core.dataset.ClaimDataset.co_coverage_counts` with
-        ``min_overlap``. Pairs are normalised to ``s1 < s2``. Pairs with
-        no overlap are legal and yield zero evidence (prior posterior).
+        The pairs to analyse; ``None`` derives them from the per-object
+        overlap counts with ``min_overlap`` — and keeps deriving them as
+        the dataset grows. An explicit pair set is fixed: ingest updates
+        the listed pairs' evidence but never adds pairs. Pairs are
+        normalised to ``s1 < s2``; pairs with no overlap are legal and
+        yield zero evidence (prior posterior).
     min_overlap:
         Overlap prefilter used only when ``candidate_pairs`` is ``None``.
     params:
-        Selects the false-value model (whether popularity is needed) and
-        the evidence form (whether the fast aggregate path applies).
+        Selects the false-value model (whether popularity is needed),
+        the evidence form (whether the fast aggregate path applies) and
+        the hot-object provider cap.
     exact:
         Force per-value ``shared_values`` evidence even when the fast
         aggregate path would be valid — bit-for-bit identical to the
@@ -119,8 +156,11 @@ class EvidenceCache:
             params = DependenceParams()
         if min_overlap < 1:
             raise DataError(f"min_overlap must be >= 1, got {min_overlap}")
+        self._dataset = dataset
+        self._min_overlap = min_overlap
         self._false_value_model = params.false_value_model
         self._evidence_form = params.evidence_form
+        self._cap_limit = params.max_providers_per_object
         self._with_popularity = params.false_value_model == "empirical"
         self._fast = (
             not exact
@@ -128,73 +168,314 @@ class EvidenceCache:
             and params.evidence_form == "expected_log"
         )
         self._refreshed = False
+        self._cap = ProviderCap(self._cap_limit)
+        self._fixed = candidate_pairs is not None
 
-        if candidate_pairs is None:
-            candidate_pairs = sorted(dataset.co_coverage_counts(min_overlap))
-        self._slots: dict[tuple[SourceId, SourceId], _PairSlot] = {}
-        for s1, s2 in candidate_pairs:
-            if s1 == s2:
-                raise DataError(f"a source cannot pair with itself: {s1!r}")
-            key = (s1, s2) if s1 < s2 else (s2, s1)
-            self._slots[key] = _PairSlot(*key)
+        # Entry store: parallel arrays indexed by entry id, with freed
+        # ids recycled. An entry is one deduplicated (object, value)
+        # agreement, referenced by every pair slot that shares it.
+        self._entry_obj: list[ObjectId | None] = []
+        self._entry_value: list[Value | None] = []
+        self._entry_refs: list[int] = []
+        self._entry_m: list[int] = []  # provider counts (empirical only)
+        self._p: list[float] = []
+        self._pop: list[float] | None = [] if self._with_popularity else None
+        self._free: list[int] = []
+        # Per-object entry registry: obj -> {value: entry id}.
+        self._groups: dict[ObjectId, dict[Value, int]] = {}
+        # Per-object (value, provider_count) lists for k_false (empirical).
+        self._value_counts: dict[ObjectId, list[tuple[Value, int]]] = {}
 
         # --- structural pass: one sweep over the by-object index ------
-        # Per object: pair up the providers once, splitting each
-        # candidate pair's overlap into agreement entries and kd.
-        # Objects are visited in sorted order so every pair's agreement
-        # list — and therefore every soft sum built from it — follows
-        # the same order as the per-pair reference walk.
-        groups: list[tuple[object, list[int], list[Value]]] = []
-        # entry_m feeds only the empirical popularity; skip collecting it
-        # (and the per-object value counts) under the uniform model.
-        entry_m: list[int] = []
-        value_counts: list[list[tuple[Value, int]]] = []
-        n_entries = 0
-        slots = self._slots
+        # Per object: pair up the (cap-filtered) providers once,
+        # splitting each candidate pair's overlap into agreement entries
+        # and kd. Objects are visited in sorted order so every pair's
+        # agreement list — and therefore every soft sum built from it —
+        # follows the same order as the per-pair reference walk.
+        scan: list[tuple[ObjectId, list[SourceId], Mapping]] = []
+        counts: dict[PairKey, int] | None = None if self._fixed else {}
         for obj in dataset.objects:
             providers = dataset.claims_about_view(obj)
             if len(providers) < 2:
                 continue
-            sources = sorted(providers)
-            eids: list[int] = []
-            values: list[Value] = []
-            local: dict[Value, int] = {}
-            for i, s1 in enumerate(sources):
+            kept = list(self._cap.kept(obj, sorted(providers)))
+            scan.append((obj, kept, providers))
+            if counts is not None:
+                for i, s1 in enumerate(kept):
+                    for s2 in kept[i + 1 :]:
+                        key = (s1, s2)
+                        counts[key] = counts.get(key, 0) + 1
+        self._co_counts = counts
+
+        self._slots: dict[PairKey, _PairSlot] = {}
+        if candidate_pairs is not None:
+            for s1, s2 in candidate_pairs:
+                key = pair_key(s1, s2)
+                self._slots[key] = _PairSlot(*key)
+        else:
+            assert counts is not None
+            for key in sorted(
+                pair for pair, count in counts.items() if count >= min_overlap
+            ):
+                self._slots[key] = _PairSlot(*key)
+
+        slots = self._slots
+        for obj, kept, providers in scan:
+            for i, s1 in enumerate(kept):
                 v1 = providers[s1].value
-                for s2 in sources[i + 1 :]:
+                for s2 in kept[i + 1 :]:
                     slot = slots.get((s1, s2))
                     if slot is None:
                         continue
-                    if providers[s2].value != v1:
+                    v2 = providers[s2].value
+                    if v2 != v1:
                         slot.kd += 1
                         continue
-                    eid = local.get(v1)
-                    if eid is None:
-                        eid = n_entries
-                        n_entries += 1
-                        local[v1] = eid
-                        if self._with_popularity:
-                            entry_m.append(dataset.providers_count(obj, v1))
-                        eids.append(eid)
-                        values.append(v1)
-                    slot.agree.append(eid)
-            if eids:
-                groups.append((obj, eids, values))
-                if self._with_popularity:
-                    value_counts.append(
-                        [
-                            (value, len(sources_of))
-                            for value, sources_of in dataset.values_for_view(
-                                obj
-                            ).items()
-                        ]
+                    eid = self._entry_for(obj, v1)
+                    slot.agree.append(eid)  # objects swept sorted: in order
+                    self._entry_refs[eid] += 1
+        self._synced_version = dataset.version
+
+    # ------------------------------------------------------------------
+    # entry store
+    # ------------------------------------------------------------------
+
+    def _entry_for(self, obj: ObjectId, value: Value) -> int:
+        """Get or create the deduplicated entry for one (obj, value)."""
+        entries = self._groups.get(obj)
+        if entries is None:
+            entries = {}
+            self._groups[obj] = entries
+            if self._with_popularity:
+                self._value_counts[obj] = [
+                    (v, len(sources_of))
+                    for v, sources_of in self._dataset.values_for_view(
+                        obj
+                    ).items()
+                ]
+        eid = entries.get(value)
+        if eid is not None:
+            return eid
+        if self._free:
+            eid = self._free.pop()
+            self._entry_obj[eid] = obj
+            self._entry_value[eid] = value
+            self._entry_refs[eid] = 0
+            self._p[eid] = 0.0
+            if self._with_popularity:
+                self._entry_m[eid] = self._dataset.providers_count(obj, value)
+                self._pop[eid] = 1.0  # type: ignore[index]
+        else:
+            eid = len(self._entry_obj)
+            self._entry_obj.append(obj)
+            self._entry_value.append(value)
+            self._entry_refs.append(0)
+            self._p.append(0.0)
+            if self._with_popularity:
+                self._entry_m.append(self._dataset.providers_count(obj, value))
+                self._pop.append(1.0)  # type: ignore[union-attr]
+        entries[value] = eid
+        return eid
+
+    def _release_entry(self, eid: int) -> None:
+        """Drop one reference; free the entry when nothing points at it."""
+        self._entry_refs[eid] -= 1
+        if self._entry_refs[eid] > 0:
+            return
+        obj = self._entry_obj[eid]
+        entries = self._groups[obj]
+        del entries[self._entry_value[eid]]
+        if not entries:
+            del self._groups[obj]
+            self._value_counts.pop(obj, None)
+        self._entry_obj[eid] = None
+        self._entry_value[eid] = None
+        self._free.append(eid)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (dirty-object invalidation)
+    # ------------------------------------------------------------------
+
+    def sync(self) -> set[ObjectId]:
+        """Apply the dataset's mutations since the last sync.
+
+        Returns the dirty objects repaired (empty when already in sync).
+        Called automatically by :meth:`refresh` / :meth:`collect_all`;
+        call it directly to pay the structural repair eagerly at ingest
+        time instead of at the next refresh.
+        """
+        dataset = self._dataset
+        if dataset.version == self._synced_version:
+            return set()
+        delta = dataset.new_claims_since(self._synced_version)
+        self._synced_version = dataset.version
+        self._refreshed = False
+        backfilled: set[PairKey] = set()
+        for obj in sorted(delta):
+            self._apply_object_delta(obj, delta[obj], backfilled)
+        return set(delta)
+
+    def _apply_object_delta(
+        self,
+        obj: ObjectId,
+        new_sources: set[SourceId],
+        backfilled: set[PairKey],
+    ) -> None:
+        dataset = self._dataset
+        providers = dataset.claims_about_view(obj)
+        if len(providers) < 2:
+            return
+        all_sorted = sorted(providers)
+        cap = self._cap_limit
+        if cap is not None and len(all_sorted) > cap:
+            # The capped prefix may have changed: retire the old
+            # prefix's contributions, collect the new prefix's. When the
+            # new sources all sort past the prefix (the common case for
+            # a hot object) the prefix — and every contribution — is
+            # unchanged, and only the popularity inputs need refreshing.
+            old_sorted = [s for s in all_sorted if s not in new_sources]
+            kept_old = old_sorted[:cap]
+            kept_new = list(self._cap.kept(obj, all_sorted))
+            if kept_new != kept_old:
+                self._remove_object_pairs(
+                    obj, kept_old, providers, backfilled
+                )
+                for i, s1 in enumerate(kept_new):
+                    for s2 in kept_new[i + 1 :]:
+                        self._add_pair_on_object(
+                            obj, s1, s2, providers, backfilled
+                        )
+        else:
+            # Providers only grow: everything previously collected for
+            # this object stands; only pairs with a new endpoint appear.
+            new_sorted = sorted(new_sources)
+            old_sorted = [s for s in all_sorted if s not in new_sources]
+            for s_new in new_sorted:
+                for s_old in old_sorted:
+                    key = (s_new, s_old) if s_new < s_old else (s_old, s_new)
+                    self._add_pair_on_object(
+                        obj, key[0], key[1], providers, backfilled
                     )
-        self._groups = groups
-        self._entry_m = entry_m
-        self._value_counts = value_counts
-        # refreshed parts
-        self._p = [0.0] * n_entries
-        self._pop = [1.0] * n_entries if self._with_popularity else None
+            for i, s1 in enumerate(new_sorted):
+                for s2 in new_sorted[i + 1 :]:
+                    self._add_pair_on_object(obj, s1, s2, providers, backfilled)
+        # Provider counts changed: refresh the object's popularity inputs.
+        if self._with_popularity and obj in self._groups:
+            self._value_counts[obj] = [
+                (v, len(sources_of))
+                for v, sources_of in dataset.values_for_view(obj).items()
+            ]
+            for value, eid in self._groups[obj].items():
+                self._entry_m[eid] = dataset.providers_count(obj, value)
+
+    def _add_pair_on_object(
+        self,
+        obj: ObjectId,
+        s1: SourceId,
+        s2: SourceId,
+        providers: Mapping,
+        backfilled: set[PairKey],
+    ) -> None:
+        """Record that (s1, s2) now overlap on ``obj``; s1 < s2."""
+        key = (s1, s2)
+        counts = self._co_counts
+        if counts is not None:
+            count = counts.get(key, 0) + 1
+            counts[key] = count
+            slot = self._slots.get(key)
+            if slot is None:
+                if count >= self._min_overlap:
+                    self._backfill_pair(key)
+                    backfilled.add(key)
+                return
+        else:
+            slot = self._slots.get(key)
+            if slot is None:
+                return
+        if key in backfilled:
+            return  # the backfill already collected the final state
+        v1 = providers[s1].value
+        v2 = providers[s2].value
+        if v1 != v2:
+            slot.kd += 1
+            return
+        eid = self._entry_for(obj, v1)
+        insort(slot.agree, eid, key=self._entry_obj.__getitem__)
+        self._entry_refs[eid] += 1
+
+    def _remove_object_pairs(
+        self,
+        obj: ObjectId,
+        kept_old: list[SourceId],
+        providers: Mapping,
+        backfilled: set[PairKey],
+    ) -> None:
+        """Retire the contributions the old capped prefix made for ``obj``."""
+        counts = self._co_counts
+        for i, s1 in enumerate(kept_old):
+            v1 = providers[s1].value
+            for s2 in kept_old[i + 1 :]:
+                key = (s1, s2)
+                if counts is not None:
+                    remaining = counts[key] - 1
+                    if remaining:
+                        counts[key] = remaining
+                    else:
+                        del counts[key]
+                slot = self._slots.get(key)
+                if slot is None:
+                    continue
+                if key not in backfilled:
+                    # (A backfilled slot already reflects the final state
+                    # of every object, this one included.)
+                    if providers[s2].value != v1:
+                        slot.kd -= 1
+                    else:
+                        eid = self._groups[obj][v1]
+                        slot.agree.remove(eid)
+                        self._release_entry(eid)
+                if (
+                    counts is not None
+                    and counts.get(key, 0) < self._min_overlap
+                ):
+                    self._drop_slot(key)
+
+    def _drop_slot(self, key: PairKey) -> None:
+        """Retire a pair that fell below the overlap threshold."""
+        slot = self._slots.pop(key)
+        for eid in slot.agree:
+            self._release_entry(eid)
+
+    def _backfill_pair(self, key: PairKey) -> None:
+        """Collect a newly eligible pair's full structure from scratch.
+
+        Walks the two sources' shared coverage once — the same walk the
+        per-pair reference path does — honouring the hot-object cap, so
+        the slot matches what a cold rebuild would have produced.
+        """
+        s1, s2 = key
+        dataset = self._dataset
+        slot = _PairSlot(s1, s2)
+        claims1 = dataset.claims_by_view(s1)
+        claims2 = dataset.claims_by_view(s2)
+        smaller = claims1 if len(claims1) <= len(claims2) else claims2
+        larger = claims2 if smaller is claims1 else claims1
+        cap = self._cap_limit
+        for obj in sorted(o for o in smaller if o in larger):
+            if cap is not None:
+                view = dataset.claims_about_view(obj)
+                if len(view) > cap:
+                    kept = self._cap.kept(obj, sorted(view))
+                    if s1 not in kept or s2 not in kept:
+                        continue
+            v1 = claims1[obj].value
+            if claims2[obj].value != v1:
+                slot.kd += 1
+                continue
+            eid = self._entry_for(obj, v1)
+            slot.agree.append(eid)  # objects walked sorted: order holds
+            self._entry_refs[eid] += 1
+        self._slots[key] = slot
 
     # ------------------------------------------------------------------
     # per-round refresh
@@ -203,27 +484,30 @@ class EvidenceCache:
     def refresh(self, value_probs: ValueProbabilities) -> None:
         """Recompute the ``value_probs``-dependent soft parts.
 
-        One sweep over the deduplicated agreement entries; under the
-        empirical model each object's ``k_false`` is computed once here
-        instead of once per pair per shared value.
+        Syncs any pending dataset mutations first, then makes one sweep
+        over the deduplicated agreement entries; under the empirical
+        model each object's ``k_false`` is computed once here instead of
+        once per pair per shared value.
         """
+        self.sync()
         self._refreshed = True
         p = self._p
         if self._pop is None:
-            for obj, eids, values in self._groups:
+            for obj, entries in self._groups.items():
                 obj_probs = value_probs.get(obj, _EMPTY_PROBS)
-                for eid, value in zip(eids, values):
+                for value, eid in entries.items():
                     p[eid] = obj_probs.get(value, 0.0)
             return
         pop = self._pop
         entry_m = self._entry_m
-        for (obj, eids, values), counts in zip(self._groups, self._value_counts):
+        value_counts = self._value_counts
+        for obj, entries in self._groups.items():
             obj_probs = value_probs.get(obj, _EMPTY_PROBS)
             k_false = sum(
                 count * (1.0 - obj_probs.get(value, 0.0))
-                for value, count in counts
+                for value, count in value_counts[obj]
             )
-            for eid, value in zip(eids, values):
+            for value, eid in entries.items():
                 p[eid] = obj_probs.get(value, 0.0)
                 if k_false > 1.0:
                     pop[eid] = min(1.0, (entry_m[eid] - 1) / (k_false - 1.0))
@@ -235,28 +519,70 @@ class EvidenceCache:
     # ------------------------------------------------------------------
 
     @property
-    def pairs(self) -> list[tuple[SourceId, SourceId]]:
+    def pairs(self) -> list[PairKey]:
         """The candidate pairs, normalised ``s1 < s2``."""
         return list(self._slots)
+
+    @property
+    def truncated_objects(self) -> Mapping[ObjectId, int]:
+        """Hot objects whose pair enumeration was capped: ``{obj: dropped}``."""
+        return self._cap.truncated
+
+    @property
+    def synced_version(self) -> int:
+        """The dataset version the structural state reflects."""
+        return self._synced_version
+
+    @property
+    def dataset(self) -> ClaimDataset:
+        """The claim store this cache is bound to."""
+        return self._dataset
+
+    def check_bound(self, dataset: ClaimDataset, min_overlap: int) -> None:
+        """Raise unless the cache serves this dataset and pair policy.
+
+        An injected cache silently answering for a *different* dataset —
+        or for a laxer overlap prefilter than the caller asked for —
+        would produce wrong truths with no error, so callers accepting
+        external caches (:meth:`~repro.truth.depen.Depen.discover`)
+        validate the binding up front. Explicit-pair caches skip the
+        ``min_overlap`` comparison: their pair set ignores it by design.
+        """
+        if dataset is not self._dataset:
+            raise DataError(
+                "evidence cache is bound to a different ClaimDataset than "
+                "the one being analysed — build a cache on this dataset"
+            )
+        if not self._fixed and min_overlap != self._min_overlap:
+            raise DataError(
+                f"evidence cache derives candidate pairs with min_overlap="
+                f"{self._min_overlap}, but the caller asked for "
+                f"min_overlap={min_overlap} — build a matching cache"
+            )
 
     def check_compatible(self, params: DependenceParams) -> None:
         """Raise unless the cache was built for this evidence model.
 
         The cache bakes the false-value model (popularity collected or
-        not) and the evidence form (fast aggregate path or not) into its
-        structure; scoring its output under different params would be
-        silently wrong.
+        not), the evidence form (fast aggregate path or not) and the
+        hot-object cap (candidate-pair derivation) into its structure;
+        scoring its output under different params would be silently
+        wrong.
         """
         if (
             params.false_value_model != self._false_value_model
             or params.evidence_form != self._evidence_form
+            or params.max_providers_per_object != self._cap_limit
         ):
             raise DataError(
                 "evidence cache was built for "
                 f"false_value_model={self._false_value_model!r}, "
-                f"evidence_form={self._evidence_form!r}; cannot score under "
-                f"false_value_model={params.false_value_model!r}, "
-                f"evidence_form={params.evidence_form!r} — build a new cache"
+                f"evidence_form={self._evidence_form!r}, "
+                f"max_providers_per_object={self._cap_limit!r}; cannot score "
+                f"under false_value_model={params.false_value_model!r}, "
+                f"evidence_form={params.evidence_form!r}, "
+                f"max_providers_per_object={params.max_providers_per_object!r}"
+                " — build a new cache"
             )
 
     def evidence(self, s1: SourceId, s2: SourceId) -> PairEvidence:
@@ -266,7 +592,13 @@ class EvidenceCache:
                 "evidence cache has not been refreshed yet — call "
                 "refresh(value_probs) or collect_all(value_probs) first"
             )
-        key = (s1, s2) if s1 < s2 else (s2, s1)
+        if self._dataset.version != self._synced_version:
+            raise DataError(
+                "dataset has grown since the last refresh — call "
+                "refresh(value_probs) or collect_all(value_probs) to fold "
+                "the new claims in"
+            )
+        key = pair_key(s1, s2)
         slot = self._slots.get(key)
         if slot is None:
             raise DataError(f"pair ({s1!r}, {s2!r}) is not a candidate pair")
@@ -274,7 +606,7 @@ class EvidenceCache:
 
     def collect_all(
         self, value_probs: ValueProbabilities
-    ) -> dict[tuple[SourceId, SourceId], PairEvidence]:
+    ) -> dict[PairKey, PairEvidence]:
         """Refresh and return evidence for every candidate pair."""
         self.refresh(value_probs)
         return {key: self._build(slot) for key, slot in self._slots.items()}
@@ -282,7 +614,7 @@ class EvidenceCache:
     def __len__(self) -> int:
         return len(self._slots)
 
-    def __iter__(self) -> Iterator[tuple[SourceId, SourceId]]:
+    def __iter__(self) -> Iterator[PairKey]:
         return iter(self._slots)
 
     def _build(self, slot: _PairSlot) -> PairEvidence:

@@ -31,16 +31,11 @@ from repro.dependence.bayes import (
     analyze_pair,
     pair_posterior,
 )
+from repro.dependence.collector import pair_key as _pair_key
 from repro.dependence.evidence import EvidenceCache
 from repro.exceptions import DataError
 
 _EMPTY_ADJACENCY: Mapping[SourceId, PairDependence] = MappingProxyType({})
-
-
-def _pair_key(s1: SourceId, s2: SourceId) -> tuple[SourceId, SourceId]:
-    if s1 == s2:
-        raise DataError(f"a source cannot pair with itself: {s1!r}")
-    return (s1, s2) if s1 < s2 else (s2, s1)
 
 
 class DependenceGraph:

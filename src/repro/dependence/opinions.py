@@ -28,17 +28,35 @@ Note the two directions of a kind are nearly symmetric on rating data
 alone (mirroring is an involution); direction separation needs temporal
 information. The posteriors expose both directions anyway so callers can
 fold in such evidence.
+
+Batch collection
+----------------
+
+Scoring a pair walks its co-rated items and needs, per item, the
+leave-pair-out consensus — recomputed per pair, that is one full pass
+over the item's raters for every (pair, item) combination. The batch
+:class:`RaterPairCollector` follows the shared
+:class:`~repro.dependence.collector.PairSlotCollector` pattern instead:
+one structural sweep over the by-item index records every pair's
+co-rated ``(item, score, score)`` triples (cached across rounds of the
+iterative consensus loop), and each round computes every item's
+*weighted score counts once*, deriving any pair's leave-pair-out
+consensus by subtracting the pair's own two contributions.
+:func:`rater_pair_posterior` remains as the per-pair reference path; the
+subtraction is algebraically identical to its exclusion (and bit-for-bit
+identical for unit weights, where all the sums are exact).
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.core.params import OpinionParams
-from repro.core.types import ObjectId, SourceId
+from repro.core.types import ObjectId, SourceId, Value
 from repro.core.world import DependenceKind
+from repro.dependence.collector import PairSlotCollector, pair_key
 from repro.exceptions import DataError
 from repro.opinions.ratings import RatingMatrix
 
@@ -101,41 +119,28 @@ class RaterPairDependence:
         raise DataError(f"{rater!r} is not part of pair ({self.r1!r}, {self.r2!r})")
 
 
-def rater_pair_posterior(
-    matrix: RatingMatrix,
+def _posterior_from_records(
     r1: SourceId,
     r2: SourceId,
-    params: OpinionParams | None = None,
-    weights: dict[SourceId, float] | None = None,
+    records: Iterable[tuple[Value, Value, float, float]],
+    co_rated: int,
+    scale,
+    params: OpinionParams,
 ) -> RaterPairDependence:
-    """Bayes posterior over the five hypotheses for one rater pair.
+    """Bayes-combine per-item records into the five-hypothesis posterior.
 
-    ``weights`` (if given) weight the *other* raters when estimating each
-    item's consensus — the iterative consensus algorithm passes its
-    current rater weights here so already-suspect raters distort the
-    independence model less.
+    Each record is ``(score1, score2, t1, t2)``: the pair's two scores
+    for one item and the leave-pair-out consensus probabilities of those
+    scores. Shared by the per-pair reference path and the batch
+    collector — the records are the point where the two paths meet.
     """
-    if r1 == r2:
-        raise DataError("cannot analyse a rater against itself")
-    if params is None:
-        params = OpinionParams()
-    items = matrix.co_rated(r1, r2)
-    scale = matrix.scale
     c = params.influence_rate
-
     log_ind = 0.0
     log_sim_12 = 0.0  # r1 copies r2
     log_sim_21 = 0.0  # r2 copies r1
     log_dis_12 = 0.0  # r1 opposes r2
     log_dis_21 = 0.0  # r2 opposes r1
-    for item in items:
-        theta = matrix.consensus(
-            item, weights=weights, exclude=(r1, r2), smoothing=params.smoothing
-        )
-        s1 = matrix.score_of(r1, item)
-        s2 = matrix.score_of(r2, item)
-        t1 = max(theta[s1], _TINY)
-        t2 = max(theta[s2], _TINY)
+    for s1, s2, t1, t2 in records:
         log_ind += math.log(t1) + math.log(t2)
         same = 1.0 if s1 == s2 else 0.0
         mirrored_2 = 1.0 if s2 == scale.mirror(s1) else 0.0
@@ -163,8 +168,188 @@ def rater_pair_posterior(
         p_r2_copies_r1=exps[2] / total,
         p_r1_opposes_r2=exps[3] / total,
         p_r2_opposes_r1=exps[4] / total,
-        co_rated=len(items),
+        co_rated=co_rated,
     )
+
+
+def rater_pair_posterior(
+    matrix: RatingMatrix,
+    r1: SourceId,
+    r2: SourceId,
+    params: OpinionParams | None = None,
+    weights: dict[SourceId, float] | None = None,
+) -> RaterPairDependence:
+    """Bayes posterior over the five hypotheses for one rater pair.
+
+    ``weights`` (if given) weight the *other* raters when estimating each
+    item's consensus — the iterative consensus algorithm passes its
+    current rater weights here so already-suspect raters distort the
+    independence model less.
+
+    This is the per-pair *reference* path: it re-estimates the
+    leave-pair-out consensus of every co-rated item on each call. Loops
+    over many pairs should use :class:`RaterPairCollector`.
+    """
+    if r1 == r2:
+        raise DataError("cannot analyse a rater against itself")
+    if params is None:
+        params = OpinionParams()
+    items = matrix.co_rated(r1, r2)
+
+    def records():
+        for item in items:
+            theta = matrix.consensus(
+                item,
+                weights=weights,
+                exclude=(r1, r2),
+                smoothing=params.smoothing,
+            )
+            s1 = matrix.score_of(r1, item)
+            s2 = matrix.score_of(r2, item)
+            yield s1, s2, max(theta[s1], _TINY), max(theta[s2], _TINY)
+
+    return _posterior_from_records(
+        r1, r2, records(), len(items), matrix.scale, params
+    )
+
+
+#: Per-item smoothed weighted score counts: ``item -> (counts, total)``.
+ConsensusCounts = dict[ObjectId, tuple[dict[Value, float], float]]
+
+
+class RaterPairCollector(PairSlotCollector):
+    """Batch co-rating collection for all rater pairs in one sweep.
+
+    The structural pass walks the by-item index once, recording each
+    pair's ``(item, score1, score2)`` triples in sorted item order (the
+    order :meth:`~repro.opinions.ratings.RatingMatrix.co_rated` yields,
+    so the reference path accumulates identically). Per round, one
+    :meth:`weighted_counts` table turns any pair's records into
+    leave-pair-out consensus probabilities by subtracting the pair's own
+    contributions — O(1) per (pair, item) instead of a pass over the
+    item's raters.
+    """
+
+    def __init__(
+        self,
+        matrix: RatingMatrix,
+        candidate_pairs: list[tuple[SourceId, SourceId]] | None = None,
+        *,
+        max_raters_per_item: int | None = None,
+    ) -> None:
+        super().__init__(
+            candidate_pairs, max_providers_per_item=max_raters_per_item
+        )
+        self._matrix = matrix
+        self._built_size = len(matrix)
+        groups = []
+        for item in matrix.items:
+            ratings = matrix.ratings_for(item)
+            providers = [
+                (rater, ratings[rater]) for rater in sorted(ratings)
+            ]
+            groups.append((item, providers))
+        self.build(groups)
+
+    def _new_slot(
+        self, r1: SourceId, r2: SourceId
+    ) -> list[tuple[ObjectId, Value, Value]]:
+        return []
+
+    def _collect(self, slot, item, r1, score1, r2, score2) -> None:
+        slot.append((item, score1, score2))
+
+    @property
+    def matrix(self) -> RatingMatrix:
+        """The rating matrix this collector was built from."""
+        return self._matrix
+
+    def _check_fresh(self) -> None:
+        """Raise if the matrix gained ratings after the structural pass.
+
+        Ratings are append-only (re-rating raises), so a length
+        comparison detects every mutation; mixing frozen slots with
+        live consensus counts would be silently wrong.
+        """
+        if len(self._matrix) != self._built_size:
+            raise DataError(
+                "rating matrix has grown since this collector's "
+                "structural pass — build a new RaterPairCollector"
+            )
+
+    def co_rated(self, r1: SourceId, r2: SourceId) -> int:
+        """Number of items both raters scored (0 for uncollected pairs)."""
+        slot = self._slots.get(pair_key(r1, r2))
+        return 0 if slot is None else len(slot)
+
+    def weighted_counts(
+        self,
+        weights: Mapping[SourceId, float] | None,
+        smoothing: float,
+    ) -> ConsensusCounts:
+        """Per-item smoothed weighted score counts, computed once per round."""
+        self._check_fresh()
+        if smoothing <= 0:
+            raise DataError(f"smoothing must be > 0, got {smoothing}")
+        matrix = self._matrix
+        levels = matrix.scale.levels
+        table: ConsensusCounts = {}
+        for item in matrix.items:
+            counts = {level: smoothing for level in levels}
+            for rater, score in matrix.ratings_for(item).items():
+                counts[score] += _rater_weight(weights, rater)
+            table[item] = (counts, sum(counts.values()))
+        return table
+
+    def pair_posterior(
+        self,
+        r1: SourceId,
+        r2: SourceId,
+        params: OpinionParams | None = None,
+        weights: Mapping[SourceId, float] | None = None,
+        counts: ConsensusCounts | None = None,
+    ) -> RaterPairDependence:
+        """The five-hypothesis posterior for one pair, from cached records.
+
+        ``counts`` reuses a :meth:`weighted_counts` table across many
+        pairs of the same round; without one it is computed here.
+        """
+        self._check_fresh()
+        if params is None:
+            params = OpinionParams()
+        key = pair_key(r1, r2)
+        slot = self._slots.get(key)
+        records = slot if slot is not None else []
+        if key != (r1, r2):
+            records = [(item, s2, s1) for item, s1, s2 in records]
+        if counts is None:
+            counts = self.weighted_counts(weights, params.smoothing)
+        w1 = _rater_weight(weights, r1)
+        w2 = _rater_weight(weights, r2)
+
+        def theta_records():
+            for item, s1, s2 in records:
+                item_counts, total = counts[item]
+                excl_total = total - w1 - w2
+                c1 = item_counts[s1] - w1 - (w2 if s2 == s1 else 0.0)
+                c2 = item_counts[s2] - w2 - (w1 if s1 == s2 else 0.0)
+                yield (
+                    s1,
+                    s2,
+                    max(c1 / excl_total, _TINY),
+                    max(c2 / excl_total, _TINY),
+                )
+
+        return _posterior_from_records(
+            r1, r2, theta_records(), len(records), self._matrix.scale, params
+        )
+
+
+def _rater_weight(
+    weights: Mapping[SourceId, float] | None, rater: SourceId
+) -> float:
+    """A rater's consensus weight, matching :meth:`RatingMatrix.consensus`."""
+    return 1.0 if weights is None else max(0.0, weights.get(rater, 1.0))
 
 
 class RaterDependenceResult:
@@ -242,17 +427,33 @@ def discover_rater_dependence(
     params: OpinionParams | None = None,
     min_co_rated: int = 1,
     weights: dict[SourceId, float] | None = None,
+    collector: RaterPairCollector | None = None,
 ) -> RaterDependenceResult:
-    """Analyse every rater pair with enough co-rated items."""
+    """Analyse every rater pair with enough co-rated items.
+
+    The structural co-rating records for all pairs come from one
+    :class:`RaterPairCollector` sweep, and each round's consensus counts
+    are computed once and shared across pairs. Iterative callers (the
+    dependence-aware consensus loop) build the collector once and pass
+    it in, so each round pays only the soft parts.
+    """
     if params is None:
         params = OpinionParams()
     if min_co_rated < 1:
         raise DataError(f"min_co_rated must be >= 1, got {min_co_rated}")
+    if collector is None:
+        collector = RaterPairCollector(matrix)
+    elif collector.matrix is not matrix:
+        raise DataError(
+            "collector was built from a different RatingMatrix than the "
+            "one being analysed"
+        )
+    counts = collector.weighted_counts(weights, params.smoothing)
     result = RaterDependenceResult()
-    raters = matrix.raters
-    for i, r1 in enumerate(raters):
-        for r2 in raters[i + 1 :]:
-            if len(matrix.co_rated(r1, r2)) < min_co_rated:
-                continue
-            result.add(rater_pair_posterior(matrix, r1, r2, params, weights))
+    for r1, r2 in sorted(collector.pairs):
+        if collector.co_rated(r1, r2) < min_co_rated:
+            continue
+        result.add(
+            collector.pair_posterior(r1, r2, params, weights, counts=counts)
+        )
     return result

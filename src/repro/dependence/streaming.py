@@ -1,0 +1,223 @@
+"""Streaming dependence: live pair posteriors under continuous claim ingest.
+
+The ROADMAP's target workload is a service absorbing claim traffic
+continuously, with dependence posteriors that stay fresh without
+re-sweeping the whole dataset on every arrival. The batch
+:class:`~repro.dependence.evidence.EvidenceCache` already amortises the
+structural pass across *rounds*; its :meth:`~repro.dependence.evidence.EvidenceCache.sync`
+amortises it across *ingest batches* (dirty-object invalidation against
+the dataset's mutation log). :class:`StreamingDependenceEngine` packages
+the two into one object with the obvious lifecycle::
+
+    engine = StreamingDependenceEngine(params=params)
+    engine.ingest(first_batch)               # structural repair: dirty objects only
+    graph = engine.discover()                # posteriors for every candidate pair
+    engine.ingest(next_batch)                # more claims arrive ...
+    graph = engine.discover()                # ... refreshed, not rebuilt
+
+``ingest``, ``refresh`` and ``discover`` interleave freely; after any
+sequence the served evidence — and therefore the discovered
+:class:`~repro.dependence.graph.DependenceGraph` — is bit-for-bit what a
+cold rebuild on the final dataset would produce (the equivalence the
+incremental tests pin down). Truth discovery re-runs on the dirty state
+through :meth:`run_truth`, which hands DEPEN the engine's cache so the
+iterative loop pays no structural pass either.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset, IngestDelta
+from repro.core.params import DependenceParams
+from repro.core.types import SourceId
+from repro.dependence.bayes import (
+    PairEvidence,
+    ValueProbabilities,
+    uniform_value_probabilities,
+)
+from repro.dependence.evidence import EvidenceCache
+from repro.dependence.graph import DependenceGraph, discover_dependence
+from repro.exceptions import DataError
+
+
+class StreamingDependenceEngine:
+    """Maintains a live dependence graph over a growing claim store.
+
+    Parameters
+    ----------
+    dataset:
+        An existing store to adopt (the engine keeps ingesting into it);
+        ``None`` starts empty.
+    params / min_overlap / exact:
+        Passed through to the underlying
+        :class:`~repro.dependence.evidence.EvidenceCache`; ``params``
+        also scores the posteriors.
+    default_accuracy:
+        The accuracy assumed for sources with no estimate yet. Running
+        :meth:`run_truth` replaces the defaults with DEPEN's estimates
+        for subsequent :meth:`discover` calls.
+    """
+
+    def __init__(
+        self,
+        dataset: ClaimDataset | None = None,
+        *,
+        params: DependenceParams | None = None,
+        min_overlap: int = 1,
+        exact: bool = False,
+        default_accuracy: float = 0.8,
+    ) -> None:
+        if not 0.0 < default_accuracy < 1.0:
+            raise DataError(
+                f"default_accuracy must be in (0, 1), got {default_accuracy}"
+            )
+        self.params = params or DependenceParams()
+        self.min_overlap = min_overlap
+        self._dataset = ClaimDataset() if dataset is None else dataset
+        self._cache = EvidenceCache(
+            self._dataset,
+            min_overlap=min_overlap,
+            params=self.params,
+            exact=exact,
+        )
+        self._graph = DependenceGraph()
+        self._graph_version: int | None = None
+        self._accuracies: dict[SourceId, float] = {}
+        self._default_accuracy = default_accuracy
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset(self) -> ClaimDataset:
+        """The live claim store (ingest through the engine, not directly)."""
+        return self._dataset
+
+    @property
+    def cache(self) -> EvidenceCache:
+        """The incrementally maintained evidence cache."""
+        return self._cache
+
+    @property
+    def graph(self) -> DependenceGraph:
+        """The most recently discovered dependence graph."""
+        return self._graph
+
+    @property
+    def is_stale(self) -> bool:
+        """True when claims arrived after the last :meth:`discover`."""
+        return self._graph_version != self._dataset.version
+
+    @property
+    def accuracies(self) -> dict[SourceId, float]:
+        """Accuracy estimates used by :meth:`discover` (defaults filled in)."""
+        return {
+            source: self._accuracies.get(source, self._default_accuracy)
+            for source in self._dataset.sources
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle: ingest / refresh / discover
+    # ------------------------------------------------------------------
+
+    def ingest(self, claims: Iterable[Claim]) -> IngestDelta:
+        """Absorb a claim batch and repair the evidence structure.
+
+        The structural repair touches only the pair slots of the dirty
+        objects (plus any pairs newly crossing the overlap threshold);
+        everything else is reused. Returns the dataset's
+        :class:`~repro.core.dataset.IngestDelta`.
+        """
+        delta = self._dataset.add_claims(claims)
+        if delta:
+            self._cache.sync()
+        return delta
+
+    def refresh(self, value_probs: ValueProbabilities | None = None) -> None:
+        """Refresh the soft evidence parts (truth-agnostic by default)."""
+        if value_probs is None:
+            value_probs = uniform_value_probabilities(self._dataset)
+        self._cache.refresh(value_probs)
+
+    def evidence(self, s1: SourceId, s2: SourceId) -> PairEvidence:
+        """Evidence for one candidate pair, from the last refresh."""
+        return self._cache.evidence(s1, s2)
+
+    def discover(
+        self,
+        value_probs: ValueProbabilities | None = None,
+        accuracies: Mapping[SourceId, float] | None = None,
+    ) -> DependenceGraph:
+        """Score every candidate pair and update the live graph.
+
+        Without ``value_probs`` the truth-agnostic uniform distribution
+        is used; without ``accuracies`` the engine's current estimates
+        (DEPEN's, once :meth:`run_truth` has run; the default before).
+        Accuracies are clamped into (0, 1) before scoring — DEPEN's
+        estimates legitimately reach exactly 0 or 1 on small or fully
+        converged inputs, and the Bayes model needs the open interval
+        (the same clamp iterative truth discovery applies,
+        :meth:`~repro.core.params.IterationParams.clamp_accuracy`).
+        """
+        if len(self._dataset) == 0:
+            raise DataError("streaming engine has no claims yet")
+        if value_probs is None:
+            value_probs = uniform_value_probabilities(self._dataset)
+        accs = dict(accuracies) if accuracies is not None else self.accuracies
+        accs = {s: min(0.99, max(0.01, a)) for s, a in accs.items()}
+        self._graph = discover_dependence(
+            self._dataset,
+            value_probs,
+            accs,
+            self.params,
+            evidence_cache=self._cache,
+        )
+        self._graph_version = self._dataset.version
+        return self._graph
+
+    def run_truth(self, algorithm=None):
+        """Re-run truth discovery on the current (dirty) state.
+
+        With the default DEPEN the engine's evidence cache is reused, so
+        the iterative loop pays only soft refreshes — the whole point of
+        maintaining the cache across ingest. Any other
+        :class:`~repro.truth.base.TruthDiscovery` runs as-is. The
+        result's accuracies and dependence graph become the engine's
+        live state.
+        """
+        # Imported lazily: repro.truth.depen imports this package, so a
+        # top-level import would be circular.
+        from repro.truth.depen import Depen
+
+        if algorithm is None:
+            algorithm = Depen(self.params, min_overlap=self.min_overlap)
+        if isinstance(algorithm, Depen):
+            result = algorithm.discover(
+                self._dataset, evidence_cache=self._cache
+            )
+        else:
+            result = algorithm.discover(self._dataset)
+        if result.accuracies:
+            self._accuracies = dict(result.accuracies)
+        if result.dependence is not None:
+            self._graph = result.dependence
+            self._graph_version = self._dataset.version
+        return result
+
+    def compact(self) -> int:
+        """Trim the dataset's mutation log up to the cache's sync point.
+
+        Long-running ingest loops call this periodically so the log does
+        not grow without bound. Returns the entries dropped.
+        """
+        return self._dataset.compact_log(self._cache.synced_version)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StreamingDependenceEngine({len(self._dataset)} claims, "
+            f"{len(self._cache)} candidate pairs, "
+            f"{'stale' if self.is_stale else 'live'} graph)"
+        )

@@ -32,6 +32,21 @@ model; posteriors come from Bayes' rule in log space. The result reuses
 :class:`~repro.dependence.bayes.PairDependence` /
 :class:`~repro.dependence.graph.DependenceGraph`, so temporal and
 snapshot detections are interchangeable downstream.
+
+Batch collection
+----------------
+
+Like the snapshot engine, collection splits into a *structural* part
+that depends only on the update histories — which (object, value) pairs
+each source pair co-adopted, at what times, and how many sources adopted
+each value — and a *per-call* part (the ever-true classification against
+the current reference timelines). :class:`CoAdoptionCollector` gathers
+the structural part for **all** pairs in one sweep over the by-object
+index (first-adoption maps computed once per (source, object), not once
+per pair), following the shared
+:class:`~repro.dependence.collector.PairSlotCollector` pattern;
+:func:`collect_co_adoptions` remains as the per-pair reference walk the
+equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ from repro.core.params import TemporalParams
 from repro.core.temporal_dataset import TemporalDataset
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.bayes import PairDependence
+from repro.dependence.collector import PairSlotCollector, pair_key
 from repro.dependence.graph import DependenceGraph
 from repro.exceptions import DataError
 
@@ -142,6 +158,154 @@ def _count_adopters(
         for source in dataset.sources
         if any(v == value for _, v in dataset.history(source, obj))
     )
+
+
+class CoAdoptionCollector(PairSlotCollector):
+    """Batch co-adoption collection for all source pairs in one sweep.
+
+    The structural pass walks the by-object index once: per (source,
+    object) the first-adoption map is computed a single time (the
+    per-pair reference path recomputes it once per pair the source is
+    in), and every pair of sources covering the object records its
+    co-adopted ``(value, t1, t2)`` triples into its slot, in the same
+    order the reference walk enumerates them — objects ascending, then
+    the lower source's adoption order — so downstream log-likelihood
+    sums accumulate identically, bit for bit.
+
+    Adopter counts per (object, value) and per-source adoption lists
+    fall out of the same sweep; the *ever-true* classification against a
+    set of reference timelines is deliberately deferred to
+    :meth:`events` because iterative and leave-pair-out callers re-score
+    the same structure under different timelines.
+    """
+
+    def __init__(
+        self,
+        dataset: TemporalDataset,
+        candidate_pairs: list[tuple[SourceId, SourceId]] | None = None,
+        *,
+        max_providers_per_object: int | None = None,
+    ) -> None:
+        super().__init__(
+            candidate_pairs, max_providers_per_item=max_providers_per_object
+        )
+        self._dataset = dataset
+        self._built_size = len(dataset)
+        self._adopter_counts: dict[tuple[ObjectId, Value], int] = {}
+        self._adoptions_by_source: dict[
+            SourceId, list[tuple[ObjectId, Value]]
+        ] = {}
+        groups = []
+        for obj in dataset.objects:
+            providers = []
+            for source in sorted(dataset.sources_for(obj)):
+                adoptions = _first_adoptions(dataset, source, obj)
+                providers.append((source, adoptions))
+                by_source = self._adoptions_by_source.setdefault(source, [])
+                for value in adoptions:
+                    key = (obj, value)
+                    self._adopter_counts[key] = (
+                        self._adopter_counts.get(key, 0) + 1
+                    )
+                    by_source.append(key)
+            groups.append((obj, providers))
+        self.build(groups)
+
+    def _new_slot(
+        self, s1: SourceId, s2: SourceId
+    ) -> list[tuple[ObjectId, Value, float, float]]:
+        return []
+
+    def _collect(self, slot, item, s1, adoptions1, s2, adoptions2) -> None:
+        for value, t1 in adoptions1.items():
+            t2 = adoptions2.get(value)
+            if t2 is not None:
+                slot.append((item, value, t1, t2))
+
+    @property
+    def dataset(self) -> TemporalDataset:
+        """The temporal store this collector was built from."""
+        return self._dataset
+
+    def _check_fresh(self) -> None:
+        """Raise if the dataset grew after the structural pass.
+
+        Temporal claims are append-only, so a length comparison detects
+        every mutation; serving stale co-adoption slots against a grown
+        dataset would be silently wrong.
+        """
+        if len(self._dataset) != self._built_size:
+            raise DataError(
+                "temporal dataset has grown since this collector's "
+                "structural pass — build a new CoAdoptionCollector"
+            )
+
+    @property
+    def adopter_counts(self) -> Mapping[tuple[ObjectId, Value], int]:
+        """How many sources ever adopted each (object, value)."""
+        return self._adopter_counts
+
+    def never_true_rates(
+        self, timelines: Mapping[ObjectId, list[ValuePeriod]]
+    ) -> dict[SourceId, float]:
+        """Per source, the fraction of its adoptions absent from ``timelines``.
+
+        These are the ``nt_rates`` that floor the independence
+        likelihood of never-true co-adoptions (see
+        :func:`_event_log_ratio`). Sources with no adoptions are
+        omitted, matching the reference computation.
+        """
+        self._check_fresh()
+        rates: dict[SourceId, float] = {}
+        for source, adoptions in self._adoptions_by_source.items():
+            never_true = sum(
+                1
+                for obj, value in adoptions
+                if not any(p.value == value for p in timelines.get(obj, []))
+            )
+            rates[source] = never_true / len(adoptions)
+        return rates
+
+    def events(
+        self,
+        s1: SourceId,
+        s2: SourceId,
+        timelines: Mapping[ObjectId, list[ValuePeriod]],
+        corroboration_rescue: bool = True,
+    ) -> list[CoAdoption]:
+        """The pair's co-adoptions, classified against ``timelines``.
+
+        Equivalent to :func:`collect_co_adoptions` with this collector's
+        adopter counts (bit for bit, including event order, when
+        ``s1 < s2`` — the order the discovery loop uses). A pair that
+        never shares an object yields ``[]``.
+        """
+        self._check_fresh()
+        key = pair_key(s1, s2)
+        slot = self._slots.get(key)
+        if not slot:
+            return []
+        swapped = key != (s1, s2)
+        events: list[CoAdoption] = []
+        for obj, value, t1, t2 in slot:
+            if swapped:
+                t1, t2 = t2, t1
+            n_adopters = self._adopter_counts[(obj, value)]
+            periods = timelines.get(obj, [])
+            ever_true = any(p.value == value for p in periods)
+            if not ever_true and corroboration_rescue and n_adopters > 2:
+                ever_true = True
+            events.append(
+                CoAdoption(
+                    object=obj,
+                    value=value,
+                    t1=t1,
+                    t2=t2,
+                    ever_true=ever_true,
+                    n_adopters=n_adopters,
+                )
+            )
+        return events
 
 
 def lag_order_profile(
@@ -423,12 +587,18 @@ def discover_temporal_dependence(
     exactness: Mapping[SourceId, float] | None = None,
     min_co_adoptions: int = 1,
     leave_pair_out: bool = False,
+    collector: CoAdoptionCollector | None = None,
 ) -> DependenceGraph:
     """Analyse every source pair of a temporal dataset.
 
     Timelines and per-source exactness are inferred with
     :func:`repro.temporal.lifespan.infer_timelines` when not supplied
     (ground-truth timelines can be passed for oracle experiments).
+
+    The structural co-adoption evidence for all pairs comes from one
+    :class:`CoAdoptionCollector` sweep; callers re-analysing the same
+    dataset under different timelines or parameters can build the
+    collector once and pass it in.
 
     ``leave_pair_out`` re-infers each pair's reference timelines from the
     *other* sources only (when at least two remain), so a copier echoing
@@ -453,22 +623,14 @@ def discover_temporal_dependence(
         if exactness is None:
             exactness = inferred_exactness
 
-    adopter_counts: dict[tuple[ObjectId, Value], int] = {}
-    nt_counts: dict[SourceId, int] = {}
-    adoption_counts: dict[SourceId, int] = {}
-    for source in dataset.sources:
-        for obj in dataset.objects_of(source):
-            periods = timelines.get(obj, [])
-            for value in _first_adoptions(dataset, source, obj):
-                key = (obj, value)
-                adopter_counts[key] = adopter_counts.get(key, 0) + 1
-                adoption_counts[source] = adoption_counts.get(source, 0) + 1
-                if not any(p.value == value for p in periods):
-                    nt_counts[source] = nt_counts.get(source, 0) + 1
-    nt_rate = {
-        source: nt_counts.get(source, 0) / count
-        for source, count in adoption_counts.items()
-    }
+    if collector is None:
+        collector = CoAdoptionCollector(dataset)
+    elif collector.dataset is not dataset:
+        raise DataError(
+            "collector was built from a different TemporalDataset than "
+            "the one being analysed"
+        )
+    nt_rate = collector.never_true_rates(timelines)
 
     def clamp(a: float) -> float:
         return min(0.99, max(0.01, a))
@@ -486,9 +648,7 @@ def discover_temporal_dependence(
                     held_out = dataset.restrict_sources(others)
                     if len(held_out) > 0:
                         pair_timelines, _ = infer_timelines(held_out)
-            events = collect_co_adoptions(
-                dataset, s1, s2, pair_timelines, adopter_counts
-            )
+            events = collector.events(s1, s2, pair_timelines)
             if len(events) < min_co_adoptions:
                 continue
             graph.add(

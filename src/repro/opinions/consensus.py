@@ -83,6 +83,7 @@ class DependenceAwareConsensus:
         # ratings module, so a top-level import would be circular.
         from repro.dependence.opinions import (
             RaterDependenceResult,
+            RaterPairCollector,
             discover_rater_dependence,
         )
 
@@ -94,12 +95,16 @@ class DependenceAwareConsensus:
         rounds = 0
 
         if self.aware:
+            # The co-rating structure never changes between rounds; only
+            # the rater weights do. Collect it once, refresh per round.
+            collector = RaterPairCollector(matrix)
             for rounds in range(1, self.max_rounds + 1):
                 dependence = discover_rater_dependence(
                     matrix,
                     self.params,
                     min_co_rated=self.min_co_rated,
                     weights=weights,
+                    collector=collector,
                 )
                 new_weights = {
                     rater: dependence.dependence_weight(

@@ -15,7 +15,7 @@ diverse voice), so only similarity-dependence is penalised.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.core.types import SourceId

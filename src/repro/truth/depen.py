@@ -33,6 +33,7 @@ from repro.dependence.graph import DependenceGraph, discover_dependence
 from repro.exceptions import ConvergenceError
 from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
 from repro.truth.vote_counting import (
+    VoteOrderCache,
     accuracy_score,
     all_discounted_vote_counts,
     decisions_and_distributions,
@@ -67,8 +68,24 @@ class Depen(TruthDiscovery):
         self.iteration = iteration or IterationParams()
         self.min_overlap = min_overlap
 
-    def discover(self, dataset: ClaimDataset) -> TruthResult:
+    def discover(
+        self,
+        dataset: ClaimDataset,
+        *,
+        evidence_cache: EvidenceCache | None = None,
+    ) -> TruthResult:
+        """Run the iterative loop; see the module docstring.
+
+        ``evidence_cache`` lets a streaming caller
+        (:class:`~repro.dependence.streaming.StreamingDependenceEngine`)
+        hand in its incrementally maintained cache, so a re-run after
+        ingest pays no structural pass at all. The cache must be bound
+        to this dataset and built for the same params and overlap
+        prefilter — all three are checked.
+        """
         self._check_dataset(dataset)
+        if evidence_cache is not None:
+            evidence_cache.check_bound(dataset, self.min_overlap)
         it = self.iteration
         accuracies = {s: it.initial_accuracy for s in dataset.sources}
         value_probs = uniform_value_probabilities(dataset)
@@ -82,10 +99,14 @@ class Depen(TruthDiscovery):
         # The overlap structure never changes between rounds, so the
         # candidate pairs and every structural part of the pair evidence
         # are computed once; only the value_probs-dependent soft parts
-        # are refreshed each round inside discover_dependence.
-        evidence_cache = EvidenceCache(
-            dataset, min_overlap=self.min_overlap, params=self.params
-        )
+        # are refreshed each round inside discover_dependence. Provider
+        # orderings for the vote discount are likewise reused until the
+        # accuracy ranking actually changes.
+        if evidence_cache is None:
+            evidence_cache = EvidenceCache(
+                dataset, min_overlap=self.min_overlap, params=self.params
+            )
+        order_cache = VoteOrderCache(dataset)
         for rounds in range(1, it.max_rounds + 1):
             clamped = {s: it.clamp_accuracy(a) for s, a in accuracies.items()}
             dependence = discover_dependence(
@@ -106,6 +127,7 @@ class Depen(TruthDiscovery):
                 dependence,
                 self.params.copy_rate,
                 clamped,
+                order_cache=order_cache,
             )
             new_decisions, distributions = decisions_and_distributions(
                 dataset, counts

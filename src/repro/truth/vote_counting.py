@@ -17,11 +17,64 @@ Terminology follows section 3.2's Bayesian sketch:
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 
 from repro.core.dataset import ClaimDataset
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.graph import DependenceGraph
 from repro.exceptions import ParameterError
+
+#: A per-object vote plan: for each value (in claim-store order), the
+#: providers in decreasing-accuracy order.
+VoteOrder = list[tuple[Value, list[SourceId]]]
+
+
+class VoteOrderCache:
+    """Caches the per-(object, value) provider orderings across rounds.
+
+    :func:`discounted_vote_counts` walks each value's providers in
+    decreasing accuracy order (ties broken lexicographically). Every
+    such ordering is a projection of one *global* ranking — sources
+    sorted by ``(-accuracy, source)`` — so it can only change when two
+    sources swap ranks. Iterative algorithms converge precisely by their
+    accuracies settling, after the first few rounds the ranking is
+    static, and re-sorting every object's providers every round is
+    wasted work. This cache re-sorts only when the global ranking (or
+    the dataset itself — ingest adds providers) actually changed.
+    """
+
+    def __init__(self, dataset: ClaimDataset) -> None:
+        self._dataset = dataset
+        self._ranking: list[SourceId] | None = None
+        self._version: int | None = None
+        self._orders: dict[ObjectId, VoteOrder] = {}
+
+    def orderings(
+        self, accuracies: Mapping[SourceId, float]
+    ) -> dict[ObjectId, VoteOrder]:
+        """Per-object vote plans under the current accuracy estimates.
+
+        Every provider in the dataset must have an accuracy (the batch
+        entry points validate that before calling).
+        """
+        ranking = sorted(accuracies, key=lambda s: (-accuracies[s], s))
+        version = self._dataset.version
+        if ranking != self._ranking or version != self._version:
+            # Sorting by the precomputed integer rank reproduces the
+            # (-accuracy, source) order exactly: the subset order of a
+            # strict total order is the order of the global ranks.
+            rank = {source: i for i, source in enumerate(ranking)}
+            dataset = self._dataset
+            self._orders = {
+                obj: [
+                    (value, sorted(providers, key=rank.__getitem__))
+                    for value, providers in dataset.values_for_view(obj).items()
+                ]
+                for obj in dataset.objects
+            }
+            self._ranking = ranking
+            self._version = version
+        return self._orders
 
 
 def accuracy_score(accuracy: float, n_false_values: int) -> float:
@@ -123,14 +176,23 @@ def _discounted_counts(
     dependence: DependenceGraph,
     copy_rate: float,
     accuracies: dict[SourceId, float],
+    ordered: VoteOrder | None = None,
 ) -> dict[Value, float]:
-    """Unchecked kernel of :func:`discounted_vote_counts`."""
+    """Unchecked kernel of :func:`discounted_vote_counts`.
+
+    ``ordered`` supplies a precomputed vote plan (from
+    :class:`VoteOrderCache`); without one the providers are sorted here.
+    """
     counts: dict[Value, float] = {}
-    for value, providers in dataset.values_for_view(obj).items():
-        ordered = sorted(providers, key=lambda s: (-accuracies[s], s))
+    if ordered is None:
+        ordered = [
+            (value, sorted(providers, key=lambda s: (-accuracies[s], s)))
+            for value, providers in dataset.values_for_view(obj).items()
+        ]
+    for value, providers in ordered:
         counted: list[SourceId] = []
         total = 0.0
-        for source in ordered:
+        for source in providers:
             weight = dependence.independence_weight(source, counted, copy_rate)
             total += scores[source] * weight
             counted.append(source)
@@ -144,18 +206,28 @@ def all_discounted_vote_counts(
     dependence: DependenceGraph,
     copy_rate: float,
     accuracies: dict[SourceId, float],
+    order_cache: VoteOrderCache | None = None,
 ) -> dict[ObjectId, dict[Value, float]]:
     """DEPEN vote counts for every object in one pass (zero-copy views).
 
     Validates the accuracy maps against the whole dataset once, then
     runs the unchecked kernel per object — the per-round hot loop pays
-    no per-provider membership checks.
+    no per-provider membership checks. Iterative callers pass an
+    ``order_cache`` so provider orderings are re-sorted only on rounds
+    where the accuracy ranking actually changed.
     """
     _require_entries(dataset, scores, "scores")
     _require_entries(dataset, accuracies, "accuracies")
+    orders = None if order_cache is None else order_cache.orderings(accuracies)
     return {
         obj: _discounted_counts(
-            dataset, obj, scores, dependence, copy_rate, accuracies
+            dataset,
+            obj,
+            scores,
+            dependence,
+            copy_rate,
+            accuracies,
+            ordered=None if orders is None else orders[obj],
         )
         for obj in dataset.objects
     }

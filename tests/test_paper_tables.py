@@ -1,7 +1,5 @@
 """Consistency checks on the encoded paper tables themselves."""
 
-import pytest
-
 from repro.datasets.paper_tables import (
     RATING_SCALE,
     TABLE1,
