@@ -4,14 +4,62 @@ Expensive worlds (the paper-scale catalog) are built once per session.
 Every bench prints the rows/series it reproduces, so
 ``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
 report generator behind ``EXPERIMENTS.md``.
+
+This conftest also collects the machine-readable benchmark trajectory:
+benches record their headline numbers through the ``bench_record``
+fixture, and the session-finish hook writes them to
+``BENCH_scalability.json`` (override the path with the
+``BENCH_SCALABILITY_JSON`` environment variable). CI uploads that file
+as a workflow artifact, so speedups are tracked across pushes instead
+of scrolling away in job logs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
 
 import pytest
 
 from repro.generators import generate_bookstore_catalog
 from repro.linkage import author_list_similarity, canonicalisation_map
+
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one benchmark section's headline numbers for the JSON file."""
+
+    def record(section: str, payload: dict) -> None:
+        _RECORDS.setdefault(section, {}).update(payload)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return  # session ran no recording benches (e.g. the tier-1 suite)
+    path = os.environ.get("BENCH_SCALABILITY_JSON") or os.path.join(
+        str(session.config.rootpath), "BENCH_scalability.json"
+    )
+    payload = {
+        "schema": 1,
+        "suite": "bench_scalability",
+        "env": {
+            "ci": bool(os.environ.get("CI")),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "results": _RECORDS,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nbenchmark trajectory written to {path}")
 
 
 @pytest.fixture(scope="session")

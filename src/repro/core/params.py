@@ -62,6 +62,18 @@ class DependenceParams:
     cold rebuilds agree) take part in pair enumeration for that object;
     truncations are logged and recorded by the evidence engine, never
     silent. ``None`` (the default) disables the cap.
+
+    ``parallel_backend`` / ``num_workers`` / ``shard_size`` select how
+    the structural evidence sweep is *executed* — they are execution
+    policy, not model parameters, and never change any result
+    (:mod:`repro.dependence.sharding` guarantees bit-for-bit identity
+    with the serial path for every backend and worker count).
+    ``"serial"`` (the default) is the single-threaded pure-Python pass;
+    ``"numpy"`` vectorises candidate-pair generation and the record
+    sweep in-process; ``"process"`` shards the sweep over object ranges
+    and fans the shards out to ``num_workers`` worker processes (the GIL
+    makes threads useless here). ``shard_size`` fixes the objects per
+    shard; ``None`` derives a balanced size from ``num_workers``.
     """
 
     alpha: float = 0.2
@@ -70,6 +82,9 @@ class DependenceParams:
     false_value_model: str = "uniform"
     evidence_form: str = "expected_log"
     max_providers_per_object: int | None = None
+    parallel_backend: str = "serial"
+    num_workers: int = 1
+    shard_size: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 1.0:
@@ -99,6 +114,19 @@ class DependenceParams:
             raise ParameterError(
                 "max_providers_per_object must be >= 2 (a pair needs two "
                 f"providers) or None, got {self.max_providers_per_object}"
+            )
+        if self.parallel_backend not in ("serial", "process", "numpy"):
+            raise ParameterError(
+                "parallel_backend must be 'serial', 'process' or 'numpy', "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.num_workers < 1:
+            raise ParameterError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ParameterError(
+                f"shard_size must be >= 1 or None, got {self.shard_size}"
             )
 
     @property

@@ -28,6 +28,12 @@ from repro.dependence.partial import (
     category_splits,
     direction_evidence,
 )
+from repro.dependence.sharding import (
+    ParallelSweepExecutor,
+    ShardPlan,
+    ShardPlanner,
+    SweepConfig,
+)
 from repro.dependence.streaming import StreamingDependenceEngine
 
 __all__ = [
@@ -39,8 +45,12 @@ __all__ = [
     "PairDependence",
     "PairEvidence",
     "PairSlotCollector",
+    "ParallelSweepExecutor",
     "ProviderCap",
+    "ShardPlan",
+    "ShardPlanner",
     "StreamingDependenceEngine",
+    "SweepConfig",
     "accuracy_split",
     "analyze_pair",
     "batch_accuracy_splits",

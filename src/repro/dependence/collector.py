@@ -71,12 +71,14 @@ class ProviderCap:
     nothing is capped silently.
     """
 
-    __slots__ = ("cap", "_truncated")
+    __slots__ = ("cap", "_truncated", "_quiet")
 
-    def __init__(self, cap: int | None) -> None:
+    def __init__(self, cap: int | None, *, quiet: bool = False) -> None:
         if cap is not None and cap < 2:
             raise DataError(f"provider cap must be >= 2 or None, got {cap}")
         self.cap = cap
+        self._quiet = quiet  # shard workers record only; the parent's
+        # absorb() does the one authoritative WARNING per truncation.
         self._truncated: dict[ObjectId, int] = {}
 
     @property
@@ -92,15 +94,35 @@ class ProviderCap:
         dropped = len(providers) - cap
         if self._truncated.get(item) != dropped:
             self._truncated[item] = dropped
-            logger.warning(
-                "hot-item guard: item %r has %d providers (cap %d); "
-                "%d provider(s) excluded from pair enumeration",
-                item,
-                len(providers),
-                cap,
-                dropped,
-            )
+            if not self._quiet:
+                logger.warning(
+                    "hot-item guard: item %r has %d providers (cap %d); "
+                    "%d provider(s) excluded from pair enumeration",
+                    item,
+                    len(providers),
+                    cap,
+                    dropped,
+                )
         return providers[:cap]
+
+    def absorb(self, truncated: Mapping[ObjectId, int]) -> None:
+        """Fold a worker cap's truncation record into this one.
+
+        Sharded sweeps apply the cap inside each worker with a *quiet*
+        cap (worker logs either die with the process or, under fork,
+        would duplicate the parent's), so this absorb emits the single
+        authoritative WARNING per truncation — keeping the "never
+        silent" guarantee without double-reporting.
+        """
+        for item, dropped in truncated.items():
+            if self._truncated.get(item) != dropped:
+                self._truncated[item] = dropped
+                logger.warning(
+                    "hot-item guard: item %r had %d provider(s) excluded "
+                    "from pair enumeration (sharded sweep)",
+                    item,
+                    dropped,
+                )
 
 
 class PairSlotCollector:
@@ -158,6 +180,8 @@ class PairSlotCollector:
     def build(
         self,
         groups: Iterable[tuple[ObjectId, Sequence[tuple[SourceId, Any]]]],
+        *,
+        sweep: Any | None = None,
     ) -> None:
         """Run the structural pass over the by-item groups.
 
@@ -166,7 +190,39 @@ class PairSlotCollector:
         a deterministic order (per-pair reference walks visit items
         sorted too — this is what makes batch and per-pair evidence
         comparable bit for bit).
+
+        ``sweep`` (a :class:`~repro.dependence.sharding.SweepConfig`)
+        selects the execution backend. Under ``"process"`` the groups
+        are cut into deterministic item-range shards, each shard runs
+        this same pass in a worker (reusing the subclass hooks), and the
+        shard registries are merged in shard order — so slot contents,
+        derived pair admission order, and cap truncations are identical
+        to the serial pass for every worker count. Requires list-like
+        slots (every modality's are). ``"numpy"`` has no meaning for a
+        generic payload sweep and runs serially.
         """
+        if sweep is not None and sweep.backend == "process":
+            from repro.dependence.sharding import (
+                merge_collector_shards,
+                run_collector_shards,
+            )
+
+            shard_results, _ = run_collector_shards(
+                type(self),
+                list(groups),
+                list(self._slots) if self._fixed else None,
+                self._cap.cap,
+                sweep.executor(),
+                sweep.planner(),
+            )
+            merge_collector_shards(
+                shard_results,
+                self._slots,
+                self._new_slot,
+                self._fixed,
+                self._cap.absorb,
+            )
+            return
         slots = self._slots
         fixed = self._fixed
         for item, providers in groups:

@@ -91,7 +91,7 @@ from repro.core.params import DependenceParams
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.bayes import PairEvidence, ValueProbabilities
 from repro.dependence.collector import PairKey, ProviderCap, pair_key
-from repro.exceptions import DataError
+from repro.exceptions import DataError, ParameterError
 
 _EMPTY_PROBS: dict[Value, float] = {}
 
@@ -167,10 +167,32 @@ class EvidenceCache:
             and not self._with_popularity
             and params.evidence_form == "expected_log"
         )
+        self._fixed = candidate_pairs is not None
+        self._candidate_pairs = (
+            None
+            if candidate_pairs is None
+            else [pair_key(s1, s2) for s1, s2 in candidate_pairs]
+        )
+        self._backend = params.parallel_backend
+        self._num_workers = params.num_workers
+        self._shard_size = params.shard_size
+        self.build()
+
+    def build(self) -> None:
+        """(Re)run the structural pass from the dataset's current state.
+
+        The constructor calls this once; calling it again forces a cold
+        rebuild in place, discarding all cached structure (useful after
+        a mutation-log compaction strands the incremental path). The
+        pass dispatches on ``params.parallel_backend``: ``"serial"``
+        sweeps in-process, ``"numpy"`` and ``"process"`` run the sharded
+        sweep of :mod:`repro.dependence.sharding` — in-process
+        vectorised, or fanned out to a worker pool — whose
+        order-canonicalised merge is bit-for-bit identical to the
+        serial path for every worker count.
+        """
         self._refreshed = False
         self._cap = ProviderCap(self._cap_limit)
-        self._fixed = candidate_pairs is not None
-
         # Entry store: parallel arrays indexed by entry id, with freed
         # ids recycled. An entry is one deduplicated (object, value)
         # agreement, referenced by every pair slot that shares it.
@@ -185,15 +207,31 @@ class EvidenceCache:
         self._groups: dict[ObjectId, dict[Value, int]] = {}
         # Per-object (value, provider_count) lists for k_false (empirical).
         self._value_counts: dict[ObjectId, list[tuple[Value, int]]] = {}
+        self._slots: dict[PairKey, _PairSlot] = {}
+        self._co_counts: dict[PairKey, int] | None = (
+            None if self._fixed else {}
+        )
+        self._plan = None
+        self._last_sync_routing: dict[int, int] = {}
+        if self._backend == "serial":
+            self._build_serial()
+        else:
+            self._build_sharded()
+        self._synced_version = self._dataset.version
+        # A fresh structure invalidates every previously served pair.
+        self._dirty_pairs: set[PairKey] = set(self._slots)
+        self._dirty_probs_objects: set[ObjectId] = set()
 
+    def _build_serial(self) -> None:
         # --- structural pass: one sweep over the by-object index ------
         # Per object: pair up the (cap-filtered) providers once,
         # splitting each candidate pair's overlap into agreement entries
         # and kd. Objects are visited in sorted order so every pair's
         # agreement list — and therefore every soft sum built from it —
         # follows the same order as the per-pair reference walk.
+        dataset = self._dataset
         scan: list[tuple[ObjectId, list[SourceId], Mapping]] = []
-        counts: dict[PairKey, int] | None = None if self._fixed else {}
+        counts = self._co_counts
         for obj in dataset.objects:
             providers = dataset.claims_about_view(obj)
             if len(providers) < 2:
@@ -205,17 +243,16 @@ class EvidenceCache:
                     for s2 in kept[i + 1 :]:
                         key = (s1, s2)
                         counts[key] = counts.get(key, 0) + 1
-        self._co_counts = counts
 
-        self._slots: dict[PairKey, _PairSlot] = {}
-        if candidate_pairs is not None:
-            for s1, s2 in candidate_pairs:
-                key = pair_key(s1, s2)
+        if self._candidate_pairs is not None:
+            for key in self._candidate_pairs:
                 self._slots[key] = _PairSlot(*key)
         else:
             assert counts is not None
             for key in sorted(
-                pair for pair, count in counts.items() if count >= min_overlap
+                pair
+                for pair, count in counts.items()
+                if count >= self._min_overlap
             ):
                 self._slots[key] = _PairSlot(*key)
 
@@ -234,7 +271,197 @@ class EvidenceCache:
                     eid = self._entry_for(obj, v1)
                     slot.agree.append(eid)  # objects swept sorted: in order
                     self._entry_refs[eid] += 1
-        self._synced_version = dataset.version
+
+    def _build_sharded(self) -> None:
+        """Sharded structural pass (``"numpy"`` / ``"process"`` backends).
+
+        The by-object index is packed into per-shard numpy code arrays
+        (cap filtering and ``(object, value)`` entry interning happen
+        here, parent-side, so workers are pure functions of their
+        payload), the shards are swept under the configured executor,
+        and the record blocks are merged canonically: candidate pairs
+        are selected from global counts sorted on
+        :func:`~repro.dependence.collector.pair_key` order, records are
+        re-sorted on ``(pair, object)``, and entries are deduplicated on
+        their interning codes — every step independent of shard
+        boundaries, worker count and completion order, which is what
+        makes the result bit-for-bit identical to :meth:`_build_serial`.
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:
+            raise ParameterError(
+                "parallel_backend "
+                f"{self._backend!r} needs numpy for its packed shard "
+                "payloads; install numpy or use parallel_backend='serial'"
+            ) from exc
+
+        from repro.dependence.sharding import (
+            ParallelSweepExecutor,
+            RecordBlock,
+            ShardPayload,
+            ShardPlanner,
+            sweep_shard,
+        )
+
+        dataset = self._dataset
+        sources = dataset.sources
+        src_code = {source: i for i, source in enumerate(sources)}
+        n_sources = len(sources)
+
+        # Pack: one O(claims) pass interning entry codes per (obj, value).
+        objs: list[ObjectId] = []
+        lengths: list[int] = []
+        flat_src: list[int] = []
+        flat_entry: list[int] = []
+        entry_decode: list[tuple[ObjectId, Value]] = []
+        for obj in dataset.objects:
+            providers = dataset.claims_about_view(obj)
+            if len(providers) < 2:
+                continue
+            kept = self._cap.kept(obj, sorted(providers))
+            local: dict[Value, int] = {}
+            for source in kept:
+                value = providers[source].value
+                code = local.get(value)
+                if code is None:
+                    code = len(entry_decode)
+                    entry_decode.append((obj, value))
+                    local[value] = code
+                flat_src.append(src_code[source])
+                flat_entry.append(code)
+            objs.append(obj)
+            lengths.append(len(kept))
+
+        planner = ShardPlanner(self._num_workers, self._shard_size)
+        plan = planner.plan(objs)
+        self._plan = plan
+        src_arr = np.asarray(flat_src, dtype=np.int64)
+        entry_arr = np.asarray(flat_entry, dtype=np.int64)
+        len_arr = np.asarray(lengths, dtype=np.int64)
+        claim_bounds = np.zeros(len(objs) + 1, dtype=np.int64)
+        np.cumsum(len_arr, out=claim_bounds[1:])
+        payloads = []
+        for shard_id, (start, end) in enumerate(plan.ranges()):
+            lo, hi = int(claim_bounds[start]), int(claim_bounds[end])
+            payloads.append(
+                ShardPayload(
+                    shard_id=shard_id,
+                    obj_base=start,
+                    src=src_arr[lo:hi],
+                    entry=entry_arr[lo:hi],
+                    lengths=len_arr[start:end],
+                    n_sources=n_sources,
+                )
+            )
+        executor = ParallelSweepExecutor(self._backend, self._num_workers)
+        records = RecordBlock.concatenate(executor.run(sweep_shard, payloads))
+        pair = records.pair
+
+        # Candidate selection — sorted composite pair ids enumerate the
+        # pairs in exactly sorted pair_key order (codes are the sources'
+        # sorted ranks), matching the serial slot-creation order.
+        if self._candidate_pairs is not None:
+            for key in self._candidate_pairs:
+                self._slots[key] = _PairSlot(*key)
+            wanted = set()
+            for s1, s2 in self._slots:
+                c1 = src_code.get(s1)
+                c2 = src_code.get(s2)
+                if c1 is not None and c2 is not None:
+                    wanted.add(c1 * n_sources + c2)
+            selected_ids = np.asarray(sorted(wanted), dtype=np.int64)
+        else:
+            # Dense bincount beats sort-based np.unique while the pair-id
+            # space is within a small factor of the record count; huge
+            # source universes fall back to the sparse path.
+            id_space = n_sources * n_sources
+            if pair.size and id_space <= 4 * pair.size + 65536:
+                full = np.bincount(pair, minlength=id_space)
+                uniq = np.nonzero(full)[0]
+                counts = full[uniq]
+            else:
+                uniq, counts = np.unique(pair, return_counts=True)
+            self._co_counts = {
+                (sources[u // n_sources], sources[u % n_sources]): c
+                for u, c in zip(uniq.tolist(), counts.tolist())
+            }
+            selected_ids = uniq[counts >= self._min_overlap]
+            for u in selected_ids.tolist():
+                key = (sources[u // n_sources], sources[u % n_sources])
+                self._slots[key] = _PairSlot(*key)
+
+        # Canonicalise the records: keep selected pairs, sort (pair, obj).
+        if selected_ids.size and pair.size:
+            pos = np.minimum(
+                np.searchsorted(selected_ids, pair), selected_ids.size - 1
+            )
+            valid = selected_ids[pos] == pair
+            pair_c = pos[valid]
+            entry_f = records.entry[valid]
+            agree_f = records.agree[valid]
+            # Blocks arrive (pair, obj)-sorted per shard and concatenate
+            # in ascending-object shard order, so a *stable* sort on the
+            # pair alone restores the global (pair, obj) order — and on
+            # k pre-sorted runs it is nearly linear. Compact ids fit a
+            # small dtype, which lets numpy pick its fastest stable sort.
+            if selected_ids.size <= np.iinfo(np.int16).max:
+                order = np.argsort(pair_c.astype(np.int16), kind="stable")
+            else:
+                order = np.argsort(pair_c, kind="stable")
+            pair_c = pair_c[order]
+            entry_f = entry_f[order]
+            agree_f = agree_f[order]
+        else:
+            pair_c = np.empty(0, dtype=np.int64)
+            entry_f = np.empty(0, dtype=np.int64)
+            agree_f = np.empty(0, dtype=bool)
+        n_selected = int(selected_ids.size)
+        kd_counts = np.bincount(pair_c[~agree_f], minlength=n_selected)
+        agree_pair = pair_c[agree_f]
+        agree_entry = entry_f[agree_f]
+
+        # Entry store, in bulk: unique interning codes become entry ids.
+        # Codes were assigned object-major during packing, so code order
+        # is first-encounter order — the same registry the serial pass
+        # builds one `_entry_for` call at a time. Codes are dense
+        # (bounded by the pack), so a bincount + lookup table does the
+        # dedup without a sort.
+        refs_full = np.bincount(agree_entry, minlength=len(entry_decode))
+        uniq_codes = np.nonzero(refs_full)[0]
+        eid_of = np.full(max(len(entry_decode), 1), -1, dtype=np.int64)
+        eid_of[uniq_codes] = np.arange(uniq_codes.size)
+        inverse = eid_of[agree_entry]
+        self._entry_refs = refs_full[uniq_codes].tolist()
+        for code in uniq_codes.tolist():
+            obj, value = entry_decode[code]
+            self._entry_obj.append(obj)
+            self._entry_value.append(value)
+            self._groups.setdefault(obj, {})[value] = len(self._entry_obj) - 1
+        self._p = [0.0] * len(self._entry_obj)
+        if self._with_popularity:
+            self._entry_m = [
+                dataset.providers_count(obj, value)
+                for obj, value in zip(self._entry_obj, self._entry_value)
+            ]
+            self._pop = [1.0] * len(self._entry_obj)
+            for obj in self._groups:
+                self._value_counts[obj] = [
+                    (v, len(sources_of))
+                    for v, sources_of in dataset.values_for_view(obj).items()
+                ]
+
+        # Fill the slots: agreement records are (pair, object)-sorted,
+        # so each pair's slice is its agreement list in the sorted-object
+        # order every soft sum relies on.
+        agree_counts = np.bincount(agree_pair, minlength=n_selected)
+        bounds = np.zeros(n_selected + 1, dtype=np.int64)
+        np.cumsum(agree_counts, out=bounds[1:])
+        eids = inverse.tolist()
+        for i, u in enumerate(selected_ids.tolist()):
+            slot = self._slots[(sources[u // n_sources], sources[u % n_sources])]
+            slot.kd = int(kd_counts[i])
+            slot.agree = eids[bounds[i] : bounds[i + 1]]
 
     # ------------------------------------------------------------------
     # entry store
@@ -303,15 +530,32 @@ class EvidenceCache:
         Called automatically by :meth:`refresh` / :meth:`collect_all`;
         call it directly to pay the structural repair eagerly at ingest
         time instead of at the next refresh.
+
+        With a sharded build the dirty objects are routed through the
+        shard plan first (:attr:`last_sync_routing` records the shards
+        affected) — only those shards' slot segments are repaired.
+        Because shards are ascending object ranges, the routed repair
+        order is identical to the flat sorted walk, so the repaired
+        state stays bit-for-bit equal to a cold rebuild either way.
         """
         dataset = self._dataset
+        self._last_sync_routing = {}
         if dataset.version == self._synced_version:
             return set()
         delta = dataset.new_claims_since(self._synced_version)
         self._synced_version = dataset.version
         self._refreshed = False
         backfilled: set[PairKey] = set()
-        for obj in sorted(delta):
+        dirty_sorted = sorted(delta)
+        if self._plan is not None:
+            routed = self._plan.route(dirty_sorted)
+            self._last_sync_routing = {
+                shard: len(objs) for shard, objs in sorted(routed.items())
+            }
+            dirty_sorted = [
+                obj for shard in sorted(routed) for obj in routed[shard]
+            ]
+        for obj in dirty_sorted:
             self._apply_object_delta(obj, delta[obj], backfilled)
         return set(delta)
 
@@ -367,6 +611,14 @@ class EvidenceCache:
             ]
             for value, eid in self._groups[obj].items():
                 self._entry_m[eid] = dataset.providers_count(obj, value)
+        # A dirty object's value probabilities (and, empirically, its
+        # popularity inputs) shift even for pairs whose *structure* this
+        # delta left alone — every pair agreeing on the object must
+        # re-score. Enumerating those value-group pairs here would put
+        # O(group²) work on every sync whether or not anyone consumes
+        # dirty-pair tracking, so only the object is recorded; the
+        # expansion happens lazily in :meth:`dirty_pairs`.
+        self._dirty_probs_objects.add(obj)
 
     def _add_pair_on_object(
         self,
@@ -394,6 +646,7 @@ class EvidenceCache:
                 return
         if key in backfilled:
             return  # the backfill already collected the final state
+        self._dirty_pairs.add(key)
         v1 = providers[s1].value
         v2 = providers[s2].value
         if v1 != v2:
@@ -428,6 +681,7 @@ class EvidenceCache:
                 if key not in backfilled:
                     # (A backfilled slot already reflects the final state
                     # of every object, this one included.)
+                    self._dirty_pairs.add(key)
                     if providers[s2].value != v1:
                         slot.kd -= 1
                     else:
@@ -443,6 +697,7 @@ class EvidenceCache:
     def _drop_slot(self, key: PairKey) -> None:
         """Retire a pair that fell below the overlap threshold."""
         slot = self._slots.pop(key)
+        self._dirty_pairs.add(key)
         for eid in slot.agree:
             self._release_entry(eid)
 
@@ -455,6 +710,7 @@ class EvidenceCache:
         """
         s1, s2 = key
         dataset = self._dataset
+        self._dirty_pairs.add(key)
         slot = _PairSlot(s1, s2)
         claims1 = dataset.claims_by_view(s1)
         claims2 = dataset.claims_by_view(s2)
@@ -532,6 +788,72 @@ class EvidenceCache:
     def synced_version(self) -> int:
         """The dataset version the structural state reflects."""
         return self._synced_version
+
+    @property
+    def shard_plan(self):
+        """The :class:`~repro.dependence.sharding.ShardPlan` of the last
+        sharded build, or ``None`` under the serial backend."""
+        return self._plan
+
+    @property
+    def last_sync_routing(self) -> Mapping[int, int]:
+        """Shards the last :meth:`sync` routed repairs to: ``{shard: objects}``.
+
+        Empty under the serial backend (no plan to route through) and
+        after a sync that found nothing dirty.
+        """
+        return dict(self._last_sync_routing)
+
+    def dirty_pairs(self) -> set[PairKey]:
+        """Pairs whose served evidence may differ since the last clear.
+
+        Accumulated by :meth:`build` (everything) and :meth:`sync`:
+        pairs whose slots were structurally touched, pairs retired or
+        backfilled, and pairs agreeing on a dirty object — whose soft
+        evidence shifts through the object's value probabilities even
+        when their structure did not change. The value-group expansion
+        of dirty objects happens here, not during sync, so callers that
+        never consume the tracking never pay for it; expanding against
+        the *current* dataset is safe because claims are append-only
+        (today's value groups contain sync-time's) and capped-prefix
+        changes are structural touches already marked.
+
+        Non-destructive — call :meth:`clear_dirty_pairs` once the pairs
+        have actually been re-scored, so a failure in between never
+        loses invalidations. Retired pairs appear here but no longer
+        serve evidence; the caller filters. This is what lets
+        :meth:`~repro.dependence.streaming.StreamingDependenceEngine.discover`
+        re-score only the pairs that can have moved.
+        """
+        expanded = set(self._dirty_pairs)
+        slots = self._slots
+        dataset = self._dataset
+        cap = self._cap_limit
+        for obj in self._dirty_probs_objects:
+            providers = dataset.claims_about_view(obj)
+            if len(providers) < 2:
+                continue
+            kept = (
+                set(sorted(providers)[:cap])
+                if cap is not None and len(providers) > cap
+                else None
+            )
+            for sources_of in dataset.values_for_view(obj).values():
+                if len(sources_of) < 2:
+                    continue
+                group = sorted(
+                    s for s in sources_of if kept is None or s in kept
+                )
+                for i, s1 in enumerate(group):
+                    for s2 in group[i + 1 :]:
+                        if (s1, s2) in slots:
+                            expanded.add((s1, s2))
+        return expanded
+
+    def clear_dirty_pairs(self) -> None:
+        """Reset dirty-pair tracking after the consumer re-scored them."""
+        self._dirty_pairs = set()
+        self._dirty_probs_objects = set()
 
     @property
     def dataset(self) -> ClaimDataset:
@@ -616,6 +938,12 @@ class EvidenceCache:
 
     def __iter__(self) -> Iterator[PairKey]:
         return iter(self._slots)
+
+    def __contains__(self, pair: tuple[SourceId, SourceId]) -> bool:
+        s1, s2 = pair
+        if s1 == s2:
+            return False  # a self-pair is never a candidate, not an error
+        return ((s1, s2) if s1 < s2 else (s2, s1)) in self._slots
 
     def _build(self, slot: _PairSlot) -> PairEvidence:
         p = self._p

@@ -236,6 +236,7 @@ class RaterPairCollector(PairSlotCollector):
         candidate_pairs: list[tuple[SourceId, SourceId]] | None = None,
         *,
         max_raters_per_item: int | None = None,
+        sweep=None,
     ) -> None:
         super().__init__(
             candidate_pairs, max_providers_per_item=max_raters_per_item
@@ -249,7 +250,7 @@ class RaterPairCollector(PairSlotCollector):
                 (rater, ratings[rater]) for rater in sorted(ratings)
             ]
             groups.append((item, providers))
-        self.build(groups)
+        self.build(groups, sweep=sweep)
 
     def _new_slot(
         self, r1: SourceId, r2: SourceId
@@ -428,6 +429,7 @@ def discover_rater_dependence(
     min_co_rated: int = 1,
     weights: dict[SourceId, float] | None = None,
     collector: RaterPairCollector | None = None,
+    sweep=None,
 ) -> RaterDependenceResult:
     """Analyse every rater pair with enough co-rated items.
 
@@ -435,14 +437,17 @@ def discover_rater_dependence(
     :class:`RaterPairCollector` sweep, and each round's consensus counts
     are computed once and shared across pairs. Iterative callers (the
     dependence-aware consensus loop) build the collector once and pass
-    it in, so each round pays only the soft parts.
+    it in, so each round pays only the soft parts. ``sweep`` (a
+    :class:`~repro.dependence.sharding.SweepConfig`) shards the
+    structural sweep over a worker pool — identical results for any
+    worker count.
     """
     if params is None:
         params = OpinionParams()
     if min_co_rated < 1:
         raise DataError(f"min_co_rated must be >= 1, got {min_co_rated}")
     if collector is None:
-        collector = RaterPairCollector(matrix)
+        collector = RaterPairCollector(matrix, sweep=sweep)
     elif collector.matrix is not matrix:
         raise DataError(
             "collector was built from a different RatingMatrix than the "

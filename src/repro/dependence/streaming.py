@@ -35,6 +35,7 @@ from repro.core.types import SourceId
 from repro.dependence.bayes import (
     PairEvidence,
     ValueProbabilities,
+    pair_posterior,
     uniform_value_probabilities,
 )
 from repro.dependence.evidence import EvidenceCache
@@ -86,6 +87,19 @@ class StreamingDependenceEngine:
         self._graph_version: int | None = None
         self._accuracies: dict[SourceId, float] = {}
         self._default_accuracy = default_accuracy
+        # Restricted-rescoring state: the accuracies the live graph was
+        # scored under, whether that graph is a valid reuse baseline
+        # (it was produced by discover() over the engine's own uniform
+        # value probabilities and covers every candidate pair), and the
+        # counters of the last discover.
+        self._last_accuracies: dict[SourceId, float] | None = None
+        self._restricted_valid = False
+        self._last_discover_stats: dict[str, int | bool] = {
+            "pairs": 0,
+            "rescored": 0,
+            "reused": 0,
+            "restricted": False,
+        }
 
     # ------------------------------------------------------------------
     # state
@@ -146,12 +160,25 @@ class StreamingDependenceEngine:
         """Evidence for one candidate pair, from the last refresh."""
         return self._cache.evidence(s1, s2)
 
+    @property
+    def last_discover_stats(self) -> Mapping[str, int | bool]:
+        """Counters of the last :meth:`discover`.
+
+        ``pairs`` candidate pairs existed, ``rescored`` had their
+        posterior recomputed, ``reused`` kept the previous posterior
+        unchanged; ``restricted`` says whether the restricted path ran
+        at all (the first discover, any discover under caller-supplied
+        ``value_probs``, and the one following :meth:`run_truth` are
+        necessarily full re-scores).
+        """
+        return dict(self._last_discover_stats)
+
     def discover(
         self,
         value_probs: ValueProbabilities | None = None,
         accuracies: Mapping[SourceId, float] | None = None,
     ) -> DependenceGraph:
-        """Score every candidate pair and update the live graph.
+        """Score the candidate pairs that can have moved; update the graph.
 
         Without ``value_probs`` the truth-agnostic uniform distribution
         is used; without ``accuracies`` the engine's current estimates
@@ -161,21 +188,77 @@ class StreamingDependenceEngine:
         converged inputs, and the Bayes model needs the open interval
         (the same clamp iterative truth discovery applies,
         :meth:`~repro.core.params.IterationParams.clamp_accuracy`).
+
+        Consecutive default-``value_probs`` discovers recompute
+        posteriors only for pairs whose evidence slots were touched by
+        ingest, pairs agreeing on a dirty object (their soft evidence
+        moves through the object's value probabilities), and pairs with
+        an endpoint whose accuracy changed — every other pair's
+        posterior is carried over unchanged, which is exact, not an
+        approximation (same evidence, same accuracies, same params ⇒
+        bit-for-bit the same posterior). Caller-supplied ``value_probs``
+        force a full re-score: the engine cannot know which entries
+        such a distribution moved. :attr:`last_discover_stats` counts
+        what happened.
         """
         if len(self._dataset) == 0:
             raise DataError("streaming engine has no claims yet")
-        if value_probs is None:
+        default_probs = value_probs is None
+        if default_probs:
             value_probs = uniform_value_probabilities(self._dataset)
         accs = dict(accuracies) if accuracies is not None else self.accuracies
         accs = {s: min(0.99, max(0.01, a)) for s, a in accs.items()}
-        self._graph = discover_dependence(
-            self._dataset,
-            value_probs,
-            accs,
-            self.params,
-            evidence_cache=self._cache,
+        self._cache.sync()
+        restricted = (
+            default_probs
+            and self._restricted_valid
+            and self._last_accuracies is not None
         )
+        if not restricted:
+            self._graph = discover_dependence(
+                self._dataset,
+                value_probs,
+                accs,
+                self.params,
+                evidence_cache=self._cache,
+            )
+            rescored = len(self._cache)
+        else:
+            cache = self._cache
+            affected = {key for key in cache.dirty_pairs() if key in cache}
+            last_accs = self._last_accuracies
+            changed = {s for s, a in accs.items() if last_accs.get(s) != a}
+            if changed:
+                for key in cache:
+                    if key[0] in changed or key[1] in changed:
+                        affected.add(key)
+            cache.refresh(value_probs)
+            graph = DependenceGraph()
+            previous = self._graph
+            rescored = 0
+            for key in cache:
+                pair = None if key in affected else previous.get(*key)
+                if pair is None:
+                    pair = pair_posterior(
+                        cache.evidence(*key), accs[key[0]], accs[key[1]],
+                        self.params,
+                    )
+                    rescored += 1
+                graph.add(pair)
+            self._graph = graph
+        # Cleared only after scoring succeeded: a KeyError (bad caller
+        # accuracies) mid-score must not lose the invalidation set, or
+        # a retried discover would serve pre-ingest posteriors as fresh.
+        self._cache.clear_dirty_pairs()
         self._graph_version = self._dataset.version
+        self._last_accuracies = accs
+        self._restricted_valid = default_probs
+        self._last_discover_stats = {
+            "pairs": len(self._cache),
+            "rescored": rescored,
+            "reused": len(self._cache) - rescored,
+            "restricted": restricted,
+        }
         return self._graph
 
     def run_truth(self, algorithm=None):
@@ -205,6 +288,10 @@ class StreamingDependenceEngine:
         if result.dependence is not None:
             self._graph = result.dependence
             self._graph_version = self._dataset.version
+            # DEPEN's final graph was scored under its own converged
+            # value probabilities, not the engine's uniform ones — it is
+            # not a reuse baseline for restricted re-scoring.
+            self._restricted_valid = False
         return result
 
     def compact(self) -> int:

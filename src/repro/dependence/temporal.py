@@ -185,6 +185,7 @@ class CoAdoptionCollector(PairSlotCollector):
         candidate_pairs: list[tuple[SourceId, SourceId]] | None = None,
         *,
         max_providers_per_object: int | None = None,
+        sweep=None,
     ) -> None:
         super().__init__(
             candidate_pairs, max_providers_per_item=max_providers_per_object
@@ -209,7 +210,7 @@ class CoAdoptionCollector(PairSlotCollector):
                     )
                     by_source.append(key)
             groups.append((obj, providers))
-        self.build(groups)
+        self.build(groups, sweep=sweep)
 
     def _new_slot(
         self, s1: SourceId, s2: SourceId
@@ -588,6 +589,7 @@ def discover_temporal_dependence(
     min_co_adoptions: int = 1,
     leave_pair_out: bool = False,
     collector: CoAdoptionCollector | None = None,
+    sweep=None,
 ) -> DependenceGraph:
     """Analyse every source pair of a temporal dataset.
 
@@ -598,7 +600,9 @@ def discover_temporal_dependence(
     The structural co-adoption evidence for all pairs comes from one
     :class:`CoAdoptionCollector` sweep; callers re-analysing the same
     dataset under different timelines or parameters can build the
-    collector once and pass it in.
+    collector once and pass it in. ``sweep`` (a
+    :class:`~repro.dependence.sharding.SweepConfig`) shards that sweep
+    over a worker pool — results are identical for any worker count.
 
     ``leave_pair_out`` re-infers each pair's reference timelines from the
     *other* sources only (when at least two remain), so a copier echoing
@@ -624,7 +628,7 @@ def discover_temporal_dependence(
             exactness = inferred_exactness
 
     if collector is None:
-        collector = CoAdoptionCollector(dataset)
+        collector = CoAdoptionCollector(dataset, sweep=sweep)
     elif collector.dataset is not dataset:
         raise DataError(
             "collector was built from a different TemporalDataset than "
