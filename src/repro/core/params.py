@@ -26,9 +26,31 @@ at construction rather than deep inside an iteration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, fields
 
 from repro.exceptions import ParameterError
+
+#: Environment overrides honoured by :class:`DependenceParams`: each
+#: variable replaces the matching field *when the field holds its
+#: default value*. An explicit non-default argument always wins — CI
+#: can re-run a whole suite under another execution policy without
+#: silently changing a deliberate choice — but note the mechanism
+#: compares values, so an argument explicitly passed *as* the default
+#: (e.g. ``parallel_backend="serial"``) is indistinguishable from an
+#: omitted one and is overridden too; code that must pin the default
+#: behaviour regardless of environment should clear the variable
+#: instead. Empty values are ignored. ``int`` fields reject
+#: non-integers eagerly.
+ENV_OVERRIDES: tuple[tuple[str, str], ...] = (
+    ("parallel_backend", "REPRO_PARALLEL_BACKEND"),
+    ("num_workers", "REPRO_NUM_WORKERS"),
+    ("shard_size", "REPRO_SHARD_SIZE"),
+    ("entry_store", "REPRO_ENTRY_STORE"),
+    ("pool", "REPRO_POOL"),
+)
+
+_INT_ENV_FIELDS = ("num_workers", "shard_size")
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +96,49 @@ class DependenceParams:
     and fans the shards out to ``num_workers`` worker processes (the GIL
     makes threads useless here). ``shard_size`` fixes the objects per
     shard; ``None`` derives a balanced size from ``num_workers``.
+
+    ``entry_store`` selects how the evidence engine stores per-pair
+    agreement structure — also pure execution policy, bit-for-bit
+    invariant. ``"columnar"`` keeps the deduplicated entries and every
+    pair's agreement segment in flat numpy arrays, so the per-round
+    soft refresh and evidence assembly run as vectorised gathers and
+    segment sums; ``"list"`` is the pure-Python reference layout (one
+    Python list per pair); ``"auto"`` (the default) picks columnar when
+    numpy is importable and falls back to lists otherwise.
+
+    ``pool`` controls worker lifetime under ``parallel_backend=
+    "process"``: ``"ephemeral"`` (the default) forks a fresh pool per
+    structural build and tears it down after; ``"persistent"`` keeps
+    the pool alive across ``build()``/``sync()`` calls and rounds, so
+    repeated rebuilds and streaming re-syncs pay the fork cost once
+    (call ``close()`` on the cache/engine, or use it as a context
+    manager, to release the workers).
+
+    ``overlap_warning_bound`` guards the known calibration hazard of
+    the *default* evidence model: ``expected_log`` + ``uniform``
+    over-detects dependence on pairs with very large overlaps (the
+    probability-weighted log-likelihood is deliberately aggressive, and
+    its aggressiveness compounds linearly with overlap size — on a
+    200-object, 20-source world it yields 184 false positives at
+    threshold 0.9 where ``empirical``/``marginal`` yield none). When a
+    candidate pair's overlap reaches the bound under that model
+    combination, the evidence engine emits one structured
+    :class:`~repro.exceptions.OverlapCalibrationWarning` recommending
+    the ``false_value_model="empirical"`` or ``evidence_form=
+    "marginal"`` escape hatch. The default bound of 128 sits between
+    the paper-scale workloads (Table 1, Example 4.1 — overlaps of at
+    most a few dozen, where expected_log is load-bearing) and the
+    200-object failure case. ``None`` disables the warning.
+
+    Execution-policy fields honour environment overrides
+    (:data:`ENV_OVERRIDES`): ``REPRO_PARALLEL_BACKEND``,
+    ``REPRO_NUM_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_ENTRY_STORE``
+    and ``REPRO_POOL`` replace the matching field when it holds its
+    default value — so CI can exercise a whole test suite under the
+    process pool without touching any call site. Explicit *non-default*
+    arguments always win; an argument explicitly passed as the default
+    cannot be told apart from an omitted one (see
+    :data:`ENV_OVERRIDES`).
     """
 
     alpha: float = 0.2
@@ -85,8 +150,30 @@ class DependenceParams:
     parallel_backend: str = "serial"
     num_workers: int = 1
     shard_size: int | None = None
+    entry_store: str = "auto"
+    pool: str = "ephemeral"
+    overlap_warning_bound: int | None = 128
+
+    def _apply_env_overrides(self) -> None:
+        defaults = {
+            f.name: f.default for f in fields(self) if f.name in _ENV_FIELDS
+        }
+        for name, variable in ENV_OVERRIDES:
+            raw = os.environ.get(variable)
+            if not raw or getattr(self, name) != defaults[name]:
+                continue
+            value: object = raw
+            if name in _INT_ENV_FIELDS:
+                try:
+                    value = int(raw)
+                except ValueError:
+                    raise ParameterError(
+                        f"{variable} must be an integer, got {raw!r}"
+                    ) from None
+            object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
+        self._apply_env_overrides()
         if not 0.0 < self.alpha < 1.0:
             raise ParameterError(f"alpha must be in (0, 1), got {self.alpha}")
         if not 0.0 < self.copy_rate < 1.0:
@@ -128,6 +215,24 @@ class DependenceParams:
             raise ParameterError(
                 f"shard_size must be >= 1 or None, got {self.shard_size}"
             )
+        if self.entry_store not in ("auto", "columnar", "list"):
+            raise ParameterError(
+                "entry_store must be 'auto', 'columnar' or 'list', got "
+                f"{self.entry_store!r}"
+            )
+        if self.pool not in ("ephemeral", "persistent"):
+            raise ParameterError(
+                "pool must be 'ephemeral' or 'persistent', got "
+                f"{self.pool!r}"
+            )
+        if (
+            self.overlap_warning_bound is not None
+            and self.overlap_warning_bound < 1
+        ):
+            raise ParameterError(
+                "overlap_warning_bound must be >= 1 or None, got "
+                f"{self.overlap_warning_bound}"
+            )
 
     @property
     def prior_independent(self) -> float:
@@ -138,6 +243,9 @@ class DependenceParams:
     def prior_direction(self) -> float:
         """Prior probability of each single copy direction."""
         return self.alpha / 2.0
+
+
+_ENV_FIELDS = frozenset(name for name, _ in ENV_OVERRIDES)
 
 
 @dataclass(frozen=True, slots=True)

@@ -13,6 +13,7 @@ from repro.dependence.collector import (
     ProviderCap,
     pair_key,
 )
+from repro.dependence.entrystore import ColumnarAgreeStore, PackedRecords
 from repro.dependence.evidence import EvidenceCache
 from repro.dependence.global_analysis import (
     CopierClique,
@@ -38,10 +39,12 @@ from repro.dependence.streaming import StreamingDependenceEngine
 
 __all__ = [
     "AccuracySplit",
+    "ColumnarAgreeStore",
     "CopierClique",
     "DependenceGraph",
     "DirectionEvidence",
     "EvidenceCache",
+    "PackedRecords",
     "PairDependence",
     "PairEvidence",
     "PairSlotCollector",

@@ -45,6 +45,7 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 from typing import Any
 
 from repro.core.types import ObjectId, SourceId
+from repro.dependence.entrystore import PackedRecords
 from repro.exceptions import DataError
 
 logger = logging.getLogger("repro.dependence")
@@ -152,6 +153,7 @@ class PairSlotCollector:
         self._slots: dict[PairKey, Any] = {}
         self._fixed = candidate_pairs is not None
         self._cap = ProviderCap(max_providers_per_item)
+        self._packed: PackedRecords | None = None
         if candidate_pairs is not None:
             for s1, s2 in candidate_pairs:
                 key = pair_key(s1, s2)
@@ -201,20 +203,26 @@ class PairSlotCollector:
         slots (every modality's are). ``"numpy"`` has no meaning for a
         generic payload sweep and runs serially.
         """
+        self._packed = None  # a (re)build invalidates any prior packing
         if sweep is not None and sweep.backend == "process":
             from repro.dependence.sharding import (
                 merge_collector_shards,
                 run_collector_shards,
             )
 
-            shard_results, _ = run_collector_shards(
-                type(self),
-                list(groups),
-                list(self._slots) if self._fixed else None,
-                self._cap.cap,
-                sweep.executor(),
-                sweep.planner(),
-            )
+            # close() in all cases: collectors have no lifecycle of
+            # their own, so a persistent-pool executor created here
+            # would otherwise leak its worker processes (close is a
+            # no-op for the ephemeral default).
+            with sweep.executor() as executor:
+                shard_results, _ = run_collector_shards(
+                    type(self),
+                    list(groups),
+                    list(self._slots) if self._fixed else None,
+                    self._cap.cap,
+                    executor,
+                    sweep.planner(),
+                )
             merge_collector_shards(
                 shard_results,
                 self._slots,
@@ -238,6 +246,36 @@ class PairSlotCollector:
                     self._collect(slot, item, s1, payload1, s2, payload2)
 
     # -- registry accessors ---------------------------------------------
+
+    @property
+    def packed(self) -> PackedRecords:
+        """The slot registry as one contiguous record store (lazy).
+
+        The same flat-records-plus-segment-bounds layout the snapshot
+        engine's columnar store uses
+        (:mod:`repro.dependence.entrystore`): every pair's records sit
+        in one contiguous run of a single list, in collection order, so
+        per-round scoring loops read sequential segments instead of
+        chasing one Python list per pair. Built on first access and
+        invalidated by :meth:`build`; contents are identical to the
+        slot registry by construction (the registry stays authoritative
+        for equivalence tests and sharded merges).
+        """
+        if self._packed is None:
+            self._packed = PackedRecords(self._slots)
+        return self._packed
+
+    def ensure_packed(self) -> PackedRecords:
+        """Build the packed read path now (idempotent), and return it.
+
+        Bulk per-pair scoring loops call this once up front: the
+        scoring methods read through the packing only *when it exists*
+        (point queries stay lazy and never pay the full pack), so a
+        bulk caller must warm it explicitly. A named method rather
+        than a bare ``collector.packed`` statement — the side effect
+        is the point.
+        """
+        return self.packed
 
     @property
     def pairs(self) -> list[PairKey]:

@@ -1,0 +1,350 @@
+"""Columnar slot storage shared by the dependence modalities.
+
+Two containers live here:
+
+:class:`ColumnarAgreeStore` — the numpy entry store behind
+:class:`~repro.dependence.evidence.EvidenceCache`'s ``"columnar"``
+layout. Every candidate pair's agreement list (entry ids, in sorted
+object order) is one *segment* of a single flat ``int64`` array, with a
+parallel array mapping each cell to its pair's *slot id*. The per-round
+hot path then collapses to array ops: gather the entries' current truth
+probabilities and segment-sum them per slot with one
+``np.bincount(slot_ids, weights=...)`` each for ``kt`` and ``kf``.
+
+The one numerical fact the whole design leans on, pinned by
+``tests/test_sharded_sweep.py``: **``np.bincount`` accumulates weights
+sequentially in input order**, so each slot's sum adds the exact same
+float64 values in the exact same left-to-right order as the pure-Python
+reference loop — bit-for-bit identical, at every segment length. (This
+is *not* true of ``np.sum``/``np.add.reduceat``, which use pairwise
+summation above small sizes; do not swap the primitive.)
+
+Incremental maintenance patches the arrays **in place**. Removals shift
+within the segment and leave *slack* cells; an insertion into a full
+segment relocates it to the array tail and *tombstones* the old region
+(slot id ``-1``); dead cells are skipped by a mask at sum time and
+reclaimed by :meth:`~ColumnarAgreeStore.compact` once they outnumber
+the live ones. Because a segment's live cells are always contiguous and
+in object order, the evidence served from any patched layout is
+bit-for-bit what a cold rebuild would serve — physical layout is never
+observable.
+
+:class:`PackedRecords` — the modality-agnostic *frozen* CSR packing
+used by the temporal and opinion collectors
+(:class:`~repro.dependence.collector.PairSlotCollector.packed`). Those
+modalities' records are heterogeneous tuples and their datasets refuse
+growth after the structural pass, so a one-shot flat-list-plus-offsets
+pack (no numpy needed) gives the same contiguous-segment read path the
+snapshot engine gets from the mutable store.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+from repro.exceptions import ParameterError
+
+#: A compaction never triggers below this many dead cells — tiny stores
+#: would otherwise compact on every sync for no measurable gain.
+COMPACT_MIN_DEAD = 64
+
+
+def require_numpy() -> None:
+    """Raise the canonical error when the columnar store lacks numpy."""
+    if np is None:
+        raise ParameterError(
+            "entry_store='columnar' needs numpy for its packed arrays; "
+            "install numpy or use entry_store='list'"
+        )
+
+
+class ColumnarAgreeStore:
+    """Flat-array agreement segments with tombstone + compact repair.
+
+    Slots are duck-typed: the store manages their ``sid`` (dense slot
+    id, the bin index of the segment sums), ``start``/``length`` (the
+    live segment ``eids[start:start+length]``) and ``cap`` (the
+    allocated region — cells between ``length`` and ``cap`` are slack).
+    The owning cache keeps the slot registry and the entry tables; the
+    store owns only the segment geometry.
+    """
+
+    __slots__ = ("_eids", "_sids", "_used", "_dead", "_n_sids")
+
+    def __init__(self) -> None:
+        require_numpy()
+        self._eids = np.empty(0, dtype=np.int64)
+        self._sids = np.empty(0, dtype=np.int64)
+        self._used = 0  # high-water mark; cells past it are untracked
+        self._dead = 0  # tombstoned + slack cells below the mark
+        self._n_sids = 0
+
+    # -- introspection (tests and compaction policy) --------------------
+
+    @property
+    def used(self) -> int:
+        """Cells below the high-water mark (live + dead)."""
+        return self._used
+
+    @property
+    def dead(self) -> int:
+        """Tombstoned and slack cells below the high-water mark."""
+        return self._dead
+
+    @property
+    def n_sids(self) -> int:
+        """Slot ids handed out since the last pack/compact."""
+        return self._n_sids
+
+    # -- bulk construction ----------------------------------------------
+
+    def pack(self, segments: Iterable[tuple[object, Sequence[int]]]) -> None:
+        """Cold layout: one contiguous, slack-free segment per slot.
+
+        ``segments`` yields ``(slot, eid_list)`` in canonical slot
+        order; slot ids are assigned in that order. Replaces any
+        previous contents.
+        """
+        items = [(slot, eids) for slot, eids in segments]
+        total = sum(len(eids) for _, eids in items)
+        self._eids = np.empty(total, dtype=np.int64)
+        self._sids = np.empty(total, dtype=np.int64)
+        cursor = 0
+        for sid, (slot, eids) in enumerate(items):
+            n = len(eids)
+            slot.sid = sid
+            slot.start = cursor
+            slot.length = n
+            slot.cap = n
+            if n:
+                self._eids[cursor : cursor + n] = eids
+                self._sids[cursor : cursor + n] = sid
+            cursor += n
+        self._used = total
+        self._dead = 0
+        self._n_sids = len(items)
+
+    def adopt(self, eids, sids, n_sids: int) -> None:
+        """Take ownership of pre-built record arrays (the sharded merge).
+
+        The caller guarantees the arrays are segment-contiguous with
+        each segment's cells in object order and has already written the
+        slots' ``sid``/``start``/``length``/``cap`` geometry.
+        """
+        self._eids = np.ascontiguousarray(eids, dtype=np.int64)
+        self._sids = np.ascontiguousarray(sids, dtype=np.int64)
+        self._used = int(self._eids.size)
+        self._dead = 0
+        self._n_sids = n_sids
+
+    def new_sid(self, slot) -> None:
+        """Register a slot created after the pack (backfilled pair)."""
+        slot.sid = self._n_sids
+        slot.start = 0
+        slot.length = 0
+        slot.cap = 0
+        self._n_sids += 1
+
+    # -- reads -----------------------------------------------------------
+
+    def segment(self, slot):
+        """The slot's live entry ids, in object order (a view)."""
+        return self._eids[slot.start : slot.start + slot.length]
+
+    def sums(self, p) -> tuple[list[float], list[float]]:
+        """Per-slot ``(Σ p, Σ (1-p))`` over the live segments.
+
+        ``p`` is the entry-id-indexed float64 probability array. The
+        returned lists are indexed by ``sid`` and hold Python floats
+        (``tolist``), ready for scalar-heavy consumers. Accumulation is
+        ``np.bincount`` — sequential, see the module docstring.
+        """
+        n = self._n_sids
+        if n == 0:
+            return [], []
+        sids = self._sids[: self._used]
+        eids = self._eids[: self._used]
+        if self._dead:
+            live = sids >= 0
+            sids = sids[live]
+            eids = eids[live]
+        gathered = p[eids]
+        kt = np.bincount(sids, weights=gathered, minlength=n)
+        kf = np.bincount(sids, weights=1.0 - gathered, minlength=n)
+        return kt.tolist(), kf.tolist()
+
+    # -- in-place repair --------------------------------------------------
+
+    def insert(self, slot, pos: int, eid: int) -> None:
+        """Insert ``eid`` at segment position ``pos`` (object order).
+
+        Uses the segment's slack when there is any; otherwise relocates
+        the segment to the array tail (with room to grow) and
+        tombstones the old region.
+        """
+        start, length, cap = slot.start, slot.length, slot.cap
+        eids, sids = self._eids, self._sids
+        if length < cap:
+            eids[start + pos + 1 : start + length + 1] = eids[
+                start + pos : start + length
+            ]
+            eids[start + pos] = eid
+            sids[start + length] = slot.sid
+            slot.length = length + 1
+            self._dead -= 1
+            return
+        new_cap = max(4, 2 * (length + 1))
+        new_start = self._used
+        self._ensure(new_start + new_cap)
+        eids, sids = self._eids, self._sids
+        eids[new_start : new_start + pos] = eids[start : start + pos]
+        eids[new_start + pos] = eid
+        eids[new_start + pos + 1 : new_start + length + 1] = eids[
+            start + pos : start + length
+        ]
+        sids[new_start : new_start + length + 1] = slot.sid
+        eids[new_start + length + 1 : new_start + new_cap] = 0
+        sids[new_start + length + 1 : new_start + new_cap] = -1
+        eids[start : start + cap] = 0
+        sids[start : start + cap] = -1
+        self._used = new_start + new_cap
+        # Old live cells died; the new region's slack is born dead (the
+        # old region's slack was already counted).
+        self._dead += length + (new_cap - (length + 1))
+        slot.start, slot.length, slot.cap = new_start, length + 1, new_cap
+
+    def remove(self, slot, pos: int) -> None:
+        """Remove the cell at segment position ``pos`` (shift left)."""
+        start, length = slot.start, slot.length
+        eids, sids = self._eids, self._sids
+        eids[start + pos : start + length - 1] = eids[
+            start + pos + 1 : start + length
+        ]
+        eids[start + length - 1] = 0
+        sids[start + length - 1] = -1
+        slot.length = length - 1
+        self._dead += 1
+
+    def release(self, slot) -> None:
+        """Tombstone a retired slot's whole region."""
+        start, cap = slot.start, slot.cap
+        self._eids[start : start + cap] = 0
+        self._sids[start : start + cap] = -1
+        self._dead += slot.length  # slack cells were already dead
+        slot.length = 0
+        slot.cap = 0
+
+    def append_segment(self, slot, eids: Sequence[int]) -> None:
+        """Place a freshly collected segment at the tail (backfill)."""
+        n = len(eids)
+        start = self._used
+        self._ensure(start + n)
+        if n:
+            self._eids[start : start + n] = eids
+            self._sids[start : start + n] = slot.sid
+        self._used = start + n
+        slot.start, slot.length, slot.cap = start, n, n
+
+    # -- compaction -------------------------------------------------------
+
+    def maybe_compact(self, slots: Iterable) -> bool:
+        """Compact when dead cells outnumber live ones (hysteresis)."""
+        if self._dead < COMPACT_MIN_DEAD or 2 * self._dead <= self._used:
+            return False
+        self.compact(slots)
+        return True
+
+    def compact(self, slots: Iterable) -> None:
+        """Rebuild the cold layout from the live segments.
+
+        ``slots`` must be every live slot, in canonical registry order;
+        slot ids are renumbered (any cached per-sid aggregates are
+        stale afterwards — the owning cache re-derives them on the next
+        refresh, which the mutation that made compaction worthwhile
+        already forces).
+        """
+        live = list(slots)
+        old = self._eids
+        total = sum(slot.length for slot in live)
+        eids = np.empty(total, dtype=np.int64)
+        sids = np.empty(total, dtype=np.int64)
+        cursor = 0
+        for sid, slot in enumerate(live):
+            n = slot.length
+            if n:
+                eids[cursor : cursor + n] = old[
+                    slot.start : slot.start + n
+                ]
+                sids[cursor : cursor + n] = sid
+            slot.sid = sid
+            slot.start = cursor
+            slot.cap = n
+            cursor += n
+        self._eids = eids
+        self._sids = sids
+        self._used = total
+        self._dead = 0
+        self._n_sids = len(live)
+
+    def _ensure(self, n: int) -> None:
+        if self._eids.size >= n:
+            return
+        size = max(n, 2 * self._eids.size, 256)
+        eids = np.empty(size, dtype=np.int64)
+        sids = np.empty(size, dtype=np.int64)
+        eids[: self._used] = self._eids[: self._used]
+        sids[: self._used] = self._sids[: self._used]
+        self._eids = eids
+        self._sids = sids
+
+
+class PackedRecords:
+    """Frozen CSR packing of a collector's per-pair record lists.
+
+    One flat record list plus per-pair ``(start, end)`` bounds — the
+    same contiguous-segment shape the snapshot engine's columnar store
+    uses, for modalities whose records are heterogeneous tuples and
+    whose datasets are frozen after the structural pass. Needs no
+    numpy, so the pure-Python serial environment keeps working.
+    """
+
+    __slots__ = ("_records", "_bounds")
+
+    def __init__(self, slots: Mapping[tuple, Sequence]) -> None:
+        records: list = []
+        bounds: dict[tuple, tuple[int, int]] = {}
+        for key, slot in slots.items():
+            start = len(records)
+            records.extend(slot)
+            bounds[key] = (start, len(records))
+        self._records = records
+        self._bounds = bounds
+
+    def segment(self, key: tuple) -> list:
+        """The pair's records, in collection order ([] if uncollected)."""
+        span = self._bounds.get(key)
+        if span is None:
+            return []
+        start, end = span
+        return self._records[start:end]
+
+    def count(self, key: tuple) -> int:
+        """Number of records collected for the pair (0 if uncollected)."""
+        span = self._bounds.get(key)
+        return 0 if span is None else span[1] - span[0]
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._bounds
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def total_records(self) -> int:
+        """Records across all pairs (the flat array's length)."""
+        return len(self._records)

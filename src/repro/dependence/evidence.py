@@ -35,6 +35,28 @@ the deduplicated entries): the truth probability ``p_true`` of every
 entry, and — empirical model only — each object's ``k_false`` and the
 resulting per-entry popularity.
 
+Columnar entry store
+--------------------
+
+``params.entry_store`` selects the physical layout of the agreement
+structure. Under ``"columnar"`` (the ``"auto"`` default whenever numpy
+is importable) every pair's agreement list is a *segment* of one flat
+``int64`` array managed by
+:class:`~repro.dependence.entrystore.ColumnarAgreeStore`, and the
+per-round path runs as array ops: :meth:`refresh` gathers the entries'
+probabilities and computes every pair's ``kt``/``kf`` with two
+sequential ``bincount`` segment sums, and :meth:`collect_all` reads the
+evidence straight off the arrays. ``np.bincount`` accumulates weights
+in input order, so the sums are **bit-for-bit identical** to the
+``"list"`` reference layout's Python loops — layout is execution
+policy, never observable in results. Incremental repair
+(:meth:`sync`) patches the arrays in place: within-segment shifts while
+a segment has slack, relocation-plus-tombstone when it must grow, and a
+compaction pass once dead cells outnumber live ones. The sharded build
+backends emit the columnar store directly — shard record blocks
+concatenate into the arrays without ever materialising per-pair Python
+lists.
+
 Incremental maintenance under ingest
 ------------------------------------
 
@@ -83,29 +105,52 @@ bit (same accumulation order — both walk objects sorted).
 
 from __future__ import annotations
 
-from bisect import insort
+import warnings
+from bisect import bisect_left, insort
 from collections.abc import Iterable, Iterator, Mapping
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None  # the "list" entry store and serial backend need none of it
 
 from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.bayes import PairEvidence, ValueProbabilities
 from repro.dependence.collector import PairKey, ProviderCap, pair_key
-from repro.exceptions import DataError, ParameterError
+from repro.dependence.entrystore import ColumnarAgreeStore, require_numpy
+from repro.exceptions import (
+    DataError,
+    OverlapCalibrationWarning,
+    ParameterError,
+)
 
 _EMPTY_PROBS: dict[Value, float] = {}
 
 
 class _PairSlot:
-    """Static structure of one candidate pair: agreement entries + kd."""
+    """Static structure of one candidate pair: agreement entries + kd.
 
-    __slots__ = ("s1", "s2", "agree", "kd")
+    Under the ``"list"`` entry store ``agree`` holds the entry ids
+    directly; under ``"columnar"`` the ids live in the shared
+    :class:`~repro.dependence.entrystore.ColumnarAgreeStore` and the
+    slot carries its segment geometry (``sid``/``start``/``length``/
+    ``cap``, managed by the store) with ``agree`` set to ``None`` once
+    packed.
+    """
+
+    __slots__ = ("s1", "s2", "agree", "kd", "sid", "start", "length", "cap")
 
     def __init__(self, s1: SourceId, s2: SourceId) -> None:
         self.s1 = s1
         self.s2 = s2
-        self.agree: list[int] = []  # entry ids, in sorted-object order
+        self.agree: list[int] | None = []  # entry ids, sorted-object order
         self.kd = 0
+        self.sid = -1
+        self.start = 0
+        self.length = 0
+        self.cap = 0
 
 
 class EvidenceCache:
@@ -176,6 +221,22 @@ class EvidenceCache:
         self._backend = params.parallel_backend
         self._num_workers = params.num_workers
         self._shard_size = params.shard_size
+        if params.entry_store == "columnar":
+            require_numpy()  # fail at construction, not mid-build
+        self._columnar = params.entry_store == "columnar" or (
+            params.entry_store == "auto" and np is not None
+        )
+        self._persistent_pool = params.pool == "persistent"
+        self._executor = None  # created lazily, survives build() calls
+        self._overlap_bound = params.overlap_warning_bound
+        # The calibration hazard is specific to expected_log+uniform;
+        # when armed, overlap growth maintains a high-water mark so the
+        # warning check is O(1) instead of an O(pairs) scan per sync.
+        self._overlap_armed = (
+            self._overlap_bound is not None
+            and not self._with_popularity
+            and self._evidence_form == "expected_log"
+        )
         self.build()
 
     def build(self) -> None:
@@ -213,14 +274,36 @@ class EvidenceCache:
         )
         self._plan = None
         self._last_sync_routing: dict[int, int] = {}
+        self._store: ColumnarAgreeStore | None = (
+            ColumnarAgreeStore() if self._columnar else None
+        )
+        self._kt: list[float] = []
+        self._kf: list[float] = []
+        self._p_arr = None
+        self._pop_arr = None
+        self._warned_overlap = False
+        self._overlap_mark: tuple[int, PairKey | None] = (0, None)
         if self._backend == "serial":
             self._build_serial()
+            if self._store is not None:
+                # The object-major sweep necessarily scatters across
+                # slots; pack its per-slot lists into the flat store
+                # once, then drop them.
+                self._store.pack(
+                    (slot, slot.agree) for slot in self._slots.values()
+                )
+                for slot in self._slots.values():
+                    slot.agree = None
         else:
             self._build_sharded()
         self._synced_version = self._dataset.version
         # A fresh structure invalidates every previously served pair.
         self._dirty_pairs: set[PairKey] = set(self._slots)
         self._dirty_probs_objects: set[ObjectId] = set()
+        if self._overlap_armed:
+            for slot in self._slots.values():
+                self._note_overlap(slot)
+        self._warn_overlap_calibration()
 
     def _build_serial(self) -> None:
         # --- structural pass: one sweep over the by-object index ------
@@ -354,8 +437,15 @@ class EvidenceCache:
                     n_sources=n_sources,
                 )
             )
-        executor = ParallelSweepExecutor(self._backend, self._num_workers)
-        records = RecordBlock.concatenate(executor.run(sweep_shard, payloads))
+        if self._executor is None:
+            self._executor = ParallelSweepExecutor(
+                self._backend,
+                self._num_workers,
+                persistent=self._persistent_pool,
+            )
+        records = RecordBlock.concatenate(
+            self._executor.run(sweep_shard, payloads)
+        )
         pair = records.pair
 
         # Candidate selection — sorted composite pair ids enumerate the
@@ -457,11 +547,43 @@ class EvidenceCache:
         agree_counts = np.bincount(agree_pair, minlength=n_selected)
         bounds = np.zeros(n_selected + 1, dtype=np.int64)
         np.cumsum(agree_counts, out=bounds[1:])
-        eids = inverse.tolist()
-        for i, u in enumerate(selected_ids.tolist()):
-            slot = self._slots[(sources[u // n_sources], sources[u % n_sources])]
-            slot.kd = int(kd_counts[i])
-            slot.agree = eids[bounds[i] : bounds[i + 1]]
+        if self._store is not None:
+            # Columnar adoption: the canonicalised record arrays already
+            # *are* the store layout — segment-contiguous, object-sorted
+            # — so the merge hands them over wholesale instead of
+            # rebuilding per-slot Python lists. Slot ids follow registry
+            # order (fixed candidate pairs may include pairs the sweep
+            # never saw; they get empty segments).
+            for sid, slot in enumerate(self._slots.values()):
+                slot.agree = None
+                slot.sid = sid
+            selected_slots = [
+                self._slots[(sources[u // n_sources], sources[u % n_sources])]
+                for u in selected_ids.tolist()
+            ]
+            starts = bounds.tolist()
+            lengths = agree_counts.tolist()
+            for i, slot in enumerate(selected_slots):
+                slot.kd = int(kd_counts[i])
+                slot.start = starts[i]
+                slot.length = lengths[i]
+                slot.cap = lengths[i]
+            if selected_slots:
+                sid_of_selected = np.asarray(
+                    [slot.sid for slot in selected_slots], dtype=np.int64
+                )
+                record_sids = sid_of_selected[agree_pair]
+            else:
+                record_sids = np.empty(0, dtype=np.int64)
+            self._store.adopt(inverse, record_sids, len(self._slots))
+        else:
+            eids = inverse.tolist()
+            for i, u in enumerate(selected_ids.tolist()):
+                slot = self._slots[
+                    (sources[u // n_sources], sources[u % n_sources])
+                ]
+                slot.kd = int(kd_counts[i])
+                slot.agree = eids[bounds[i] : bounds[i + 1]]
 
     # ------------------------------------------------------------------
     # entry store
@@ -557,6 +679,14 @@ class EvidenceCache:
             ]
         for obj in dirty_sorted:
             self._apply_object_delta(obj, delta[obj], backfilled)
+        if self._store is not None:
+            # Tombstones from removals/retirements accumulate across
+            # syncs; reclaim once they outnumber the live cells. The
+            # compaction renumbers slot ids, which is safe exactly here:
+            # the delta already invalidated the per-sid sums (refresh is
+            # mandatory before the next evidence read).
+            self._store.maybe_compact(self._slots.values())
+        self._warn_overlap_calibration()
         return set(delta)
 
     def _apply_object_delta(
@@ -651,10 +781,29 @@ class EvidenceCache:
         v2 = providers[s2].value
         if v1 != v2:
             slot.kd += 1
-            return
-        eid = self._entry_for(obj, v1)
-        insort(slot.agree, eid, key=self._entry_obj.__getitem__)
-        self._entry_refs[eid] += 1
+        else:
+            eid = self._entry_for(obj, v1)
+            if self._store is None:
+                insort(slot.agree, eid, key=self._entry_obj.__getitem__)
+            else:
+                self._store.insert(
+                    slot, self._segment_bisect(slot, obj), eid
+                )
+            self._entry_refs[eid] += 1
+        if self._overlap_armed:
+            self._note_overlap(slot)
+
+    def _segment_bisect(self, slot: _PairSlot, obj: ObjectId) -> int:
+        """Position of ``obj`` in the slot's object-sorted segment.
+
+        A pair agrees on at most one value per object, so the segment
+        holds at most one entry per object: the bisection point is both
+        the insertion position for a new object and the exact position
+        of an existing one.
+        """
+        return bisect_left(
+            self._store.segment(slot), obj, key=self._entry_obj.__getitem__
+        )
 
     def _remove_object_pairs(
         self,
@@ -686,7 +835,12 @@ class EvidenceCache:
                         slot.kd -= 1
                     else:
                         eid = self._groups[obj][v1]
-                        slot.agree.remove(eid)
+                        if self._store is None:
+                            slot.agree.remove(eid)
+                        else:
+                            self._store.remove(
+                                slot, self._segment_bisect(slot, obj)
+                            )
                         self._release_entry(eid)
                 if (
                     counts is not None
@@ -698,8 +852,13 @@ class EvidenceCache:
         """Retire a pair that fell below the overlap threshold."""
         slot = self._slots.pop(key)
         self._dirty_pairs.add(key)
-        for eid in slot.agree:
-            self._release_entry(eid)
+        if self._store is None:
+            for eid in slot.agree:
+                self._release_entry(eid)
+        else:
+            for eid in self._store.segment(slot).tolist():
+                self._release_entry(eid)
+            self._store.release(slot)
 
     def _backfill_pair(self, key: PairKey) -> None:
         """Collect a newly eligible pair's full structure from scratch.
@@ -712,6 +871,7 @@ class EvidenceCache:
         dataset = self._dataset
         self._dirty_pairs.add(key)
         slot = _PairSlot(s1, s2)
+        agree = slot.agree
         claims1 = dataset.claims_by_view(s1)
         claims2 = dataset.claims_by_view(s2)
         smaller = claims1 if len(claims1) <= len(claims2) else claims2
@@ -729,9 +889,15 @@ class EvidenceCache:
                 slot.kd += 1
                 continue
             eid = self._entry_for(obj, v1)
-            slot.agree.append(eid)  # objects walked sorted: order holds
+            agree.append(eid)  # objects walked sorted: order holds
             self._entry_refs[eid] += 1
+        if self._store is not None:
+            self._store.new_sid(slot)
+            self._store.append_segment(slot, agree)
+            slot.agree = None
         self._slots[key] = slot
+        if self._overlap_armed:
+            self._note_overlap(slot)
 
     # ------------------------------------------------------------------
     # per-round refresh
@@ -744,6 +910,14 @@ class EvidenceCache:
         over the deduplicated agreement entries; under the empirical
         model each object's ``k_false`` is computed once here instead of
         once per pair per shared value.
+
+        With the columnar store the entry sweep only *probes* the new
+        probabilities (dict lookups are irreducible while ``value_probs``
+        is a nested dict); everything downstream — the per-slot
+        ``kt``/``kf`` sums over every agreement reference, previously
+        the dominant per-round Python loop — happens here as one gather
+        plus two sequential ``bincount`` segment sums, bit-for-bit
+        identical to the list walk.
         """
         self.sync()
         self._refreshed = True
@@ -753,6 +927,7 @@ class EvidenceCache:
                 obj_probs = value_probs.get(obj, _EMPTY_PROBS)
                 for value, eid in entries.items():
                     p[eid] = obj_probs.get(value, 0.0)
+            self._refresh_columnar()
             return
         pop = self._pop
         entry_m = self._entry_m
@@ -769,6 +944,17 @@ class EvidenceCache:
                     pop[eid] = min(1.0, (entry_m[eid] - 1) / (k_false - 1.0))
                 else:
                     pop[eid] = 1.0
+        self._refresh_columnar()
+
+    def _refresh_columnar(self) -> None:
+        """Derive the per-slot soft sums from the refreshed entries."""
+        store = self._store
+        if store is None:
+            return
+        self._p_arr = np.asarray(self._p, dtype=np.float64)
+        self._kt, self._kf = store.sums(self._p_arr)
+        if self._pop is not None:
+            self._pop_arr = np.asarray(self._pop, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # evidence accessors
@@ -860,6 +1046,72 @@ class EvidenceCache:
         """The claim store this cache is bound to."""
         return self._dataset
 
+    @property
+    def entry_store(self) -> str:
+        """The resolved store layout: ``"columnar"`` or ``"list"``."""
+        return "columnar" if self._store is not None else "list"
+
+    def close(self) -> None:
+        """Release the worker pool, if a persistent one was started.
+
+        Only meaningful under ``pool="persistent"`` with the
+        ``"process"`` backend; a no-op otherwise. The cache stays
+        usable — the next sharded build simply starts a fresh pool.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "EvidenceCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _note_overlap(self, slot: _PairSlot) -> None:
+        """Raise the overlap high-water mark after a slot grew.
+
+        Called from every growth site (build, delta repair, backfill),
+        so :meth:`_warn_overlap_calibration` stays O(1) per sync instead
+        of scanning all pairs. Removals do not lower the mark — a
+        high-water semantic is exactly right for a warning that should
+        fire once if the hazardous regime was ever entered.
+        """
+        shared = (
+            slot.length if self._store is not None else len(slot.agree)
+        )
+        overlap = shared + slot.kd
+        if overlap > self._overlap_mark[0]:
+            self._overlap_mark = (overlap, (slot.s1, slot.s2))
+
+    def _warn_overlap_calibration(self) -> None:
+        """One structured warning when expected_log+uniform leaves its
+        calibrated regime (see ``DependenceParams.overlap_warning_bound``
+        and :class:`~repro.exceptions.OverlapCalibrationWarning`)."""
+        if not self._overlap_armed or self._warned_overlap:
+            return
+        worst, worst_key = self._overlap_mark
+        if worst < self._overlap_bound:
+            return
+        self._warned_overlap = True
+        warnings.warn(
+            f"candidate pair {worst_key!r} overlaps on {worst} objects "
+            f"(calibration bound: {self._overlap_bound}). The default "
+            "evidence model "
+            "(evidence_form='expected_log' with false_value_model="
+            "'uniform') is known to over-detect dependence on overlaps "
+            "this large — 184 false positives at threshold 0.9 on a "
+            "200-object, 20-source world where the alternatives found "
+            "none. Prefer false_value_model='empirical' or "
+            "evidence_form='marginal' at this scale, or set "
+            "DependenceParams(overlap_warning_bound=None) after "
+            "validating the workload.",
+            OverlapCalibrationWarning,
+            # No stacklevel: build and sync reach here at different
+            # depths, so no fixed value lands on the user's call site —
+            # point consistently at the library rather than misattribute.
+        )
+
     def check_bound(self, dataset: ClaimDataset, min_overlap: int) -> None:
         """Raise unless the cache serves this dataset and pair policy.
 
@@ -931,6 +1183,24 @@ class EvidenceCache:
     ) -> dict[PairKey, PairEvidence]:
         """Refresh and return evidence for every candidate pair."""
         self.refresh(value_probs)
+        if self._store is not None and self._fast:
+            # Columnar fast path: the refresh already produced every
+            # pair's sums; assembly is one positional construction per
+            # pair (kwargs cost ~25% of the whole round at this width).
+            kt, kf = self._kt, self._kf
+            evidence = PairEvidence
+            return {
+                key: evidence(
+                    slot.s1,
+                    slot.s2,
+                    kt[slot.sid],
+                    kf[slot.sid],
+                    slot.kd,
+                    None,
+                    slot.length,
+                )
+                for key, slot in self._slots.items()
+            }
         return {key: self._build(slot) for key, slot in self._slots.items()}
 
     def __len__(self) -> int:
@@ -946,6 +1216,8 @@ class EvidenceCache:
         return ((s1, s2) if s1 < s2 else (s2, s1)) in self._slots
 
     def _build(self, slot: _PairSlot) -> PairEvidence:
+        if self._store is not None:
+            return self._build_columnar(slot)
         p = self._p
         kt = 0.0
         kf = 0.0
@@ -979,4 +1251,30 @@ class EvidenceCache:
             kd=slot.kd,
             shared_values=shared_values,
             shared_count=len(slot.agree),
+        )
+
+    def _build_columnar(self, slot: _PairSlot) -> PairEvidence:
+        """Evidence straight off the arrays: sums were computed by the
+        last :meth:`refresh`; per-value detail (non-fast modes) is one
+        gather over the slot's segment."""
+        sid = slot.sid
+        if self._fast:
+            shared_values = None
+        else:
+            seg = self._store.segment(slot)
+            probs = self._p_arr[seg].tolist()
+            if self._pop is None:
+                shared_values = tuple((p_true, -1.0) for p_true in probs)
+            else:
+                shared_values = tuple(
+                    zip(probs, self._pop_arr[seg].tolist())
+                )
+        return PairEvidence(
+            s1=slot.s1,
+            s2=slot.s2,
+            kt_soft=self._kt[sid],
+            kf_soft=self._kf[sid],
+            kd=slot.kd,
+            shared_values=shared_values,
+            shared_count=slot.length,
         )

@@ -194,6 +194,7 @@ def discover_dependence(
             )
         return graph
     cache = evidence_cache
+    owns_cache = cache is None
     if cache is None:
         cache = EvidenceCache(
             dataset, candidate_pairs, min_overlap=min_overlap, params=params
@@ -205,8 +206,16 @@ def discover_dependence(
                 "the cache already fixes the pair set"
             )
         cache.check_compatible(params)
-    for (s1, s2), evidence in cache.collect_all(value_probs).items():
-        graph.add(
-            pair_posterior(evidence, accuracies[s1], accuracies[s2], params)
-        )
-    return graph
+    try:
+        for (s1, s2), evidence in cache.collect_all(value_probs).items():
+            graph.add(
+                pair_posterior(
+                    evidence, accuracies[s1], accuracies[s2], params
+                )
+            )
+        return graph
+    finally:
+        if owns_cache:
+            # An internally built cache must not strand a persistent
+            # worker pool (no-op under the ephemeral default).
+            cache.close()

@@ -280,7 +280,11 @@ class RaterPairCollector(PairSlotCollector):
 
     def co_rated(self, r1: SourceId, r2: SourceId) -> int:
         """Number of items both raters scored (0 for uncollected pairs)."""
-        slot = self._slots.get(pair_key(r1, r2))
+        key = pair_key(r1, r2)
+        if self._packed is not None:
+            return self._packed.count(key)
+        # A point query must not force the full O(records) packing.
+        slot = self._slots.get(key)
         return 0 if slot is None else len(slot)
 
     def weighted_counts(
@@ -319,8 +323,14 @@ class RaterPairCollector(PairSlotCollector):
         if params is None:
             params = OpinionParams()
         key = pair_key(r1, r2)
-        slot = self._slots.get(key)
-        records = slot if slot is not None else []
+        # Packed-store read path when the packing exists (bulk scoring
+        # loops build it once up front); a lone point query reads the
+        # slot registry directly rather than paying the full pack.
+        if self._packed is not None:
+            records = self._packed.segment(key)
+        else:
+            slot = self._slots.get(key)
+            records = slot if slot is not None else []
         if key != (r1, r2):
             records = [(item, s2, s1) for item, s1, s2 in records]
         if counts is None:
@@ -454,6 +464,7 @@ def discover_rater_dependence(
             "one being analysed"
         )
     counts = collector.weighted_counts(weights, params.smoothing)
+    collector.ensure_packed()  # bulk loop: contiguous read path, once
     result = RaterDependenceResult()
     for r1, r2 in sorted(collector.pairs):
         if collector.co_rated(r1, r2) < min_co_rated:

@@ -47,6 +47,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 try:
@@ -110,9 +111,14 @@ class SweepConfig:
     backend: str = "serial"
     num_workers: int = 1
     shard_size: int | None = None
+    pool: str = "ephemeral"
 
     def __post_init__(self) -> None:
         _validate_policy(self.backend, self.num_workers, self.shard_size)
+        if self.pool not in ("ephemeral", "persistent"):
+            raise ParameterError(
+                f"pool must be 'ephemeral' or 'persistent', got {self.pool!r}"
+            )
 
     @classmethod
     def from_params(cls, params) -> "SweepConfig":
@@ -121,6 +127,7 @@ class SweepConfig:
             backend=params.parallel_backend,
             num_workers=params.num_workers,
             shard_size=params.shard_size,
+            pool=getattr(params, "pool", "ephemeral"),
         )
 
     @property
@@ -128,7 +135,11 @@ class SweepConfig:
         return self.backend != "serial"
 
     def executor(self) -> "ParallelSweepExecutor":
-        return ParallelSweepExecutor(self.backend, self.num_workers)
+        return ParallelSweepExecutor(
+            self.backend,
+            self.num_workers,
+            persistent=self.pool == "persistent",
+        )
 
     def planner(self) -> "ShardPlanner":
         return ShardPlanner(self.num_workers, self.shard_size)
@@ -359,12 +370,26 @@ class ParallelSweepExecutor:
     processes. Either way :meth:`run` returns results positionally
     aligned with the submitted payloads — callers merge in shard order
     and stay independent of completion order.
+
+    With ``persistent=True`` the process pool is created lazily on the
+    first :meth:`run` and *kept alive* across calls, so repeated
+    structural builds — streaming rebuilds, iterative re-syncs, bench
+    loops — pay the fork/spawn cost once instead of re-forking per
+    sweep. Workers are pure functions of their payloads (no shared
+    state), so reuse can never change a result; call :meth:`close` (or
+    use the executor as a context manager) to release the workers. The
+    default ephemeral mode tears the pool down after every run, exactly
+    as before.
     """
 
-    def __init__(self, backend: str, num_workers: int = 1) -> None:
+    def __init__(
+        self, backend: str, num_workers: int = 1, *, persistent: bool = False
+    ) -> None:
         _validate_policy(backend, num_workers)
         self.backend = backend
         self.num_workers = num_workers
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
 
     def run(self, worker: Callable, payloads: Sequence) -> list:
         """Apply ``worker`` to each payload; results in payload order."""
@@ -372,9 +397,34 @@ class ParallelSweepExecutor:
             return []
         if self.backend != "process" or len(payloads) == 1:
             return [worker(payload) for payload in payloads]
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers
+                )
+            try:
+                return list(self._pool.map(worker, payloads))
+            except BrokenProcessPool:
+                # A dead worker poisons the whole pool; drop it so the
+                # next run forks a fresh one — parity with the
+                # ephemeral mode, which recovers by construction.
+                self.close()
+                raise
         workers = min(self.num_workers, len(payloads))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(worker, payloads))
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op when none is alive)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

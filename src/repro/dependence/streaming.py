@@ -302,6 +302,22 @@ class StreamingDependenceEngine:
         """
         return self._dataset.compact_log(self._cache.synced_version)
 
+    def close(self) -> None:
+        """Release the evidence cache's worker pool, if one is alive.
+
+        Relevant under ``DependenceParams(parallel_backend="process",
+        pool="persistent")``, where the pool survives across
+        ingest/rebuild cycles; a no-op otherwise. The engine stays
+        usable after closing.
+        """
+        self._cache.close()
+
+    def __enter__(self) -> "StreamingDependenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"StreamingDependenceEngine({len(self._dataset)} claims, "

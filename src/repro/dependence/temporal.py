@@ -283,12 +283,19 @@ class CoAdoptionCollector(PairSlotCollector):
         """
         self._check_fresh()
         key = pair_key(s1, s2)
-        slot = self._slots.get(key)
-        if not slot:
+        # Read off the packed store when it exists (bulk discovery
+        # builds it once up front); a lone point query reads the slot
+        # registry directly rather than paying the full pack. Either
+        # way the records are identical, order included.
+        if self._packed is not None:
+            records = self._packed.segment(key)
+        else:
+            records = self._slots.get(key) or []
+        if not records:
             return []
         swapped = key != (s1, s2)
         events: list[CoAdoption] = []
-        for obj, value, t1, t2 in slot:
+        for obj, value, t1, t2 in records:
             if swapped:
                 t1, t2 = t2, t1
             n_adopters = self._adopter_counts[(obj, value)]
@@ -635,6 +642,7 @@ def discover_temporal_dependence(
             "the one being analysed"
         )
     nt_rate = collector.never_true_rates(timelines)
+    collector.ensure_packed()  # bulk loop: contiguous read path, once
 
     def clamp(a: float) -> float:
         return min(0.99, max(0.01, a))

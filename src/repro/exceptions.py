@@ -33,6 +33,22 @@ class ConvergenceError(ReproError):
     """
 
 
+class OverlapCalibrationWarning(UserWarning):
+    """The configured evidence model is outside its calibrated regime.
+
+    Emitted (once per structural state) by the evidence engine when the
+    aggressive default model combination — ``evidence_form=
+    "expected_log"`` with ``false_value_model="uniform"`` — meets a
+    candidate pair whose overlap reaches
+    :attr:`~repro.core.params.DependenceParams.overlap_warning_bound`.
+    At that scale the probability-weighted log-likelihood is known to
+    over-detect dependence (184 false positives on a 200-object,
+    20-source world at threshold 0.9); switch to
+    ``false_value_model="empirical"`` or ``evidence_form="marginal"``,
+    or set ``overlap_warning_bound=None`` after verifying the workload.
+    """
+
+
 class LinkageError(ReproError):
     """Record-linkage input could not be parsed or clustered."""
 

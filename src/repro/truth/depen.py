@@ -87,6 +87,37 @@ class Depen(TruthDiscovery):
         if evidence_cache is not None:
             evidence_cache.check_bound(dataset, self.min_overlap)
         it = self.iteration
+        # The overlap structure never changes between rounds, so the
+        # candidate pairs and every structural part of the pair evidence
+        # are computed once; only the value_probs-dependent soft parts
+        # are refreshed each round inside discover_dependence. Provider
+        # orderings for the vote discount are likewise reused until the
+        # accuracy ranking actually changes.
+        owns_cache = evidence_cache is None
+        if evidence_cache is None:
+            evidence_cache = EvidenceCache(
+                dataset, min_overlap=self.min_overlap, params=self.params
+            )
+        order_cache = VoteOrderCache(dataset)
+        try:
+            return self._iterate(
+                dataset, evidence_cache, order_cache, it
+            )
+        finally:
+            if owns_cache:
+                # An internally built cache must not strand a
+                # persistent worker pool (no-op under the ephemeral
+                # default); a caller-supplied cache keeps its own
+                # lifecycle (the streaming engine reuses it).
+                evidence_cache.close()
+
+    def _iterate(
+        self,
+        dataset: ClaimDataset,
+        evidence_cache: EvidenceCache,
+        order_cache: VoteOrderCache,
+        it: IterationParams,
+    ) -> TruthResult:
         accuracies = {s: it.initial_accuracy for s in dataset.sources}
         value_probs = uniform_value_probabilities(dataset)
         decisions: dict = {}
@@ -95,18 +126,6 @@ class Depen(TruthDiscovery):
         trace: list[RoundTrace] = []
         converged = False
         rounds = 0
-
-        # The overlap structure never changes between rounds, so the
-        # candidate pairs and every structural part of the pair evidence
-        # are computed once; only the value_probs-dependent soft parts
-        # are refreshed each round inside discover_dependence. Provider
-        # orderings for the vote discount are likewise reused until the
-        # accuracy ranking actually changes.
-        if evidence_cache is None:
-            evidence_cache = EvidenceCache(
-                dataset, min_overlap=self.min_overlap, params=self.params
-            )
-        order_cache = VoteOrderCache(dataset)
         for rounds in range(1, it.max_rounds + 1):
             clamped = {s: it.clamp_accuracy(a) for s, a in accuracies.items()}
             dependence = discover_dependence(

@@ -1,0 +1,84 @@
+"""The benchmark conftest's session-finish hook writes valid JSON.
+
+``benchmarks/conftest.py`` collects headline numbers through the
+``bench_record`` fixture and writes ``BENCH_scalability.json`` at
+session finish. The trajectory must stay *valid JSON with the expected
+schema* even when a recording bench was skipped or deselected (its
+section is simply absent — which is exactly what
+``check_regression.py --allow-missing`` exists for), and no file at all
+must appear for sessions that ran no recording bench (the tier-1
+suite).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+)
+
+
+@pytest.fixture()
+def bench_conftest():
+    """The benchmarks conftest as an isolated module instance."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", _CONFTEST
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class _FakeConfig:
+    def __init__(self, rootpath):
+        self.rootpath = rootpath
+
+
+class _FakeSession:
+    def __init__(self, rootpath):
+        self.config = _FakeConfig(rootpath)
+
+
+def test_partial_records_write_valid_json(bench_conftest, tmp_path, monkeypatch):
+    target = tmp_path / "BENCH_out.json"
+    monkeypatch.setenv("BENCH_SCALABILITY_JSON", str(target))
+    # Only one bench recorded — the others were skipped this session.
+    # (Same merge semantics as the bench_record fixture's closure.)
+    records = bench_conftest._RECORDS
+    records.setdefault("batch_vs_per_pair", {}).update(
+        {"speedup": 9.1, "pairs": 1225}
+    )
+    records.setdefault("batch_vs_per_pair", {}).update({"workload": "50x300"})
+    bench_conftest.pytest_sessionfinish(_FakeSession(str(tmp_path)), 0)
+
+    payload = json.loads(target.read_text())  # must parse
+    assert payload["schema"] == 1
+    assert payload["suite"] == "bench_scalability"
+    assert set(payload["env"]) == {"ci", "cpu_count", "platform", "python"}
+    assert payload["results"] == {
+        "batch_vs_per_pair": {
+            "speedup": 9.1,
+            "pairs": 1225,
+            "workload": "50x300",
+        }
+    }
+
+
+def test_empty_session_writes_nothing(bench_conftest, tmp_path, monkeypatch):
+    target = tmp_path / "BENCH_out.json"
+    monkeypatch.setenv("BENCH_SCALABILITY_JSON", str(target))
+    bench_conftest.pytest_sessionfinish(_FakeSession(str(tmp_path)), 0)
+    assert not target.exists()
+
+
+def test_default_path_is_the_rootpath(bench_conftest, tmp_path, monkeypatch):
+    monkeypatch.delenv("BENCH_SCALABILITY_JSON", raising=False)
+    bench_conftest._RECORDS["round_refresh"] = {"speedup": 2.5}
+    bench_conftest.pytest_sessionfinish(_FakeSession(str(tmp_path)), 0)
+    payload = json.loads((tmp_path / "BENCH_scalability.json").read_text())
+    assert payload["results"]["round_refresh"] == {"speedup": 2.5}

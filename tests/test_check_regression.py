@@ -1,0 +1,118 @@
+"""Self-test of the CI perf-regression gate (benchmarks/check_regression.py).
+
+The gate is exercised exactly the way CI runs it — as a subprocess over
+a JSON file — with a healthy trajectory, a doctored one (a speedup
+pushed below its floor), a partial one (skipped bench), and garbage.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+GATE = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+HEALTHY = {
+    "schema": 1,
+    "suite": "bench_scalability",
+    "env": {"ci": True, "cpu_count": 4, "platform": "test", "python": "3.12"},
+    "results": {
+        "batch_vs_per_pair": {"speedup": 8.5, "pairs": 1225},
+        "round_refresh": {"speedup": 2.6, "pairs": 1225},
+        "ingest_vs_rebuild": {
+            "speedups_by_dirty_fraction": {"2%": 12.0, "5%": 9.0, "10%": 6.5}
+        },
+        "serial_vs_sharded": {"speedups": {"numpy": 2.1, "process_4": 1.6}},
+        "streaming_rescore": {"pairs": 1225, "rescored": 77},
+    },
+}
+
+
+def _run(tmp_path, payload, *args):
+    path = tmp_path / "trajectory.json"
+    path.write_text(json.dumps(payload))
+    return subprocess.run(
+        [sys.executable, str(GATE), str(path), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_healthy_trajectory_passes(tmp_path):
+    result = _run(tmp_path, HEALTHY)
+    assert result.returncode == 0, result.stdout
+    assert "all perf gates hold" in result.stdout
+    # Every gated metric appears in the delta table.
+    for metric in (
+        "batch_vs_per_pair.speedup",
+        "round_refresh.speedup",
+        "ingest_vs_rebuild.speedup[5%]",
+        "serial_vs_sharded.speedups.numpy",
+        "streaming_rescore.rescored/pairs",
+    ):
+        assert metric in result.stdout
+
+
+def test_doctored_speedup_fails_with_readable_delta(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["round_refresh"]["speedup"] = 1.1  # below 1.3
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "REGRESSION" in result.stdout
+    assert "round_refresh.speedup" in result.stdout
+    assert "FAIL: round_refresh.speedup" in result.stdout
+    # The healthy metrics still render as ok rows.
+    assert "batch_vs_per_pair.speedup" in result.stdout
+
+
+def test_restriction_ratio_gate_is_a_ceiling(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["streaming_rescore"]["rescored"] = 1100  # 0.9 > 0.7
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "streaming_rescore.rescored/pairs" in result.stdout
+    assert "REGRESSION" in result.stdout
+
+
+def test_missing_section_fails_unless_allowed(tmp_path):
+    partial = copy.deepcopy(HEALTHY)
+    del partial["results"]["round_refresh"]  # e.g. the bench was skipped
+    strict = _run(tmp_path, partial)
+    assert strict.returncode == 1
+    assert "MISSING" in strict.stdout
+    lenient = _run(tmp_path, partial, "--allow-missing")
+    assert lenient.returncode == 0, lenient.stdout
+    assert "MISSING (allowed)" in lenient.stdout
+
+
+def test_malformed_metric_fails_readably(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["serial_vs_sharded"] = {"speedups": {}}
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "UNREADABLE" in result.stdout
+
+
+def test_unreadable_file_fails(tmp_path):
+    path = tmp_path / "trajectory.json"
+    path.write_text("{not json")
+    result = subprocess.run(
+        [sys.executable, str(GATE), str(path)], capture_output=True, text=True
+    )
+    assert result.returncode == 1
+    assert "cannot read" in result.stdout
+    missing = subprocess.run(
+        [sys.executable, str(GATE), str(tmp_path / "nope.json")],
+        capture_output=True,
+        text=True,
+    )
+    assert missing.returncode == 1
+
+
+def test_results_mapping_required(tmp_path):
+    result = _run(tmp_path, {"schema": 1})
+    assert result.returncode == 1
+    assert "no 'results' mapping" in result.stdout

@@ -162,6 +162,12 @@ class TestSnapshotInvariance:
         probs = uniform_value_probabilities(dataset)
         serial = EvidenceCache(dataset, params=DependenceParams(**model))
         reference = serial.collect_all(probs)
+        # The pure-Python list layout is the root reference; the default
+        # (columnar) serial build must already match it bit for bit.
+        list_store = EvidenceCache(
+            dataset, params=DependenceParams(entry_store="list", **model)
+        )
+        assert list_store.collect_all(probs) == reference
         for backend in ("numpy", "process"):
             for workers in WORKER_COUNTS:
                 cache = EvidenceCache(
@@ -534,29 +540,46 @@ def test_property_numpy_backend_invariance(table):
     suppress_health_check=[HealthCheck.too_slow],
 )
 def test_property_worker_count_invariance_with_ingest(table):
-    """num_workers ∈ {1, 2, 4}: same cache contents and posteriors,
-    before and after interleaved streaming ingest."""
+    """Every execution policy — num_workers ∈ {1, 2, 4}, the in-process
+    numpy backend, the persistent worker pool, and the columnar entry
+    store behind them all — serves the same cache contents and
+    posteriors as the pure-Python list-store reference, before and
+    after interleaved streaming ingest."""
     claims, split = table
     engines = {
-        workers: StreamingDependenceEngine(
+        f"process-{workers}": StreamingDependenceEngine(
             params=_parallel("process", workers, 3)
         )
         for workers in WORKER_COUNTS
     }
-    serial_engine = StreamingDependenceEngine()
-    for batch in (claims[:split], claims[split:]):
-        serial_engine.ingest(batch)
+    engines["numpy"] = StreamingDependenceEngine(
+        params=_parallel("numpy", 1, 3)
+    )
+    engines["persistent-pool"] = StreamingDependenceEngine(
+        params=_parallel("process", 2, 3, pool="persistent")
+    )
+    # The reference: serial backend over the list-based entry store —
+    # the layout every vectorised path must reproduce bit for bit.
+    serial_engine = StreamingDependenceEngine(
+        params=DependenceParams(entry_store="list")
+    )
+    try:
+        for batch in (claims[:split], claims[split:]):
+            serial_engine.ingest(batch)
+            for engine in engines.values():
+                engine.ingest(batch)
+            if len(serial_engine.dataset) == 0:
+                continue
+            reference_graph = serial_engine.discover()
+            probs = uniform_value_probabilities(serial_engine.dataset)
+            reference = serial_engine.cache.collect_all(probs)
+            for label, engine in engines.items():
+                assert engine.cache.pairs == serial_engine.cache.pairs, label
+                assert engine.cache.collect_all(probs) == reference, label
+                _graphs_equal(engine.discover(), reference_graph)
+    finally:
         for engine in engines.values():
-            engine.ingest(batch)
-        if len(serial_engine.dataset) == 0:
-            continue
-        reference_graph = serial_engine.discover()
-        probs = uniform_value_probabilities(serial_engine.dataset)
-        reference = serial_engine.cache.collect_all(probs)
-        for workers, engine in engines.items():
-            assert engine.cache.pairs == serial_engine.cache.pairs, workers
-            assert engine.cache.collect_all(probs) == reference, workers
-            _graphs_equal(engine.discover(), reference_graph)
+            engine.close()
 
 
 @given(data=st.data())
@@ -584,9 +607,13 @@ def test_property_temporal_and_opinion_invariance(data):
     rating_serial = RaterPairCollector(matrix)
     for workers in WORKER_COUNTS:
         sweep = SweepConfig("process", workers, shard_size=3)
-        assert CoAdoptionCollector(temporal, sweep=sweep)._slots == (
-            temporal_serial._slots
-        )
-        assert RaterPairCollector(matrix, sweep=sweep)._slots == (
-            rating_serial._slots
-        )
+        sharded_temporal = CoAdoptionCollector(temporal, sweep=sweep)
+        assert sharded_temporal._slots == temporal_serial._slots
+        sharded_raters = RaterPairCollector(matrix, sweep=sweep)
+        assert sharded_raters._slots == rating_serial._slots
+        # The packed (columnar) read path serves the same segments the
+        # slot registry holds, for both modalities.
+        for collector in (sharded_temporal, sharded_raters):
+            packed = collector.packed
+            for key, slot in collector._slots.items():
+                assert packed.segment(key) == list(slot)
