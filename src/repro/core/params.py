@@ -48,9 +48,16 @@ ENV_OVERRIDES: tuple[tuple[str, str], ...] = (
     ("shard_size", "REPRO_SHARD_SIZE"),
     ("entry_store", "REPRO_ENTRY_STORE"),
     ("pool", "REPRO_POOL"),
+    ("truth_backend", "REPRO_TRUTH_BACKEND"),
 )
 
 _INT_ENV_FIELDS = ("num_workers", "shard_size")
+
+#: Recognised ``truth_backend`` settings — the single source of truth
+#: for every entry point that validates one (this class,
+#: :class:`repro.truth.accu.Accu`,
+#: :func:`repro.truth.columnar.resolve_truth_backend`).
+TRUTH_BACKENDS = ("auto", "columnar", "dict")
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,10 +137,36 @@ class DependenceParams:
     most a few dozen, where expected_log is load-bearing) and the
     200-object failure case. ``None`` disables the warning.
 
+    ``overlap_policy`` decides what the bound *does* under the
+    hazardous model combination. ``"warn"`` (the default) emits the
+    warning and leaves the evidence untouched; ``"auto"`` acts on it —
+    any candidate pair whose overlap reaches the bound is scored with
+    the *empirical* per-shared-value evidence form (the value's
+    observed popularity replaces the uniform ``1/n`` false-value
+    floor), while smaller pairs keep the aggressive expected-log
+    aggregates that the paper-scale examples need to bootstrap;
+    ``"ignore"`` silences the bound entirely. ``"auto"`` requires a
+    bound and changes *results* (it is a model policy, not execution
+    policy); it is inert under ``false_value_model="empirical"``,
+    ``evidence_form="marginal"`` and the ``exact`` reference mode,
+    which already avoid the hazard.
+
+    ``truth_backend`` selects how the *iterative truth rounds* (vote
+    counting, softmax decisions, accuracy re-estimation) are executed
+    by :class:`~repro.truth.depen.Depen` and
+    :class:`~repro.truth.accu.Accu` — pure execution policy, bit-for-bit
+    invariant. ``"columnar"`` runs the rounds as array kernels over a
+    :class:`~repro.truth.columnar.ValueProbTable` (and lets the
+    evidence engine's per-round refresh read truth probabilities
+    positionally instead of probing dicts); ``"dict"`` is the
+    pure-Python reference loop; ``"auto"`` (the default) picks columnar
+    when numpy is importable.
+
     Execution-policy fields honour environment overrides
     (:data:`ENV_OVERRIDES`): ``REPRO_PARALLEL_BACKEND``,
-    ``REPRO_NUM_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_ENTRY_STORE``
-    and ``REPRO_POOL`` replace the matching field when it holds its
+    ``REPRO_NUM_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_ENTRY_STORE``,
+    ``REPRO_POOL`` and ``REPRO_TRUTH_BACKEND`` replace the matching
+    field when it holds its
     default value — so CI can exercise a whole test suite under the
     process pool without touching any call site. Explicit *non-default*
     arguments always win; an argument explicitly passed as the default
@@ -153,6 +186,8 @@ class DependenceParams:
     entry_store: str = "auto"
     pool: str = "ephemeral"
     overlap_warning_bound: int | None = 128
+    overlap_policy: str = "warn"
+    truth_backend: str = "auto"
 
     def _apply_env_overrides(self) -> None:
         defaults = {
@@ -233,6 +268,21 @@ class DependenceParams:
                 "overlap_warning_bound must be >= 1 or None, got "
                 f"{self.overlap_warning_bound}"
             )
+        if self.overlap_policy not in ("warn", "auto", "ignore"):
+            raise ParameterError(
+                "overlap_policy must be 'warn', 'auto' or 'ignore', got "
+                f"{self.overlap_policy!r}"
+            )
+        if self.overlap_policy == "auto" and self.overlap_warning_bound is None:
+            raise ParameterError(
+                "overlap_policy='auto' needs an overlap_warning_bound to "
+                "act on; set a bound or use overlap_policy='ignore'"
+            )
+        if self.truth_backend not in TRUTH_BACKENDS:
+            raise ParameterError(
+                "truth_backend must be 'auto', 'columnar' or 'dict', got "
+                f"{self.truth_backend!r}"
+            )
 
     @property
     def prior_independent(self) -> float:
@@ -250,7 +300,20 @@ _ENV_FIELDS = frozenset(name for name, _ in ENV_OVERRIDES)
 
 @dataclass(frozen=True, slots=True)
 class IterationParams:
-    """Convergence controls for iterative (truth, accuracy, dependence) loops."""
+    """Convergence controls for iterative (truth, accuracy, dependence) loops.
+
+    ``rescore_tolerance`` controls DEPEN's restricted pair re-scoring
+    inside its own iterative rounds (columnar truth backend only): a
+    pair's posterior is reused from the previous round when every truth
+    probability it depends on — its shared entries' and its endpoints'
+    clamped accuracies — has drifted at most this much since the last
+    round it was scored (drift is accumulated, so reuse chains never
+    compound past the bound). The 0.0 default is *exact*: only bitwise
+    unchanged inputs are reused, so results stay bit-for-bit equal to
+    the dict path. A small positive tolerance (e.g. ``1e-9``) lets the
+    tail rounds of a settling iteration skip most posterior
+    recomputation at a bounded, documented approximation.
+    """
 
     max_rounds: int = 30
     accuracy_tolerance: float = 1e-4
@@ -258,6 +321,7 @@ class IterationParams:
     accuracy_floor: float = 0.01
     accuracy_ceiling: float = 0.99
     fail_on_max_rounds: bool = False
+    rescore_tolerance: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -265,6 +329,10 @@ class IterationParams:
         if self.accuracy_tolerance <= 0:
             raise ParameterError(
                 f"accuracy_tolerance must be > 0, got {self.accuracy_tolerance}"
+            )
+        if self.rescore_tolerance < 0:
+            raise ParameterError(
+                f"rescore_tolerance must be >= 0, got {self.rescore_tolerance}"
             )
         if not 0.0 < self.initial_accuracy < 1.0:
             raise ParameterError(

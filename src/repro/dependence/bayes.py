@@ -88,6 +88,15 @@ class PairEvidence:
     fractional soft counts (marginal-style estimates) can even be off by
     ±1. ``None`` means the count was not recorded (hand-built aggregate
     evidence) and :attr:`overlap_size` falls back to rounding.
+
+    ``calibrated`` marks evidence that must be scored with the
+    *calibrated* per-value treatment regardless of
+    ``params.evidence_form`` — empirical popularity plus proper
+    marginalisation of the latent truth. Set by the evidence engine
+    under ``overlap_policy="auto"`` for pairs whose overlap reached the
+    calibration bound, where the default expected-log form is known to
+    over-detect (see
+    :class:`~repro.core.params.DependenceParams.overlap_warning_bound`).
     """
 
     s1: SourceId
@@ -97,6 +106,7 @@ class PairEvidence:
     kd: int
     shared_values: tuple[tuple[float, float], ...] | None = None
     shared_count: int | None = None
+    calibrated: bool = False
 
     @property
     def overlap_size(self) -> int:
@@ -266,11 +276,13 @@ def _log_likelihood_per_value(
     ``Pf_v`` uses the value's observed popularity when recorded
     (``popularity >= 0``, the empirical false-value model) and the
     uniform ``1/n`` otherwise. ``a_original=None`` selects the
-    independence hypothesis.
+    independence hypothesis. Evidence flagged ``calibrated`` (the
+    ``overlap_policy="auto"`` escape for large overlaps) is always
+    marginalised, whatever ``params.evidence_form`` says.
     """
     floor = 1.0 / params.n_false_values
     c = params.copy_rate
-    marginal = params.evidence_form == "marginal"
+    marginal = evidence.calibrated or params.evidence_form == "marginal"
     total = evidence.kd * math.log(max(pd, _TINY))
     for p_true, popularity in evidence.shared_values:
         q_v = floor if popularity < 0.0 else min(0.95, max(floor, popularity))

@@ -178,6 +178,24 @@ class ColumnarAgreeStore:
         kf = np.bincount(sids, weights=1.0 - gathered, minlength=n)
         return kt.tolist(), kf.tolist()
 
+    def flagged_sids(self, entry_mask):
+        """Slot ids whose live segment references a flagged entry.
+
+        ``entry_mask`` is an entry-id-indexed boolean array (e.g. the
+        moved-entry mask a
+        :class:`~repro.truth.columnar.ValueProbTable` update produced,
+        gathered onto entry ids). One vectorised scan over the live
+        cells — this is what lets DEPEN's iterative rounds re-score
+        only the pairs whose evidence actually moved.
+        """
+        sids = self._sids[: self._used]
+        eids = self._eids[: self._used]
+        if self._dead:
+            live = sids >= 0
+            sids = sids[live]
+            eids = eids[live]
+        return np.unique(sids[entry_mask[eids]])
+
     # -- in-place repair --------------------------------------------------
 
     def insert(self, slot, pos: int, eid: int) -> None:

@@ -206,10 +206,27 @@ class EvidenceCache:
         self._false_value_model = params.false_value_model
         self._evidence_form = params.evidence_form
         self._cap_limit = params.max_providers_per_object
-        self._with_popularity = params.false_value_model == "empirical"
+        self._overlap_bound = params.overlap_warning_bound
+        self._overlap_policy = params.overlap_policy
+        # overlap_policy="auto": under the hazardous expected_log+uniform
+        # combination, pairs whose overlap reaches the bound are scored
+        # with the empirical per-shared-value evidence form instead, so
+        # popularity inputs must be collected even though small pairs
+        # stay on the fast aggregate path. Inert in exact mode — exact
+        # is the bit-for-bit reference against collect_evidence.
+        self._auto_empirical = (
+            params.overlap_policy == "auto"
+            and self._overlap_bound is not None
+            and not exact
+            and params.false_value_model == "uniform"
+            and params.evidence_form == "expected_log"
+        )
+        self._with_popularity = (
+            params.false_value_model == "empirical" or self._auto_empirical
+        )
         self._fast = (
             not exact
-            and not self._with_popularity
+            and params.false_value_model == "uniform"
             and params.evidence_form == "expected_log"
         )
         self._fixed = candidate_pairs is not None
@@ -228,13 +245,15 @@ class EvidenceCache:
         )
         self._persistent_pool = params.pool == "persistent"
         self._executor = None  # created lazily, survives build() calls
-        self._overlap_bound = params.overlap_warning_bound
-        # The calibration hazard is specific to expected_log+uniform;
-        # when armed, overlap growth maintains a high-water mark so the
-        # warning check is O(1) instead of an O(pairs) scan per sync.
+        # The calibration hazard is specific to expected_log+uniform and
+        # the warning to overlap_policy="warn" ("auto" acts instead of
+        # warning, "ignore" silences); when armed, overlap growth
+        # maintains a high-water mark so the warning check is O(1)
+        # instead of an O(pairs) scan per sync.
         self._overlap_armed = (
             self._overlap_bound is not None
-            and not self._with_popularity
+            and self._overlap_policy == "warn"
+            and params.false_value_model == "uniform"
             and self._evidence_form == "expected_log"
         )
         self.build()
@@ -281,6 +300,17 @@ class EvidenceCache:
         self._kf: list[float] = []
         self._p_arr = None
         self._pop_arr = None
+        # Entry-epoch versioning for the table gather: any change to the
+        # entry registry (rebuild, new entry, freed entry) invalidates
+        # the cached entry-id -> table-slot index.
+        self._entry_epoch = getattr(self, "_entry_epoch", 0) + 1
+        self._gather = None
+        self._gather_key: tuple | None = None
+        self._gather_rows = None
+        self._table_row_of_slot = None
+        self._table_n_rows = 0
+        self._sid_to_key: dict[int, PairKey] = {}
+        self._sid_to_key_key: tuple | None = None
         self._warned_overlap = False
         self._overlap_mark: tuple[int, PairKey | None] = (0, None)
         if self._backend == "serial":
@@ -624,6 +654,7 @@ class EvidenceCache:
                 self._entry_m.append(self._dataset.providers_count(obj, value))
                 self._pop.append(1.0)  # type: ignore[union-attr]
         entries[value] = eid
+        self._entry_epoch += 1
         return eid
 
     def _release_entry(self, eid: int) -> None:
@@ -640,6 +671,7 @@ class EvidenceCache:
         self._entry_obj[eid] = None
         self._entry_value[eid] = None
         self._free.append(eid)
+        self._entry_epoch += 1
 
     # ------------------------------------------------------------------
     # incremental maintenance (dirty-object invalidation)
@@ -903,7 +935,7 @@ class EvidenceCache:
     # per-round refresh
     # ------------------------------------------------------------------
 
-    def refresh(self, value_probs: ValueProbabilities) -> None:
+    def refresh(self, value_probs) -> None:
         """Recompute the ``value_probs``-dependent soft parts.
 
         Syncs any pending dataset mutations first, then makes one sweep
@@ -911,16 +943,28 @@ class EvidenceCache:
         model each object's ``k_false`` is computed once here instead of
         once per pair per shared value.
 
-        With the columnar store the entry sweep only *probes* the new
-        probabilities (dict lookups are irreducible while ``value_probs``
-        is a nested dict); everything downstream — the per-slot
-        ``kt``/``kf`` sums over every agreement reference, previously
-        the dominant per-round Python loop — happens here as one gather
-        plus two sequential ``bincount`` segment sums, bit-for-bit
-        identical to the list walk.
+        ``value_probs`` is either the classic nested dict or a
+        :class:`~repro.truth.columnar.ValueProbTable`. With a table the
+        per-entry dict probes disappear entirely: the entries' truth
+        probabilities are read **positionally** — one cached
+        entry-id-to-table-slot gather — and (empirical model) each
+        object's ``k_false`` and the per-entry popularities are derived
+        as segment sums over the table's own arrays, in the dict walk's
+        accumulation order, so the results stay bit-for-bit identical.
+
+        With the columnar store the dict-input entry sweep only *probes*
+        the new probabilities (dict lookups are irreducible while
+        ``value_probs`` is a nested dict); everything downstream — the
+        per-slot ``kt``/``kf`` sums over every agreement reference,
+        previously the dominant per-round Python loop — happens here as
+        one gather plus two sequential ``bincount`` segment sums,
+        bit-for-bit identical to the list walk.
         """
         self.sync()
         self._refreshed = True
+        if not isinstance(value_probs, dict):
+            self._refresh_from_table(value_probs)
+            return
         p = self._p
         if self._pop is None:
             for obj, entries in self._groups.items():
@@ -955,6 +999,151 @@ class EvidenceCache:
         self._kt, self._kf = store.sums(self._p_arr)
         if self._pop is not None:
             self._pop_arr = np.asarray(self._pop, dtype=np.float64)
+
+    def _refresh_from_table(self, table) -> None:
+        """Table-input refresh: positional gathers, no per-entry probes.
+
+        The entries' probabilities are one gather through the cached
+        entry-to-slot index; the empirical model's per-object
+        ``k_false`` is a per-object segment sum over the table's slot
+        arrays (counts times ``1 - p`` accumulated in slot order — the
+        dict walk's order, so the sums are bit-for-bit identical) and
+        the per-entry popularity a vectorised clamp of
+        ``(m - 1) / (k_false - 1)``.
+        """
+        require_numpy()
+        if (
+            getattr(table, "probs", None) is None
+            or not hasattr(table, "slot")
+        ):
+            raise DataError(
+                "value_probs must be a nested {object: {value: p}} dict "
+                f"or a ValueProbTable, got {type(table).__name__}"
+            )
+        if table.dataset is not self._dataset:
+            raise DataError(
+                "value-probability table is bound to a different "
+                "ClaimDataset than this evidence cache"
+            )
+        if table.dataset_version != self._synced_version:
+            raise DataError(
+                f"value-probability table snapshots dataset version "
+                f"{table.dataset_version}, cache is at "
+                f"{self._synced_version} — rebuild the table after ingest"
+            )
+        gather = self._table_gather(table)
+        p_arr = table.probs[gather]
+        pop_arr = None
+        if self._pop is not None:
+            k_false = np.bincount(
+                table.row_of_slot,
+                weights=table.counts * (1.0 - table.probs),
+                minlength=len(table.objects),
+            )
+            kf_entries = k_false[table.row_of_slot[gather]]
+            m = np.asarray(self._entry_m, dtype=np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                pop_arr = np.where(
+                    kf_entries > 1.0,
+                    np.minimum(1.0, (m - 1.0) / (kf_entries - 1.0)),
+                    1.0,
+                )
+        if self._store is not None:
+            self._p_arr = p_arr
+            self._kt, self._kf = self._store.sums(p_arr)
+            self._pop_arr = pop_arr
+        else:
+            self._p = p_arr.tolist()
+            if pop_arr is not None:
+                self._pop = pop_arr.tolist()
+
+    def _table_gather(self, table):
+        """The entry-id -> table-slot index, rebuilt only when stale.
+
+        Keyed on the table identity/version and the cache's entry epoch:
+        while neither side's structure changed, the per-round refresh
+        pays a single array gather and zero Python-level lookups.
+        """
+        key = (table.uid, table.dataset_version, self._entry_epoch)
+        if self._gather_key != key:
+            slot = table.slot
+            self._gather = np.asarray(
+                [
+                    0 if obj is None else slot(obj, value)
+                    for obj, value in zip(self._entry_obj, self._entry_value)
+                ],
+                dtype=np.int64,
+            )
+            # Object rows back the popularity-aware moved-pair test:
+            # k_false sums over ALL of an object's slots, so under the
+            # empirical model an entry's evidence moves whenever any
+            # sibling slot of its object moved.
+            self._gather_rows = table.row_of_slot[self._gather]
+            self._table_row_of_slot = table.row_of_slot
+            self._table_n_rows = len(table.objects)
+            self._gather_key = key
+        return self._gather
+
+    def pairs_with_moved_entries(self, moved) -> set[PairKey]:
+        """Candidate pairs referencing an agreement entry flagged in ``moved``.
+
+        ``moved`` is a table-slot-indexed boolean array — typically the
+        moved-entry mask of the
+        :class:`~repro.truth.columnar.ValueProbTable` the last
+        :meth:`refresh` consumed (or a drift mask accumulated from it).
+        An unflagged pair has bit-for-bit the same
+        ``kt``/``kf``/``shared_values`` as before that update; together
+        with unchanged endpoint accuracies that makes its previous
+        posterior exact for reuse — the restriction DEPEN's iterative
+        rounds apply. Without popularity the test is per entry (the
+        evidence depends only on the entries' own probabilities); when
+        popularity is collected (empirical model, or escaped pairs
+        under ``overlap_policy="auto"``) it widens to per *object*:
+        each entry's popularity reads ``k_false`` summed over ALL of
+        its object's slots, so a sibling slot's move flags the entry's
+        pairs too. Requires the last refresh to have consumed a table
+        (the entry-to-slot gather must exist and match the current
+        structural state).
+        """
+        if (
+            self._gather is None
+            or not self._refreshed
+            or self._gather_key is None
+            or self._gather_key[2] != self._entry_epoch
+        ):
+            raise DataError(
+                "no table-based refresh against the current structure — "
+                "call refresh(table) before asking which pairs moved"
+            )
+        moved = np.asarray(moved, dtype=bool)
+        if self._pop is not None:
+            moved_rows = np.zeros(self._table_n_rows, dtype=bool)
+            moved_rows[self._table_row_of_slot[moved]] = True
+            entry_mask = moved_rows[self._gather_rows]
+        else:
+            entry_mask = moved[self._gather]
+        if self._store is not None:
+            # The sid -> key reverse map shares the gather's staleness
+            # exactly (both die with the entry epoch / structural
+            # state), so it is cached on the same key rather than
+            # rebuilt O(pairs) per round.
+            if self._sid_to_key_key != self._gather_key:
+                self._sid_to_key = {
+                    slot.sid: key for key, slot in self._slots.items()
+                }
+                self._sid_to_key_key = self._gather_key
+            sid_to_key = self._sid_to_key
+            return {
+                sid_to_key[sid]
+                for sid in self._store.flagged_sids(entry_mask).tolist()
+                if sid in sid_to_key
+            }
+        flags = entry_mask.tolist()
+        return {
+            key
+            for key, slot in self._slots.items()
+            if any(flags[eid] for eid in slot.agree)
+        }
 
     # ------------------------------------------------------------------
     # evidence accessors
@@ -1147,15 +1336,22 @@ class EvidenceCache:
             params.false_value_model != self._false_value_model
             or params.evidence_form != self._evidence_form
             or params.max_providers_per_object != self._cap_limit
+            or params.overlap_policy != self._overlap_policy
+            or (
+                params.overlap_policy == "auto"
+                and params.overlap_warning_bound != self._overlap_bound
+            )
         ):
             raise DataError(
                 "evidence cache was built for "
                 f"false_value_model={self._false_value_model!r}, "
                 f"evidence_form={self._evidence_form!r}, "
-                f"max_providers_per_object={self._cap_limit!r}; cannot score "
+                f"max_providers_per_object={self._cap_limit!r}, "
+                f"overlap_policy={self._overlap_policy!r}; cannot score "
                 f"under false_value_model={params.false_value_model!r}, "
                 f"evidence_form={params.evidence_form!r}, "
-                f"max_providers_per_object={params.max_providers_per_object!r}"
+                f"max_providers_per_object={params.max_providers_per_object!r},"
+                f" overlap_policy={params.overlap_policy!r}"
                 " — build a new cache"
             )
 
@@ -1183,7 +1379,7 @@ class EvidenceCache:
     ) -> dict[PairKey, PairEvidence]:
         """Refresh and return evidence for every candidate pair."""
         self.refresh(value_probs)
-        if self._store is not None and self._fast:
+        if self._store is not None and self._fast and not self._auto_empirical:
             # Columnar fast path: the refresh already produced every
             # pair's sums; assembly is one positional construction per
             # pair (kwargs cost ~25% of the whole round at this width).
@@ -1215,13 +1411,26 @@ class EvidenceCache:
             return False  # a self-pair is never a candidate, not an error
         return ((s1, s2) if s1 < s2 else (s2, s1)) in self._slots
 
+    def _slot_escaped(self, slot: _PairSlot) -> bool:
+        """Does ``overlap_policy="auto"`` switch this pair to empirical?
+
+        Evaluated against the slot's *current* overlap, so pairs that
+        grow across the bound under ingest switch exactly when a cold
+        rebuild would have switched them.
+        """
+        if not self._auto_empirical:
+            return False
+        shared = slot.length if self._store is not None else len(slot.agree)
+        return shared + slot.kd >= self._overlap_bound
+
     def _build(self, slot: _PairSlot) -> PairEvidence:
         if self._store is not None:
             return self._build_columnar(slot)
         p = self._p
         kt = 0.0
         kf = 0.0
-        if self._fast:
+        escaped = self._slot_escaped(slot)
+        if self._fast and not escaped:
             for eid in slot.agree:
                 p_true = p[eid]
                 kt += p_true
@@ -1251,6 +1460,7 @@ class EvidenceCache:
             kd=slot.kd,
             shared_values=shared_values,
             shared_count=len(slot.agree),
+            calibrated=escaped,
         )
 
     def _build_columnar(self, slot: _PairSlot) -> PairEvidence:
@@ -1258,7 +1468,8 @@ class EvidenceCache:
         last :meth:`refresh`; per-value detail (non-fast modes) is one
         gather over the slot's segment."""
         sid = slot.sid
-        if self._fast:
+        escaped = self._slot_escaped(slot)
+        if self._fast and not escaped:
             shared_values = None
         else:
             seg = self._store.segment(slot)
@@ -1277,4 +1488,5 @@ class EvidenceCache:
             kd=slot.kd,
             shared_values=shared_values,
             shared_count=slot.length,
+            calibrated=escaped,
         )

@@ -100,6 +100,7 @@ class StreamingDependenceEngine:
             "reused": 0,
             "restricted": False,
         }
+        self._last_truth_stats: dict[str, int | str] = {}
 
     # ------------------------------------------------------------------
     # state
@@ -172,6 +173,19 @@ class StreamingDependenceEngine:
         necessarily full re-scores).
         """
         return dict(self._last_discover_stats)
+
+    @property
+    def last_truth_stats(self) -> Mapping[str, int | str]:
+        """Counters of the last :meth:`run_truth`.
+
+        ``pairs_rescored`` / ``pairs_reused`` aggregate DEPEN's
+        per-round restricted re-scoring counters over the whole run
+        (columnar truth backend; see
+        :class:`~repro.truth.base.RoundTrace`), ``restricted_rounds``
+        counts rounds where the restriction actually reused a
+        posterior. Empty before the first :meth:`run_truth`.
+        """
+        return dict(self._last_truth_stats)
 
     def discover(
         self,
@@ -283,6 +297,18 @@ class StreamingDependenceEngine:
             )
         else:
             result = algorithm.discover(self._dataset)
+        counted = [
+            trace
+            for trace in result.trace
+            if trace.pairs_rescored is not None
+        ]
+        self._last_truth_stats = {
+            "algorithm": getattr(algorithm, "name", type(algorithm).__name__),
+            "rounds": result.rounds,
+            "pairs_rescored": sum(t.pairs_rescored for t in counted),
+            "pairs_reused": sum(t.pairs_reused or 0 for t in counted),
+            "restricted_rounds": sum(1 for t in counted if t.pairs_reused),
+        }
         if result.accuracies:
             self._accuracies = dict(result.accuracies)
         if result.dependence is not None:

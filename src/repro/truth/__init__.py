@@ -2,6 +2,11 @@
 
 from repro.truth.accu import Accu
 from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
+from repro.truth.columnar import (
+    TruthRoundEngine,
+    ValueProbTable,
+    resolve_truth_backend,
+)
 from repro.truth.depen import Depen
 from repro.truth.similarity import SimilarityMatrix, similarity_adjusted_counts
 from repro.truth.truthfinder import TruthFinder
@@ -16,5 +21,8 @@ __all__ = [
     "TruthDiscovery",
     "TruthFinder",
     "TruthResult",
+    "TruthRoundEngine",
+    "ValueProbTable",
+    "resolve_truth_backend",
     "similarity_adjusted_counts",
 ]

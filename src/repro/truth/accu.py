@@ -10,9 +10,10 @@ clique still out-votes an accurate loner.
 from __future__ import annotations
 
 from repro.core.dataset import ClaimDataset
-from repro.core.params import IterationParams
-from repro.exceptions import ConvergenceError
+from repro.core.params import TRUTH_BACKENDS, IterationParams
+from repro.exceptions import ConvergenceError, ParameterError
 from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
+from repro.truth.columnar import TruthRoundEngine, resolve_truth_backend
 from repro.truth.vote_counting import (
     accuracy_score,
     all_independent_vote_counts,
@@ -31,6 +32,13 @@ class Accu(TruthDiscovery):
         alternatives each object has.
     iteration:
         Convergence controls; see :class:`~repro.core.params.IterationParams`.
+    truth_backend:
+        How the rounds are executed — ``"auto"`` (columnar array
+        kernels when numpy is importable, honouring the
+        ``REPRO_TRUTH_BACKEND`` environment override), ``"columnar"``
+        or ``"dict"``. Pure execution policy: both backends produce
+        bit-for-bit identical results
+        (:mod:`repro.truth.columnar`).
     """
 
     name = "accu"
@@ -39,12 +47,22 @@ class Accu(TruthDiscovery):
         self,
         n_false_values: int = 100,
         iteration: IterationParams | None = None,
+        truth_backend: str = "auto",
     ) -> None:
+        if truth_backend not in TRUTH_BACKENDS:
+            raise ParameterError(
+                "truth_backend must be 'auto', 'columnar' or 'dict', got "
+                f"{truth_backend!r}"
+            )
         self.n_false_values = n_false_values
         self.iteration = iteration or IterationParams()
+        self.truth_backend = truth_backend
 
     def discover(self, dataset: ClaimDataset) -> TruthResult:
         self._check_dataset(dataset)
+        backend = resolve_truth_backend(self.truth_backend, consult_env=True)
+        if backend == "columnar":
+            return self._discover_columnar(dataset)
         it = self.iteration
         accuracies = {s: it.initial_accuracy for s in dataset.sources}
         decisions: dict = {}
@@ -92,6 +110,67 @@ class Accu(TruthDiscovery):
             decisions=decisions,
             distributions=distributions,
             accuracies=accuracies,
+            rounds=rounds,
+            converged=converged,
+            trace=trace,
+        )
+
+    def _discover_columnar(self, dataset: ClaimDataset) -> TruthResult:
+        """The same loop as the dict path, as array kernels.
+
+        One vectorised clamp plus a single batched log pass produce the
+        accuracy scores, vote counts are one segment sum, decisions and
+        distributions per-object segment reductions, and the accuracy
+        update a gather plus per-source segment mean — all bit-for-bit
+        equal to the dict walk (:mod:`repro.truth.columnar`).
+        """
+        import numpy as np
+
+        it = self.iteration
+        engine = TruthRoundEngine(dataset)
+        accuracies = np.full(
+            engine.n_sources, it.initial_accuracy, dtype=np.float64
+        )
+        winners = None
+        probs = None
+        trace: list[RoundTrace] = []
+        converged = False
+        rounds = 0
+        for rounds in range(1, it.max_rounds + 1):
+            clamped = engine.clamp(
+                accuracies, it.accuracy_floor, it.accuracy_ceiling
+            )
+            scores = engine.scores(clamped, self.n_false_values)
+            counts = engine.accu_counts(scores)
+            new_winners, probs = engine.decide_and_distributions(counts)
+            new_accuracies = engine.soft_accuracies(probs)
+            changed = (
+                engine.n_objects
+                if winners is None
+                else int(np.count_nonzero(new_winners != winners))
+            )
+            movement = float(np.max(np.abs(new_accuracies - accuracies)))
+            trace.append(
+                RoundTrace(
+                    round_index=rounds,
+                    accuracy_change=movement,
+                    decisions_changed=changed,
+                )
+            )
+            winners = new_winners
+            accuracies = new_accuracies
+            if movement < it.accuracy_tolerance and changed == 0 and rounds > 1:
+                converged = True
+                break
+
+        if not converged and it.fail_on_max_rounds:
+            raise ConvergenceError(
+                f"{self.name}: no convergence in {it.max_rounds} rounds"
+            )
+        return TruthResult(
+            decisions=engine.decisions_dict(winners),
+            distributions=engine.distributions_dict(probs),
+            accuracies=engine.accuracies_dict(accuracies),
             rounds=rounds,
             converged=converged,
             trace=trace,

@@ -18,11 +18,22 @@ from repro.exceptions import DataError
 
 @dataclass(frozen=True, slots=True)
 class RoundTrace:
-    """Diagnostics for one round of an iterative algorithm."""
+    """Diagnostics for one round of an iterative algorithm.
+
+    ``pairs_rescored`` / ``pairs_reused`` count how the round's
+    dependence step treated the candidate pairs: recomputed the
+    posterior, or carried the previous round's over because nothing the
+    posterior depends on moved (DEPEN's restricted re-scoring, columnar
+    truth backend only). ``None`` on algorithms and backends that score
+    every pair unconditionally — the counters are execution diagnostics,
+    never part of the result equivalence.
+    """
 
     round_index: int
     accuracy_change: float
     decisions_changed: int
+    pairs_rescored: int | None = None
+    pairs_reused: int | None = None
 
 
 @dataclass

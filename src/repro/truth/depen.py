@@ -27,11 +27,17 @@ from __future__ import annotations
 
 from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams, IterationParams
-from repro.dependence.bayes import uniform_value_probabilities
+from repro.dependence.bayes import pair_posterior, uniform_value_probabilities
 from repro.dependence.evidence import EvidenceCache
 from repro.dependence.graph import DependenceGraph, discover_dependence
 from repro.exceptions import ConvergenceError
 from repro.truth.base import RoundTrace, TruthDiscovery, TruthResult
+from repro.truth.columnar import (
+    TruthRoundEngine,
+    ValueProbTable,
+    dependence_matrix,
+    resolve_truth_backend,
+)
 from repro.truth.vote_counting import (
     VoteOrderCache,
     accuracy_score,
@@ -98,8 +104,11 @@ class Depen(TruthDiscovery):
             evidence_cache = EvidenceCache(
                 dataset, min_overlap=self.min_overlap, params=self.params
             )
-        order_cache = VoteOrderCache(dataset)
+        backend = resolve_truth_backend(self.params.truth_backend)
         try:
+            if backend == "columnar":
+                return self._iterate_columnar(dataset, evidence_cache, it)
+            order_cache = VoteOrderCache(dataset)
             return self._iterate(
                 dataset, evidence_cache, order_cache, it
             )
@@ -183,6 +192,149 @@ class Depen(TruthDiscovery):
             distributions=distributions,
             accuracies=accuracies,
             dependence=dependence,
+            rounds=rounds,
+            converged=converged,
+            trace=trace,
+        )
+
+    def _iterate_columnar(
+        self,
+        dataset: ClaimDataset,
+        evidence_cache: EvidenceCache,
+        it: IterationParams,
+    ) -> TruthResult:
+        """The same loop as :meth:`_iterate`, as array kernels.
+
+        Value probabilities live in a
+        :class:`~repro.truth.columnar.ValueProbTable` that the evidence
+        cache consumes positionally (no per-entry dict probes) and the
+        :class:`~repro.truth.columnar.TruthRoundEngine` kernels produce
+        directly; results are bit-for-bit identical to the dict path
+        (the kernels preserve its accumulation orders and scalar
+        transcendentals — see :mod:`repro.truth.columnar`).
+
+        Rounds after the first restrict the dependence re-scoring: a
+        pair's posterior is recomputed only when some input of it moved
+        — an agreement entry's truth probability or an endpoint's
+        clamped accuracy drifted beyond ``it.rescore_tolerance`` since
+        the round the posterior was last scored (drift accumulates, so
+        reuse chains stay within the bound; a full re-score resets the
+        baseline). With the 0.0 default only bitwise-unchanged inputs
+        are reused, which is exact; the per-round counters land in the
+        trace (``pairs_rescored`` / ``pairs_reused``).
+        """
+        import numpy as np
+
+        table = ValueProbTable(dataset)
+        engine = TruthRoundEngine(dataset, table)
+        params = self.params
+        sources = engine.sources
+        src_code = {source: i for i, source in enumerate(sources)}
+        tol = it.rescore_tolerance
+        accuracies = np.full(
+            engine.n_sources, it.initial_accuracy, dtype=np.float64
+        )
+        drift_p = np.zeros(len(table), dtype=np.float64)
+        drift_a = np.zeros(engine.n_sources, dtype=np.float64)
+        prev_clamped = None
+        graph = DependenceGraph()
+        winners = None
+        trace: list[RoundTrace] = []
+        converged = False
+        rounds = 0
+        for rounds in range(1, it.max_rounds + 1):
+            clamped = engine.clamp(
+                accuracies, it.accuracy_floor, it.accuracy_ceiling
+            )
+            if prev_clamped is not None:
+                drift_a += np.abs(clamped - prev_clamped)
+            acc_map = dict(zip(sources, clamped.tolist()))
+            if rounds == 1:
+                graph = discover_dependence(
+                    dataset,
+                    table,
+                    acc_map,
+                    params,
+                    min_overlap=self.min_overlap,
+                    evidence_cache=evidence_cache,
+                )
+                rescored = len(evidence_cache)
+                reused = 0
+                drift_p[:] = 0.0
+                drift_a[:] = 0.0
+            else:
+                evidence_cache.refresh(table)
+                affected = evidence_cache.pairs_with_moved_entries(
+                    drift_p > tol
+                )
+                moved_codes = np.flatnonzero(drift_a > tol)
+                if moved_codes.size:
+                    moved_sources = {
+                        sources[code] for code in moved_codes.tolist()
+                    }
+                    for key in evidence_cache:
+                        if key[0] in moved_sources or key[1] in moved_sources:
+                            affected.add(key)
+                previous = graph
+                graph = DependenceGraph()
+                rescored = 0
+                for key in evidence_cache:
+                    pair = None if key in affected else previous.get(*key)
+                    if pair is None:
+                        pair = pair_posterior(
+                            evidence_cache.evidence(*key),
+                            acc_map[key[0]],
+                            acc_map[key[1]],
+                            params,
+                        )
+                        rescored += 1
+                    graph.add(pair)
+                reused = len(evidence_cache) - rescored
+                if reused == 0:
+                    # Everything was re-scored against the current
+                    # inputs: they are the new drift baseline.
+                    drift_p[:] = 0.0
+                    drift_a[:] = 0.0
+            scores = engine.scores(clamped, params.n_false_values)
+            dep = dependence_matrix(graph, sources, src_code)
+            counts = engine.depen_counts(
+                scores, dep, params.copy_rate, clamped
+            )
+            new_winners, probs = engine.decide_and_distributions(counts)
+            new_accuracies = engine.soft_accuracies(probs)
+            changed = (
+                engine.n_objects
+                if winners is None
+                else int(np.count_nonzero(new_winners != winners))
+            )
+            movement = float(np.max(np.abs(new_accuracies - accuracies)))
+            trace.append(
+                RoundTrace(
+                    round_index=rounds,
+                    accuracy_change=movement,
+                    decisions_changed=changed,
+                    pairs_rescored=rescored,
+                    pairs_reused=reused,
+                )
+            )
+            winners = new_winners
+            accuracies = new_accuracies
+            drift_p += np.abs(probs - table.probs)
+            table.set_probs(probs, tolerance=tol)
+            prev_clamped = clamped
+            if movement < it.accuracy_tolerance and changed == 0 and rounds > 1:
+                converged = True
+                break
+
+        if not converged and it.fail_on_max_rounds:
+            raise ConvergenceError(
+                f"{self.name}: no convergence in {it.max_rounds} rounds"
+            )
+        return TruthResult(
+            decisions=engine.decisions_dict(winners),
+            distributions=engine.distributions_dict(table.probs),
+            accuracies=engine.accuracies_dict(accuracies),
+            dependence=graph,
             rounds=rounds,
             converged=converged,
             trace=trace,

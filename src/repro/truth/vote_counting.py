@@ -22,7 +22,7 @@ from collections.abc import Mapping
 from repro.core.dataset import ClaimDataset
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.graph import DependenceGraph
-from repro.exceptions import ParameterError
+from repro.exceptions import DataError, ParameterError
 
 #: A per-object vote plan: for each value (in claim-store order), the
 #: providers in decreasing-accuracy order.
@@ -39,8 +39,10 @@ class VoteOrderCache:
     sources swap ranks. Iterative algorithms converge precisely by their
     accuracies settling, after the first few rounds the ranking is
     static, and re-sorting every object's providers every round is
-    wasted work. This cache re-sorts only when the global ranking (or
-    the dataset itself — ingest adds providers) actually changed.
+    wasted work. This cache re-sorts only when the global ranking
+    actually changed; when just the dataset moved (ingest adds
+    providers) it re-sorts only the objects dirty since the cached
+    version, answered from the dataset's mutation log.
     """
 
     def __init__(self, dataset: ClaimDataset) -> None:
@@ -59,21 +61,43 @@ class VoteOrderCache:
         """
         ranking = sorted(accuracies, key=lambda s: (-accuracies[s], s))
         version = self._dataset.version
-        if ranking != self._ranking or version != self._version:
-            # Sorting by the precomputed integer rank reproduces the
-            # (-accuracy, source) order exactly: the subset order of a
-            # strict total order is the order of the global ranks.
-            rank = {source: i for i, source in enumerate(ranking)}
-            dataset = self._dataset
-            self._orders = {
-                obj: [
-                    (value, sorted(providers, key=rank.__getitem__))
-                    for value, providers in dataset.values_for_view(obj).items()
-                ]
-                for obj in dataset.objects
-            }
-            self._ranking = ranking
-            self._version = version
+        if ranking == self._ranking and version == self._version:
+            return self._orders
+        # Sorting by the precomputed integer rank reproduces the
+        # (-accuracy, source) order exactly: the subset order of a
+        # strict total order is the order of the global ranks.
+        rank = {source: i for i, source in enumerate(ranking)}
+        dataset = self._dataset
+        if ranking == self._ranking and self._version is not None:
+            # Only the dataset moved (ingest): the ranking — and with it
+            # every clean object's provider ordering — is unchanged, so
+            # re-sort just the objects the ingest dirtied. A mutation
+            # log compacted past our sync point can no longer answer
+            # the delta; fall back to the full rebuild then.
+            try:
+                dirty = dataset.dirty_objects_since(self._version)
+            except DataError:
+                dirty = None
+            if dirty is not None:
+                orders = self._orders
+                for obj in dirty:
+                    orders[obj] = [
+                        (value, sorted(providers, key=rank.__getitem__))
+                        for value, providers in dataset.values_for_view(
+                            obj
+                        ).items()
+                    ]
+                self._version = version
+                return orders
+        self._orders = {
+            obj: [
+                (value, sorted(providers, key=rank.__getitem__))
+                for value, providers in dataset.values_for_view(obj).items()
+            ]
+            for obj in dataset.objects
+        }
+        self._ranking = ranking
+        self._version = version
         return self._orders
 
 

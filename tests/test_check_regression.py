@@ -27,6 +27,10 @@ HEALTHY = {
         },
         "serial_vs_sharded": {"speedups": {"numpy": 2.1, "process_4": 1.6}},
         "streaming_rescore": {"pairs": 1225, "rescored": 77},
+        "truth_round": {
+            "speedup": 2.1,
+            "depen_restricted_rescore": {"rescored": 9800, "reused": 2450},
+        },
     },
 }
 
@@ -52,6 +56,8 @@ def test_healthy_trajectory_passes(tmp_path):
         "ingest_vs_rebuild.speedup[5%]",
         "serial_vs_sharded.speedups.numpy",
         "streaming_rescore.rescored/pairs",
+        "truth_round.speedup",
+        "truth_round.depen_restricted_rescore.reused",
     ):
         assert metric in result.stdout
 
@@ -66,6 +72,15 @@ def test_doctored_speedup_fails_with_readable_delta(tmp_path):
     assert "FAIL: round_refresh.speedup" in result.stdout
     # The healthy metrics still render as ok rows.
     assert "batch_vs_per_pair.speedup" in result.stdout
+
+
+def test_truth_round_reuse_gate_catches_dead_restriction(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["truth_round"]["depen_restricted_rescore"]["reused"] = 0
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "truth_round.depen_restricted_rescore.reused" in result.stdout
+    assert "REGRESSION" in result.stdout
 
 
 def test_restriction_ratio_gate_is_a_ceiling(tmp_path):

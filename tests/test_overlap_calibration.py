@@ -124,6 +124,117 @@ class TestWarningEmission:
             DependenceParams(overlap_warning_bound=0)
 
 
+class TestOverlapPolicy:
+    """The warning promoted to a policy: ``overlap_policy`` acts on the
+    bound instead of just talking about it."""
+
+    def test_policy_validation(self):
+        with pytest.raises(ParameterError):
+            DependenceParams(overlap_policy="shout")
+        with pytest.raises(ParameterError):
+            # auto needs a bound to act on
+            DependenceParams(overlap_policy="auto", overlap_warning_bound=None)
+
+    def test_ignore_silences_the_warning(self, big_world):
+        dataset, _ = big_world
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            EvidenceCache(
+                dataset, params=DependenceParams(overlap_policy="ignore")
+            )
+        _no_overlap_warning(recorded)
+
+    def test_auto_does_not_warn(self, big_world):
+        dataset, _ = big_world
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            EvidenceCache(
+                dataset, params=DependenceParams(overlap_policy="auto")
+            )
+        _no_overlap_warning(recorded)
+
+    def test_auto_fixes_the_200_object_over_detection(self, big_world):
+        """The ROADMAP regression case: under ``auto`` the pairs at the
+        bound are scored with the calibrated per-value evidence and the
+        false-positive flood disappears, while every planted edge
+        survives."""
+        dataset, world = big_world
+        probs = uniform_value_probabilities(dataset)
+        accuracies = {s: 0.8 for s in dataset.sources}
+        planted = world.dependent_pairs()
+        graph = discover_dependence(
+            dataset,
+            probs,
+            accuracies,
+            DependenceParams(overlap_policy="auto"),
+        )
+        detected = graph.detected_pairs(0.9)
+        assert len(detected - planted) < 20  # vs >100 under "warn"
+        assert planted <= detected
+
+    def test_auto_leaves_small_overlaps_untouched(self):
+        """Below the bound nothing changes: the paper-scale worlds keep
+        the aggressive expected-log evidence they need to bootstrap."""
+        dataset, _ = simple_copier_world(
+            n_objects=40, n_independent=6, n_copiers=2, accuracy=0.8, seed=3
+        )
+        probs = uniform_value_probabilities(dataset)
+        accuracies = {s: 0.8 for s in dataset.sources}
+        reference = discover_dependence(
+            dataset, probs, accuracies, DependenceParams()
+        )
+        auto = discover_dependence(
+            dataset, probs, accuracies, DependenceParams(overlap_policy="auto")
+        )
+        assert len(auto) == len(reference)
+        for pair in reference:
+            assert auto.get(pair.s1, pair.s2) == pair
+
+    def test_evidence_marks_escaped_pairs_calibrated(self, big_world):
+        dataset, _ = big_world
+        params = DependenceParams(overlap_policy="auto")
+        cache = EvidenceCache(dataset, params=params)
+        evidence = cache.collect_all(uniform_value_probabilities(dataset))
+        bound = params.overlap_warning_bound
+        for ev in evidence.values():
+            if ev.overlap_size >= bound:
+                assert ev.calibrated
+                assert ev.shared_values is not None  # per-value detail
+            else:
+                assert not ev.calibrated
+
+    def test_check_compatible_rejects_policy_mismatch(self, big_world):
+        dataset, _ = big_world
+        cache = EvidenceCache(
+            dataset, params=DependenceParams(overlap_policy="auto")
+        )
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            cache.check_compatible(DependenceParams())
+        with pytest.raises(DataError):
+            # same policy, different bound: evidence would differ
+            cache.check_compatible(
+                DependenceParams(overlap_policy="auto", overlap_warning_bound=64)
+            )
+
+    def test_auto_through_depen_both_truth_backends(self, big_world):
+        """The policy composes with the iterative loop and both truth
+        backends agree bitwise on its results."""
+        dataset, _ = big_world
+        it = IterationParams(max_rounds=3)
+        results = {
+            backend: Depen(
+                DependenceParams(overlap_policy="auto", truth_backend=backend),
+                it,
+            ).discover(dataset)
+            for backend in ("dict", "columnar")
+        }
+        assert results["dict"].decisions == results["columnar"].decisions
+        assert results["dict"].distributions == results["columnar"].distributions
+        assert results["dict"].accuracies == results["columnar"].accuracies
+
+
 class TestOverDetectionDocumented:
     """The behaviour the warning exists for, pinned at threshold 0.9."""
 

@@ -1,0 +1,610 @@
+"""Columnar truth backend: bit-for-bit equivalence with the dict path.
+
+The contract of :mod:`repro.truth.columnar`: the array-native truth
+rounds (``truth_backend="columnar"``) produce **bit-for-bit identical**
+decisions, distributions, accuracies and round traces to the
+pure-Python dict reference, for every evidence model, both entry-store
+layouts, and under interleaved streaming ingest — plus the unit
+behaviour of the :class:`~repro.truth.columnar.ValueProbTable` exchange
+format, the positional (probe-free) evidence-cache refresh it enables,
+and DEPEN's restricted in-round pair re-scoring built on its
+moved-entry tracking.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset
+from repro.core.params import DependenceParams, IterationParams
+from repro.dependence.bayes import uniform_value_probabilities
+from repro.dependence.evidence import EvidenceCache
+from repro.dependence.streaming import StreamingDependenceEngine
+from repro.exceptions import DataError, ParameterError
+from repro.generators import simple_copier_world
+from repro.truth import (
+    Accu,
+    Depen,
+    ValueProbTable,
+    resolve_truth_backend,
+)
+from repro.truth.vote_counting import VoteOrderCache
+
+ALL_MODEL_PARAMS = [
+    {"false_value_model": model, "evidence_form": form}
+    for model in ("uniform", "empirical")
+    for form in ("expected_log", "marginal")
+]
+
+
+def _depen_params(backend, entry_store="auto", **model):
+    return DependenceParams(
+        truth_backend=backend,
+        entry_store=entry_store,
+        overlap_warning_bound=None,
+        **model,
+    )
+
+
+def _results_equal(a, b, *, compare_counters=False):
+    """Bitwise result equality; trace counters compared only on demand."""
+    assert a.decisions == b.decisions
+    assert a.distributions == b.distributions
+    assert a.accuracies == b.accuracies
+    assert a.rounds == b.rounds
+    assert a.converged == b.converged
+    assert len(a.trace) == len(b.trace)
+    for ta, tb in zip(a.trace, b.trace):
+        assert ta.round_index == tb.round_index
+        assert ta.accuracy_change == tb.accuracy_change
+        assert ta.decisions_changed == tb.decisions_changed
+        if compare_counters:
+            assert ta.pairs_rescored == tb.pairs_rescored
+            assert ta.pairs_reused == tb.pairs_reused
+
+
+def _random_claims(rng, n_sources=10, n_objects=30, coverage=18, n_values=3):
+    claims = []
+    for i in range(n_sources):
+        for obj in rng.sample(range(n_objects), coverage):
+            claims.append(
+                Claim(
+                    source=f"S{i:02d}",
+                    object=f"o{obj:03d}",
+                    value=f"v{rng.randrange(n_values)}",
+                )
+            )
+    rng.shuffle(claims)
+    return claims
+
+
+# ---------------------------------------------------------------------------
+# backend resolution
+# ---------------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    def test_auto_resolves_to_columnar_with_numpy(self):
+        assert resolve_truth_backend("auto") == "columnar"
+
+    def test_explicit_settings_pass_through(self):
+        assert resolve_truth_backend("dict") == "dict"
+        assert resolve_truth_backend("columnar") == "columnar"
+
+    def test_invalid_setting_raises(self):
+        with pytest.raises(ParameterError):
+            resolve_truth_backend("graph")
+
+    def test_params_validate_truth_backend(self):
+        with pytest.raises(ParameterError):
+            DependenceParams(truth_backend="graph")
+
+    def test_accu_validates_truth_backend(self):
+        with pytest.raises(ParameterError):
+            Accu(truth_backend="graph")
+
+    def test_env_override_on_default_params(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRUTH_BACKEND", "dict")
+        assert DependenceParams().truth_backend == "dict"
+        # An explicit non-default argument always wins.
+        assert (
+            DependenceParams(truth_backend="columnar").truth_backend
+            == "columnar"
+        )
+
+    def test_env_override_consulted_by_accu(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRUTH_BACKEND", "dict")
+        assert resolve_truth_backend("auto", consult_env=True) == "dict"
+        assert resolve_truth_backend("columnar", consult_env=True) == "columnar"
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRUTH_BACKEND", "graph")
+        with pytest.raises(ParameterError):
+            resolve_truth_backend("auto", consult_env=True)
+
+
+# ---------------------------------------------------------------------------
+# ValueProbTable units
+# ---------------------------------------------------------------------------
+
+
+class TestValueProbTable:
+    @pytest.fixture
+    def dataset(self):
+        return ClaimDataset.from_table(
+            {
+                "o1": {"A": "x", "B": "x", "C": "y"},
+                "o2": {"A": "u", "B": "v", "C": "v"},
+                "o3": {"A": "w"},
+            }
+        )
+
+    def test_uniform_build_matches_reference(self, dataset):
+        table = ValueProbTable(dataset)
+        assert table.to_dict() == uniform_value_probabilities(dataset)
+        assert len(table) == 5  # (x, y), (u, v), (w)
+        assert table.objects == dataset.objects
+
+    def test_build_from_dict(self, dataset):
+        probs = uniform_value_probabilities(dataset)
+        probs["o1"]["x"] = 0.9
+        probs["o1"]["y"] = 0.1
+        table = ValueProbTable(dataset, probs)
+        assert table.to_dict() == probs
+
+    def test_slot_lookup_and_counts(self, dataset):
+        table = ValueProbTable(dataset)
+        slot = table.slot("o1", "x")
+        assert table.slot_values[slot] == "x"
+        assert table.counts[slot] == 2.0  # A and B assert x
+        with pytest.raises(DataError):
+            table.slot("o1", "nope")
+        with pytest.raises(DataError):
+            table.slot("o9", "x")
+
+    def test_set_probs_moved_mask_bitwise(self, dataset):
+        table = ValueProbTable(dataset)
+        assert table.moved.all()  # nothing exchanged yet
+        fresh = table.probs.copy()
+        slot = table.slot("o2", "u")
+        fresh[slot] = 0.75
+        table.set_probs(fresh)
+        assert table.version == 1
+        moved = np.flatnonzero(table.moved).tolist()
+        assert moved == [slot]
+
+    def test_set_probs_moved_mask_tolerance(self, dataset):
+        table = ValueProbTable(dataset)
+        fresh = table.probs.copy()
+        s1 = table.slot("o1", "x")
+        s2 = table.slot("o1", "y")
+        fresh[s1] += 1e-12
+        fresh[s2] += 1e-3
+        table.set_probs(fresh, tolerance=1e-6)
+        assert np.flatnonzero(table.moved).tolist() == [s2]
+
+    def test_moved_objects(self, dataset):
+        table = ValueProbTable(dataset)
+        fresh = table.probs.copy()
+        fresh[table.slot("o3", "w")] = 0.5
+        table.set_probs(fresh)
+        assert table.moved_objects() == {"o3"}
+
+    def test_set_probs_validation(self, dataset):
+        table = ValueProbTable(dataset)
+        with pytest.raises(DataError):
+            table.set_probs(np.zeros(2))
+        with pytest.raises(ParameterError):
+            table.set_probs(table.probs.copy(), tolerance=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# evidence-cache consumption: positional refresh, no dict probes
+# ---------------------------------------------------------------------------
+
+
+class TestEvidenceCacheTableRefresh:
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    @pytest.mark.parametrize("store", ["columnar", "list"])
+    def test_table_refresh_equals_dict_refresh(self, model, store):
+        dataset = ClaimDataset(_random_claims(random.Random(3)))
+        params = DependenceParams(
+            entry_store=store, overlap_warning_bound=None, **model
+        )
+        probs = uniform_value_probabilities(dataset)
+        dict_cache = EvidenceCache(dataset, params=params)
+        reference = dict_cache.collect_all(probs)
+        table_cache = EvidenceCache(dataset, params=params)
+        table = ValueProbTable(dataset, probs)
+        assert table_cache.collect_all(table) == reference
+
+    def test_table_refresh_after_hardened_probs(self):
+        dataset = ClaimDataset(_random_claims(random.Random(4)))
+        params = DependenceParams(
+            false_value_model="empirical", overlap_warning_bound=None
+        )
+        probs = uniform_value_probabilities(dataset)
+        hard = {
+            obj: {
+                value: (1.0 if i == 0 else 0.0)
+                for i, value in enumerate(dist)
+            }
+            for obj, dist in probs.items()
+        }
+        cache_a = EvidenceCache(dataset, params=params)
+        cache_b = EvidenceCache(dataset, params=params)
+        assert cache_b.collect_all(
+            ValueProbTable(dataset, hard)
+        ) == cache_a.collect_all(hard)
+
+    def test_foreign_dataset_rejected(self):
+        dataset = ClaimDataset(_random_claims(random.Random(5)))
+        other = ClaimDataset(_random_claims(random.Random(6)))
+        cache = EvidenceCache(dataset, params=DependenceParams())
+        with pytest.raises(DataError):
+            cache.refresh(ValueProbTable(other))
+
+    def test_stale_table_rejected_after_ingest(self):
+        claims = _random_claims(random.Random(7))
+        dataset = ClaimDataset(claims[:100])
+        cache = EvidenceCache(dataset, params=DependenceParams())
+        table = ValueProbTable(dataset)
+        cache.refresh(table)  # fine while versions match
+        dataset.add_claims(claims[100:])
+        with pytest.raises(DataError):
+            cache.refresh(table)
+        # A fresh table over the grown dataset works again.
+        cache.refresh(ValueProbTable(dataset))
+
+    def test_non_table_non_dict_rejected(self):
+        dataset = ClaimDataset(_random_claims(random.Random(8)))
+        cache = EvidenceCache(dataset, params=DependenceParams())
+        with pytest.raises(DataError):
+            cache.refresh([("o1", "x", 0.5)])
+
+    @pytest.mark.parametrize("store", ["columnar", "list"])
+    def test_pairs_with_moved_entries(self, store):
+        dataset = ClaimDataset(_random_claims(random.Random(9)))
+        params = DependenceParams(
+            entry_store=store, overlap_warning_bound=None
+        )
+        cache = EvidenceCache(dataset, params=params)
+        table = ValueProbTable(dataset)
+        before = cache.collect_all(table)
+        fresh = table.probs.copy()
+        moved_obj = dataset.objects[0]
+        moved_value = next(iter(dataset.values_for_view(moved_obj)))
+        fresh[table.slot(moved_obj, moved_value)] = 0.99
+        table.set_probs(fresh)
+        cache.refresh(table)
+        after = {key: cache.evidence(*key) for key in cache}
+        flagged = cache.pairs_with_moved_entries(table.moved)
+        # Exactly the pairs whose served evidence changed are flagged,
+        # and every flagged pair agrees on the moved (object, value).
+        changed = {key for key in before if after[key] != before[key]}
+        assert changed <= flagged
+        providers = sorted(dataset.providers_of(moved_obj, moved_value))
+        for s1, s2 in flagged:
+            assert s1 in providers and s2 in providers
+
+    def test_sibling_slot_move_flags_empirical_pairs(self):
+        """Under the empirical model an entry's popularity reads
+        ``k_false`` over ALL of its object's slots, so a *sibling*
+        value's probability move must flag the pair even though the
+        pair's own agreement slot never moved."""
+        dataset = ClaimDataset.from_table(
+            {
+                "o1": {"A": "v1", "B": "v1", "C": "v2", "D": "v3"},
+                "o2": {"A": "x", "B": "x", "C": "x", "D": "x"},
+            }
+        )
+        for model, expect_flagged in (("empirical", True), ("uniform", False)):
+            params = DependenceParams(
+                false_value_model=model, overlap_warning_bound=None
+            )
+            cache = EvidenceCache(dataset, params=params)
+            table = ValueProbTable(dataset)
+            before = cache.collect_all(table)[("A", "B")]
+            fresh = table.probs.copy()
+            fresh[table.slot("o1", "v2")] = 0.9  # sibling of the A-B entry
+            fresh[table.slot("o1", "v1")] = 0.05
+            fresh[table.slot("o1", "v3")] = 0.05
+            moved = fresh != table.probs
+            moved[table.slot("o1", "v1")] = False  # the pair's own entry
+            fresh[table.slot("o1", "v1")] = table.probs[
+                table.slot("o1", "v1")
+            ]
+            table.set_probs(fresh)
+            cache.refresh(table)
+            after = cache.evidence("A", "B")
+            flagged = ("A", "B") in cache.pairs_with_moved_entries(moved)
+            assert flagged == expect_flagged, model
+            # Ground truth for the widening: the empirical pair's
+            # evidence really did change (its popularity input moved),
+            # the uniform pair's really did not.
+            assert (after != before) == expect_flagged, model
+
+    def test_pairs_with_moved_entries_needs_table_refresh(self):
+        dataset = ClaimDataset(_random_claims(random.Random(10)))
+        cache = EvidenceCache(dataset, params=DependenceParams())
+        cache.collect_all(uniform_value_probabilities(dataset))
+        with pytest.raises(DataError):
+            cache.pairs_with_moved_entries(
+                np.ones(len(ValueProbTable(dataset)), dtype=bool)
+            )
+
+
+# ---------------------------------------------------------------------------
+# columnar-vs-dict equivalence: deterministic worlds
+# ---------------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def world(self):
+        dataset, _ = simple_copier_world(
+            n_objects=60, n_independent=8, n_copiers=3, accuracy=0.75, seed=7
+        )
+        return dataset
+
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    def test_depen_bitwise_equal(self, world, model):
+        it = IterationParams(max_rounds=8)
+        dict_result = Depen(_depen_params("dict", **model), it).discover(world)
+        col_result = Depen(
+            _depen_params("columnar", **model), it
+        ).discover(world)
+        _results_equal(dict_result, col_result)
+        # The dependence graphs agree too (same pairs, same posteriors).
+        assert len(col_result.dependence) == len(dict_result.dependence)
+        for pair in dict_result.dependence:
+            assert col_result.dependence.get(pair.s1, pair.s2) == pair
+
+    def test_depen_equal_on_list_entry_store(self, world):
+        it = IterationParams(max_rounds=5)
+        dict_result = Depen(
+            _depen_params("dict", entry_store="list"), it
+        ).discover(world)
+        col_result = Depen(
+            _depen_params("columnar", entry_store="list"), it
+        ).discover(world)
+        _results_equal(dict_result, col_result)
+
+    def test_accu_bitwise_equal(self, world):
+        _results_equal(
+            Accu(truth_backend="dict").discover(world),
+            Accu(truth_backend="columnar").discover(world),
+        )
+
+    def test_accu_equal_on_paper_table(self, table1):
+        _results_equal(
+            Accu(truth_backend="dict").discover(table1),
+            Accu(truth_backend="columnar").discover(table1),
+        )
+
+    def test_depen_equal_on_paper_table(self, table1):
+        it = IterationParams(max_rounds=6)
+        _results_equal(
+            Depen(_depen_params("dict"), it).discover(table1),
+            Depen(_depen_params("columnar"), it).discover(table1),
+        )
+
+    def test_depen_reproduces_table1_corrections(self, table1):
+        # The paper's worked example still lands on the right values
+        # through the columnar backend.
+        result = Depen(_depen_params("columnar")).discover(table1)
+        assert result.decisions["Halevy"] == "Google"
+        assert result.decisions["Dalvi"] == "Yahoo!"
+        assert result.decisions["Dong"] == "AT&T"
+
+
+# ---------------------------------------------------------------------------
+# columnar-vs-dict equivalence: hypothesis property with ingest
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def claim_tables(draw):
+    """A random claim table plus a split point for interleaved ingest."""
+    n_sources = draw(st.integers(min_value=3, max_value=8))
+    n_objects = draw(st.integers(min_value=2, max_value=12))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_sources - 1),
+                st.integers(0, n_objects - 1),
+                st.integers(0, 2),
+            ),
+            min_size=6,
+            max_size=70,
+        )
+    )
+    seen = set()
+    claims = []
+    for source, obj, value in rows:
+        if (source, obj) in seen:
+            continue  # one claim per (source, object) in a snapshot
+        seen.add((source, obj))
+        claims.append(
+            Claim(source=f"S{source}", object=f"o{obj:02d}", value=f"v{value}")
+        )
+    split = draw(st.integers(min_value=1, max_value=len(claims)))
+    return claims, split
+
+
+@given(table=claim_tables(), data=st.data())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_backend_equivalence_with_ingest(table, data):
+    """Across every evidence model, both entry-store layouts, and
+    interleaved streaming ingest, the columnar backend's DEPEN run is
+    bit-for-bit the dict backend's."""
+    claims, split = table
+    model = data.draw(st.sampled_from(ALL_MODEL_PARAMS))
+    store = data.draw(st.sampled_from(["columnar", "list"]))
+    it = IterationParams(max_rounds=6)
+    engines = {
+        backend: StreamingDependenceEngine(
+            params=_depen_params(backend, entry_store=store, **model)
+        )
+        for backend in ("dict", "columnar")
+    }
+    for batch in (claims[:split], claims[split:]):
+        results = {}
+        for backend, engine in engines.items():
+            engine.ingest(batch)
+            if len(engine.dataset) == 0:
+                continue
+            results[backend] = engine.run_truth(
+                Depen(engine.params, it, min_overlap=engine.min_overlap)
+            )
+        if results:
+            _results_equal(results["dict"], results["columnar"])
+
+
+@given(table=claim_tables())
+@settings(max_examples=25, deadline=None)
+def test_property_accu_backend_equivalence(table):
+    claims, _ = table
+    dataset = ClaimDataset(claims)
+    _results_equal(
+        Accu(truth_backend="dict").discover(dataset),
+        Accu(truth_backend="columnar").discover(dataset),
+    )
+
+
+# ---------------------------------------------------------------------------
+# restricted re-scoring inside DEPEN's rounds
+# ---------------------------------------------------------------------------
+
+
+class TestRestrictedRescoring:
+    @pytest.fixture(scope="class")
+    def world(self):
+        dataset, _ = simple_copier_world(
+            n_objects=80, n_independent=10, n_copiers=3, accuracy=0.8, seed=11
+        )
+        return dataset
+
+    def test_counters_cover_every_pair(self, world):
+        it = IterationParams(max_rounds=6)
+        result = Depen(_depen_params("columnar"), it).discover(world)
+        n_pairs = len(result.dependence)
+        for trace in result.trace:
+            assert trace.pairs_rescored + trace.pairs_reused == n_pairs
+        assert result.trace[0].pairs_rescored == n_pairs  # first is full
+
+    def test_dict_backend_leaves_counters_unset(self, world):
+        it = IterationParams(max_rounds=3)
+        result = Depen(_depen_params("dict"), it).discover(world)
+        assert all(t.pairs_rescored is None for t in result.trace)
+
+    def test_reuse_fires_in_settling_tail_and_stays_exact(self, world):
+        it = IterationParams(
+            max_rounds=20,
+            accuracy_tolerance=1e-9,
+            rescore_tolerance=1e-4,
+        )
+        reference = Depen(
+            _depen_params("dict"),
+            IterationParams(max_rounds=20, accuracy_tolerance=1e-9),
+        ).discover(world)
+        result = Depen(_depen_params("columnar"), it).discover(world)
+        reused = sum(t.pairs_reused for t in result.trace)
+        assert reused > 0  # the restriction actually fires
+        # Decisions are unaffected; accuracies within the documented
+        # bound of the drift tolerance.
+        assert result.decisions == reference.decisions
+        worst = max(
+            abs(result.accuracies[s] - reference.accuracies[s])
+            for s in reference.accuracies
+        )
+        assert worst < 1e-6
+
+    def test_exact_default_is_bitwise(self, world):
+        # rescore_tolerance=0.0 (default) reuses only bitwise-unchanged
+        # inputs, so results match the dict path exactly even when the
+        # restriction machinery runs.
+        it = IterationParams(max_rounds=10)
+        _results_equal(
+            Depen(_depen_params("dict"), it).discover(world),
+            Depen(_depen_params("columnar"), it).discover(world),
+        )
+
+    def test_streaming_surfaces_truth_stats(self, world):
+        params = _depen_params("columnar")
+        engine = StreamingDependenceEngine(
+            dataset=ClaimDataset(list(world)), params=params
+        )
+        it = IterationParams(
+            max_rounds=20, accuracy_tolerance=1e-9, rescore_tolerance=1e-4
+        )
+        engine.run_truth(Depen(params, it, min_overlap=engine.min_overlap))
+        stats = engine.last_truth_stats
+        assert stats["algorithm"] == "depen"
+        assert stats["pairs_reused"] > 0
+        assert stats["restricted_rounds"] > 0
+
+    def test_rescore_tolerance_validation(self):
+        with pytest.raises(ParameterError):
+            IterationParams(rescore_tolerance=-1e-9)
+
+
+# ---------------------------------------------------------------------------
+# VoteOrderCache: dirty-object re-sort on ingest
+# ---------------------------------------------------------------------------
+
+
+class TestVoteOrderCacheIngest:
+    def test_only_dirty_objects_resorted_on_version_bump(self):
+        claims = _random_claims(random.Random(13), n_objects=20)
+        dataset = ClaimDataset(claims[:120])
+        cache = VoteOrderCache(dataset)
+        accs = {s: 0.8 for s in dataset.sources}
+        # Force distinct ranks so the ranking is stable but non-trivial.
+        accs = {
+            s: 0.5 + i * 1e-3 for i, s in enumerate(sorted(accs))
+        }
+        before = cache.orderings(accs)
+        snapshot = {obj: order for obj, order in before.items()}
+        delta = dataset.add_claims(claims[120:])
+        after = cache.orderings(accs)
+        fresh = VoteOrderCache(dataset).orderings(accs)
+        assert after == fresh  # correctness: matches a cold re-sort
+        for obj, order in snapshot.items():
+            if obj not in delta.dirty_objects:
+                # Clean objects were not re-sorted: same list object.
+                assert after[obj] is order
+
+    def test_ranking_change_still_rebuilds_everything(self):
+        claims = _random_claims(random.Random(14), n_objects=10, coverage=8)
+        dataset = ClaimDataset(claims)
+        cache = VoteOrderCache(dataset)
+        accs = {s: 0.8 for s in dataset.sources}
+        first = cache.orderings(accs)
+        flipped = {
+            s: 0.9 - i * 1e-3 for i, s in enumerate(sorted(accs, reverse=True))
+        }
+        second = cache.orderings(flipped)
+        assert second == VoteOrderCache(dataset).orderings(flipped)
+        assert first == cache.orderings(accs)  # rank flip back re-sorts
+
+    def test_compacted_log_falls_back_to_full_rebuild(self):
+        claims = _random_claims(random.Random(15), n_objects=10, coverage=8)
+        dataset = ClaimDataset(claims[:60])
+        cache = VoteOrderCache(dataset)
+        accs = {s: 0.8 for s in {c.source for c in claims}}
+        cache.orderings(accs)
+        dataset.add_claims(claims[60:])
+        dataset.compact_log()  # strands the incremental delta
+        after = cache.orderings(accs)
+        assert after == VoteOrderCache(dataset).orderings(accs)
