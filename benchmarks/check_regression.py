@@ -67,6 +67,17 @@ GATES: dict[str, list[tuple[str, Callable[[dict], float], str, float]]] = {
             0.7,
         ),
     ],
+    "sync_delta": [
+        # A byte count, not wall-clock: the resident backend must keep
+        # shipping row deltas, not re-serializing full shard state.
+        # Same floor as the bench's own assertion — bytes don't flake.
+        (
+            "sync_delta.shipped_bytes_ratio",
+            lambda s: s["shipped_bytes_ratio"],
+            "min",
+            5.0,
+        ),
+    ],
     "truth_round": [
         ("truth_round.speedup", lambda s: s["speedup"], "min", 1.5),
         # DEPEN's in-round restricted re-scoring must actually fire:

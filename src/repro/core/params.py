@@ -101,8 +101,13 @@ class DependenceParams:
     ``"numpy"`` vectorises candidate-pair generation and the record
     sweep in-process; ``"process"`` shards the sweep over object ranges
     and fans the shards out to ``num_workers`` worker processes (the GIL
-    makes threads useless here). ``shard_size`` fixes the objects per
-    shard; ``None`` derives a balanced size from ``num_workers``.
+    makes threads useless here); ``"resident"`` pins each shard to a
+    long-lived worker that keeps the shard's packed claim rows resident
+    across ``build()``/``sync()``/``refresh`` and receives only
+    dirty-range deltas, cutting the bytes serialized per incremental
+    sync (see :mod:`repro.exec.resident`). ``shard_size`` fixes the
+    objects per shard; ``None`` derives a balanced size from
+    ``num_workers``.
 
     ``entry_store`` selects how the evidence engine stores per-pair
     agreement structure — also pure execution policy, bit-for-bit
@@ -119,7 +124,9 @@ class DependenceParams:
     the pool alive across ``build()``/``sync()`` calls and rounds, so
     repeated rebuilds and streaming re-syncs pay the fork cost once
     (call ``close()`` on the cache/engine, or use it as a context
-    manager, to release the workers).
+    manager, to release the workers). ``parallel_backend="resident"``
+    workers are persistent by construction — their whole point is the
+    state they retain — so ``pool`` does not apply to them.
 
     ``overlap_warning_bound`` guards the known calibration hazard of
     the *default* evidence model: ``expected_log`` + ``uniform``
@@ -237,10 +244,15 @@ class DependenceParams:
                 "max_providers_per_object must be >= 2 (a pair needs two "
                 f"providers) or None, got {self.max_providers_per_object}"
             )
-        if self.parallel_backend not in ("serial", "process", "numpy"):
+        if self.parallel_backend not in (
+            "serial",
+            "process",
+            "numpy",
+            "resident",
+        ):
             raise ParameterError(
-                "parallel_backend must be 'serial', 'process' or 'numpy', "
-                f"got {self.parallel_backend!r}"
+                "parallel_backend must be 'serial', 'process', 'numpy' or "
+                f"'resident', got {self.parallel_backend!r}"
             )
         if self.num_workers < 1:
             raise ParameterError(
@@ -307,12 +319,15 @@ class IterationParams:
     pair's posterior is reused from the previous round when every truth
     probability it depends on — its shared entries' and its endpoints'
     clamped accuracies — has drifted at most this much since the last
-    round it was scored (drift is accumulated, so reuse chains never
-    compound past the bound). The 0.0 default is *exact*: only bitwise
-    unchanged inputs are reused, so results stay bit-for-bit equal to
-    the dict path. A small positive tolerance (e.g. ``1e-9``) lets the
-    tail rounds of a settling iteration skip most posterior
-    recomputation at a bounded, documented approximation.
+    round *that pair* was scored (drift accumulates against each pair's
+    own baseline, recorded as a per-slot round stamp in the columnar
+    entry store, so reuse chains never compound past the bound and a
+    pair's baseline resets exactly when it is re-scored). The 0.0
+    default is *exact*: only bitwise unchanged inputs are reused, so
+    results stay bit-for-bit equal to the dict path. A small positive
+    tolerance (e.g. ``1e-9``) lets the tail rounds of a settling
+    iteration skip most posterior recomputation at a bounded,
+    documented approximation.
     """
 
     max_rounds: int = 30

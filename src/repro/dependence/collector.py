@@ -194,17 +194,20 @@ class PairSlotCollector:
         comparable bit for bit).
 
         ``sweep`` (a :class:`~repro.dependence.sharding.SweepConfig`)
-        selects the execution backend. Under ``"process"`` the groups
-        are cut into deterministic item-range shards, each shard runs
-        this same pass in a worker (reusing the subclass hooks), and the
-        shard registries are merged in shard order — so slot contents,
-        derived pair admission order, and cap truncations are identical
-        to the serial pass for every worker count. Requires list-like
-        slots (every modality's are). ``"numpy"`` has no meaning for a
-        generic payload sweep and runs serially.
+        selects the execution backend. Under ``"process"`` or
+        ``"resident"`` the groups are cut into deterministic item-range
+        shards, each shard runs this same pass in a worker (reusing the
+        subclass hooks), and the shard registries are merged in shard
+        order — so slot contents, derived pair admission order, and cap
+        truncations are identical to the serial pass for every worker
+        count. (Collector sweeps are one-shot, so ``"resident"`` buys no
+        residency here — it simply runs the stateless task on the
+        resident transport.) Requires list-like slots (every modality's
+        are). ``"numpy"`` has no meaning for a generic payload sweep
+        and runs serially.
         """
         self._packed = None  # a (re)build invalidates any prior packing
-        if sweep is not None and sweep.backend == "process":
+        if sweep is not None and sweep.backend in ("process", "resident"):
             from repro.dependence.sharding import (
                 merge_collector_shards,
                 run_collector_shards,

@@ -72,9 +72,16 @@ class ColumnarAgreeStore:
     allocated region — cells between ``length`` and ``cap`` are slack).
     The owning cache keeps the slot registry and the entry tables; the
     store owns only the segment geometry.
+
+    The store also carries one ``int64`` *round stamp* per slot id —
+    the iteration round the slot's pair was last scored at, backing
+    DEPEN's per-pair drift baselines. Stamps are data the store merely
+    hosts (the consumer writes and interprets them); a fresh or
+    backfilled slot starts at stamp 0 ("never scored") and compaction
+    carries stamps across the renumbering.
     """
 
-    __slots__ = ("_eids", "_sids", "_used", "_dead", "_n_sids")
+    __slots__ = ("_eids", "_sids", "_used", "_dead", "_n_sids", "_stamps")
 
     def __init__(self) -> None:
         require_numpy()
@@ -83,6 +90,7 @@ class ColumnarAgreeStore:
         self._used = 0  # high-water mark; cells past it are untracked
         self._dead = 0  # tombstoned + slack cells below the mark
         self._n_sids = 0
+        self._stamps = np.empty(0, dtype=np.int64)
 
     # -- introspection (tests and compaction policy) --------------------
 
@@ -128,6 +136,7 @@ class ColumnarAgreeStore:
         self._used = total
         self._dead = 0
         self._n_sids = len(items)
+        self._stamps = np.zeros(len(items), dtype=np.int64)
 
     def adopt(self, eids, sids, n_sids: int) -> None:
         """Take ownership of pre-built record arrays (the sharded merge).
@@ -141,6 +150,7 @@ class ColumnarAgreeStore:
         self._used = int(self._eids.size)
         self._dead = 0
         self._n_sids = n_sids
+        self._stamps = np.zeros(n_sids, dtype=np.int64)
 
     def new_sid(self, slot) -> None:
         """Register a slot created after the pack (backfilled pair)."""
@@ -149,6 +159,7 @@ class ColumnarAgreeStore:
         slot.length = 0
         slot.cap = 0
         self._n_sids += 1
+        self._stamps = np.append(self._stamps, 0)
 
     # -- reads -----------------------------------------------------------
 
@@ -195,6 +206,22 @@ class ColumnarAgreeStore:
             sids = sids[live]
             eids = eids[live]
         return np.unique(sids[entry_mask[eids]])
+
+    # -- round stamps -----------------------------------------------------
+
+    @property
+    def stamps(self):
+        """Per-sid round stamps (a view; 0 means never scored)."""
+        return self._stamps
+
+    def set_stamps(self, sids: Sequence[int], value: int) -> None:
+        """Stamp the given slot ids with the round ``value``."""
+        if len(sids):
+            self._stamps[np.asarray(sids, dtype=np.int64)] = value
+
+    def stamp_all(self, value: int) -> None:
+        """Stamp every live slot id with the round ``value``."""
+        self._stamps[:] = value
 
     # -- in-place repair --------------------------------------------------
 
@@ -288,9 +315,11 @@ class ColumnarAgreeStore:
         """
         live = list(slots)
         old = self._eids
+        old_stamps = self._stamps
         total = sum(slot.length for slot in live)
         eids = np.empty(total, dtype=np.int64)
         sids = np.empty(total, dtype=np.int64)
+        stamps = np.zeros(len(live), dtype=np.int64)
         cursor = 0
         for sid, slot in enumerate(live):
             n = slot.length
@@ -299,6 +328,8 @@ class ColumnarAgreeStore:
                     slot.start : slot.start + n
                 ]
                 sids[cursor : cursor + n] = sid
+            if slot.sid < old_stamps.size:
+                stamps[sid] = old_stamps[slot.sid]
             slot.sid = sid
             slot.start = cursor
             slot.cap = n
@@ -308,6 +339,7 @@ class ColumnarAgreeStore:
         self._used = total
         self._dead = 0
         self._n_sids = len(live)
+        self._stamps = stamps
 
     def _ensure(self, n: int) -> None:
         if self._eids.size >= n:

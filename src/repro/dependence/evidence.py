@@ -179,6 +179,12 @@ class EvidenceCache:
         Force per-value ``shared_values`` evidence even when the fast
         aggregate path would be valid — bit-for-bit identical to the
         per-pair :func:`~repro.dependence.bayes.collect_evidence`.
+    executor:
+        An externally owned :class:`repro.exec.ShardExecutor` to run
+        sharded builds on. The cache *borrows* it: :meth:`close` leaves
+        it alive for its owner (whereas an internally created executor
+        is owned and closed). It must match ``params.parallel_backend``
+        — a resident cache needs a resident-capable executor.
 
     Typical use::
 
@@ -196,6 +202,7 @@ class EvidenceCache:
         min_overlap: int = 1,
         params: DependenceParams | None = None,
         exact: bool = False,
+        executor=None,
     ) -> None:
         if params is None:
             params = DependenceParams()
@@ -244,7 +251,24 @@ class EvidenceCache:
             params.entry_store == "auto" and np is not None
         )
         self._persistent_pool = params.pool == "persistent"
-        self._executor = None  # created lazily, survives build() calls
+        # Executor ownership is explicit: a caller-supplied executor is
+        # borrowed (close() leaves it alive); an internally created one
+        # (lazily, on the first sharded build) is owned and closed.
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._resident = self._backend == "resident"
+        # Resident bookkeeping survives build() calls: the parent keeps
+        # the code maps that describe what the workers hold, so a warm
+        # rebuild ships nothing and an incremental sync ships only
+        # dirty-object row deltas.
+        self._resident_fresh = False
+        self._resident_sources: list[SourceId] | None = None
+        self._resident_src_code: dict[SourceId, int] | None = None
+        self._resident_entry_code: (
+            dict[tuple[ObjectId, Value], int] | None
+        ) = None
+        self._last_build_shipped_bytes = 0
+        self._last_sync_shipped_bytes = 0
         # The calibration hazard is specific to expected_log+uniform and
         # the warning to overlap_policy="warn" ("auto" acts instead of
         # warning, "ignore" silences); when armed, overlap growth
@@ -265,12 +289,31 @@ class EvidenceCache:
         rebuild in place, discarding all cached structure (useful after
         a mutation-log compaction strands the incremental path). The
         pass dispatches on ``params.parallel_backend``: ``"serial"``
-        sweeps in-process, ``"numpy"`` and ``"process"`` run the sharded
-        sweep of :mod:`repro.dependence.sharding` — in-process
-        vectorised, or fanned out to a worker pool — whose
-        order-canonicalised merge is bit-for-bit identical to the
-        serial path for every worker count.
+        sweeps in-process, ``"numpy"``, ``"process"`` and ``"resident"``
+        run the sharded sweep of :mod:`repro.dependence.sharding` —
+        in-process vectorised, or fanned out through a
+        :class:`repro.exec.ShardExecutor` — whose order-canonicalised
+        merge is bit-for-bit identical to the serial path for every
+        worker count.
+
+        Under the ``"resident"`` backend a rebuild while the workers'
+        shard state still matches the dataset (no ingest since the last
+        sync) is *warm*: the workers re-sweep their resident rows and
+        only the record blocks travel — no payload bytes are shipped.
         """
+        warm = (
+            self._resident
+            and self._resident_fresh
+            and self._executor is not None
+            and getattr(self, "_plan", None) is not None
+            and getattr(self, "_synced_version", -1) == self._dataset.version
+        )
+        # A warm rebuild re-derives everything from the resident rows —
+        # except the cap's truncation record, which only the packing
+        # pass produces; replay the previous one (it is a pure function
+        # of the dataset, which has not changed).
+        prev_plan = self._plan if warm else None
+        prev_truncated = dict(self._cap.truncated) if warm else None
         self._refreshed = False
         self._cap = ProviderCap(self._cap_limit)
         # Entry store: parallel arrays indexed by entry id, with freed
@@ -324,6 +367,9 @@ class EvidenceCache:
                 )
                 for slot in self._slots.values():
                     slot.agree = None
+        elif warm:
+            self._plan = prev_plan
+            self._build_resident_warm(prev_truncated)
         else:
             self._build_sharded()
         self._synced_version = self._dataset.version
@@ -410,11 +456,9 @@ class EvidenceCache:
             ) from exc
 
         from repro.dependence.sharding import (
-            ParallelSweepExecutor,
             RecordBlock,
             ShardPayload,
             ShardPlanner,
-            sweep_shard,
         )
 
         dataset = self._dataset
@@ -468,14 +512,75 @@ class EvidenceCache:
                 )
             )
         if self._executor is None:
-            self._executor = ParallelSweepExecutor(
+            from repro.exec import make_executor
+
+            self._executor = make_executor(
                 self._backend,
                 self._num_workers,
                 persistent=self._persistent_pool,
             )
-        records = RecordBlock.concatenate(
-            self._executor.run(sweep_shard, payloads)
+            self._owns_executor = True
+        if self._resident:
+            # Cold resident build: ship each shard's packed rows once
+            # (the workers retain them), then sweep worker-side. The
+            # parent records the code maps describing what was shipped,
+            # so later syncs ship only dirty-row deltas and later warm
+            # builds ship nothing.
+            self._resident_sources = list(sources)
+            self._resident_src_code = dict(src_code)
+            self._resident_entry_code = {
+                key: code for code, key in enumerate(entry_decode)
+            }
+            self._resident_fresh = False
+            shard_states = {}
+            for shard_id, (start, end) in enumerate(plan.ranges()):
+                shard_states[shard_id] = {
+                    "objs": objs[start:end],
+                    "src": [
+                        flat_src[claim_bounds[i] : claim_bounds[i + 1]]
+                        for i in range(start, end)
+                    ],
+                    "entry": [
+                        flat_entry[claim_bounds[i] : claim_bounds[i + 1]]
+                        for i in range(start, end)
+                    ],
+                    "n_sources": n_sources,
+                }
+            before = self._executor.bytes_shipped
+            self._resident_call("resident.adopt", shard_states)
+            blocks = self._resident_call(
+                "resident.sweep", {sid: None for sid in shard_states}
+            )
+            self._last_build_shipped_bytes = (
+                self._executor.bytes_shipped - before
+            )
+            records = RecordBlock.concatenate(
+                [blocks[sid] for sid in sorted(blocks)]
+            )
+            self._resident_fresh = True
+        else:
+            records = RecordBlock.concatenate(
+                self._executor.run("evidence.sweep_shard", payloads)
+            )
+        self._merge_records(
+            records, sources, src_code, n_sources, entry_decode
         )
+
+    def _merge_records(
+        self, records, sources, src_code, n_sources, entry_decode
+    ) -> None:
+        """Order-canonicalised merge of swept record blocks.
+
+        Candidate selection, record canonicalisation, entry dedup and
+        slot fill — everything downstream of the executor — shared by
+        the cold sharded build and the warm resident rebuild. Record
+        ``obj`` values are never consumed here (the stable pair sort
+        relies only on within-shard order), which is what lets resident
+        workers sweep with shard-local ``obj_base=0``.
+        """
+        import numpy as np
+
+        dataset = self._dataset
         pair = records.pair
 
         # Candidate selection — sorted composite pair ids enumerate the
@@ -616,6 +721,207 @@ class EvidenceCache:
                 slot.agree = eids[bounds[i] : bounds[i + 1]]
 
     # ------------------------------------------------------------------
+    # resident execution (worker-held shard state)
+    # ------------------------------------------------------------------
+
+    def _build_resident_warm(self, prev_truncated) -> None:
+        """Rebuild from worker-resident rows: zero payload bytes shipped.
+
+        Valid only while the workers' rows still describe the dataset
+        (checked by :meth:`build`): the workers re-sweep what they hold
+        and only the result blocks travel back. The merge is the cold
+        one; the historical entry-code interning order differs from a
+        cold pack's object-major order, but entry numbering is never
+        observable in served evidence (segments keep object order and
+        every soft sum follows segment order).
+        """
+        from repro.dependence.sharding import RecordBlock
+
+        sources = self._resident_sources
+        executor = self._executor
+        before = executor.bytes_shipped
+        blocks = self._resident_call(
+            "resident.sweep",
+            {sid: None for sid in range(self._plan.n_shards)},
+        )
+        self._last_build_shipped_bytes = executor.bytes_shipped - before
+        records = RecordBlock.concatenate(
+            [blocks[sid] for sid in sorted(blocks)]
+        )
+        self._merge_records(
+            records,
+            sources,
+            self._resident_src_code,
+            len(sources),
+            list(self._resident_entry_code),
+        )
+        if prev_truncated:
+            self._cap.absorb(prev_truncated)
+
+    def _resident_call(self, task: str, deltas: dict) -> dict:
+        """Run a resident task, surviving worker crashes.
+
+        A crash surfaces as :exc:`~repro.exec.ResidentWorkerLost`
+        naming the shards whose worker-held state died. The parent owns
+        the source of truth, so recovery is re-ship-and-retry: re-pack
+        those shards from the dataset, adopt them onto the respawned
+        worker, and re-run the whole batch — safe because every
+        resident task is idempotent (``adopt`` and ``delta`` replace,
+        ``sweep`` is pure).
+        """
+        from repro.exec import ResidentWorkerLost
+
+        pending_reship: set[int] = set()
+        for _ in range(5):
+            try:
+                if pending_reship:
+                    self._executor.run_shards(
+                        "resident.adopt",
+                        self._resident_pack_shards(sorted(pending_reship)),
+                    )
+                    pending_reship.clear()
+                return self._executor.run_shards(task, deltas)
+            except ResidentWorkerLost as lost:
+                pending_reship.update(lost.shard_ids)
+        raise RuntimeError(
+            f"resident workers kept dying during {task!r}; giving up "
+            f"after repeated state re-ships (shards {sorted(pending_reship)})"
+        )
+
+    def _resident_row(
+        self, obj: ObjectId, providers: Mapping
+    ) -> tuple[list[int], list[int]]:
+        """One object's kept providers as resident (src, entry) code rows.
+
+        The same cap prefix and sorted-provider order the packing pass
+        uses, expressed in the resident code maps (new ``(obj, value)``
+        entries are interned into the persistent registry, so worker
+        rows stay mutually consistent across syncs).
+        """
+        kept = sorted(providers)
+        cap = self._cap_limit
+        if cap is not None and len(kept) > cap:
+            kept = kept[:cap]
+        src_code = self._resident_src_code
+        entry_code = self._resident_entry_code
+        row_src: list[int] = []
+        row_entry: list[int] = []
+        for source in kept:
+            value = providers[source].value
+            code = entry_code.get((obj, value))
+            if code is None:
+                code = len(entry_code)
+                entry_code[(obj, value)] = code
+            row_src.append(src_code[source])
+            row_entry.append(code)
+        return row_src, row_entry
+
+    def _resident_pack_shards(self, shard_ids) -> dict[int, dict]:
+        """Pack the named shards' states from the dataset.
+
+        Used for crash recovery (re-ship what a dead worker held) and
+        for the re-arm path — both replay the packing pass for a subset
+        of shards, against the current dataset, in the resident code
+        maps.
+        """
+        wanted = set(shard_ids)
+        n_sources = len(self._resident_sources)
+        states = {
+            sid: {"objs": [], "src": [], "entry": [], "n_sources": n_sources}
+            for sid in wanted
+        }
+        dataset = self._dataset
+        plan = self._plan
+        for obj in dataset.objects:
+            sid = plan.shard_of(obj)
+            if sid not in wanted:
+                continue
+            providers = dataset.claims_about_view(obj)
+            if len(providers) < 2:
+                continue
+            row_src, row_entry = self._resident_row(obj, providers)
+            state = states[sid]
+            state["objs"].append(obj)
+            state["src"].append(row_src)
+            state["entry"].append(row_entry)
+        return states
+
+    def _resident_rearm(self) -> None:
+        """Full re-pack and re-ship after the source universe grew.
+
+        New sources change the pair-id code space every resident row is
+        expressed in, so every row is stale at once. Rebuilding the
+        code maps (and the plan — the object universe may have grown
+        too) and re-adopting all shards keeps residency alive for a
+        stream instead of degrading to cold builds forever; the bytes
+        shipped are counted against the sync that triggered it.
+        """
+        from repro.dependence.sharding import ShardPlanner
+
+        dataset = self._dataset
+        self._resident_fresh = False
+        sources = dataset.sources
+        self._resident_sources = list(sources)
+        self._resident_src_code = {s: i for i, s in enumerate(sources)}
+        self._resident_entry_code = {}
+        eligible = [
+            obj
+            for obj in dataset.objects
+            if len(dataset.claims_about_view(obj)) >= 2
+        ]
+        self._plan = ShardPlanner(self._num_workers, self._shard_size).plan(
+            eligible
+        )
+        self._resident_call(
+            "resident.adopt",
+            self._resident_pack_shards(range(self._plan.n_shards)),
+        )
+        self._resident_fresh = True
+
+    def _resident_sync_ship(self, delta: Mapping, dirty_sorted) -> None:
+        """Keep worker rows current across a sync: ship row deltas.
+
+        The parent-side repair is already done (and is authoritative);
+        this ships each dirty object's *final* row — kept providers and
+        entry codes — to its shard's worker, so the next warm build or
+        worker-side sweep sees exactly the state a cold pack would.
+        Bytes shipped are exposed via :attr:`last_sync_shipped_bytes`.
+        """
+        self._last_sync_shipped_bytes = 0
+        if self._executor is None or not self._resident_fresh:
+            # No live workers (closed) or already stale: the next build
+            # is cold anyway; do not let worker state drift silently.
+            self._resident_fresh = False
+            return
+        executor = self._executor
+        before = executor.bytes_shipped
+        src_code = self._resident_src_code
+        if self._plan.n_shards == 0 or any(
+            source not in src_code
+            for new_sources in delta.values()
+            for source in new_sources
+        ):
+            # A zero-shard plan (no object had two providers at build
+            # time) leaves freshly eligible rows nowhere to route; new
+            # sources invalidate the code space of every row. Both are
+            # solved the same way: re-plan and re-ship.
+            self._resident_rearm()
+        else:
+            dataset = self._dataset
+            rows_by_shard: dict[int, list] = {}
+            for obj in dirty_sorted:
+                providers = dataset.claims_about_view(obj)
+                if len(providers) < 2:
+                    continue
+                row_src, row_entry = self._resident_row(obj, providers)
+                rows_by_shard.setdefault(
+                    self._plan.shard_of(obj), []
+                ).append((obj, row_src, row_entry))
+            if rows_by_shard:
+                self._resident_call("resident.delta", rows_by_shard)
+        self._last_sync_shipped_bytes = executor.bytes_shipped - before
+
+    # ------------------------------------------------------------------
     # entry store
     # ------------------------------------------------------------------
 
@@ -711,6 +1017,8 @@ class EvidenceCache:
             ]
         for obj in dirty_sorted:
             self._apply_object_delta(obj, delta[obj], backfilled)
+        if self._resident:
+            self._resident_sync_ship(delta, dirty_sorted)
         if self._store is not None:
             # Tombstones from removals/retirements accumulate across
             # syncs; reclaim once they outnumber the live cells. The
@@ -1146,6 +1454,53 @@ class EvidenceCache:
         }
 
     # ------------------------------------------------------------------
+    # per-pair round stamps (restricted re-scoring baselines)
+    # ------------------------------------------------------------------
+
+    def pair_round_stamps(self) -> dict[PairKey, int]:
+        """Each pair's last-scored round stamp (columnar store only).
+
+        Stamps back DEPEN's per-pair drift baselines: a pair's
+        accumulated input drift is measured since the round *it* was
+        last scored, not since the last global re-score. Slots created
+        after the last full stamp (backfilled pairs) carry stamp 0 —
+        "never scored" — so consumers treat them as always affected.
+        """
+        store = self._store
+        if store is None:
+            raise DataError(
+                "per-pair round stamps live in the columnar entry store — "
+                "build the cache with entry_store='columnar'"
+            )
+        stamps = store.stamps
+        return {
+            key: int(stamps[slot.sid]) for key, slot in self._slots.items()
+        }
+
+    def stamp_pairs(self, keys: Iterable[PairKey], round_index: int) -> None:
+        """Record that ``keys`` were (re)scored at ``round_index``."""
+        store = self._store
+        if store is None:
+            raise DataError(
+                "per-pair round stamps live in the columnar entry store — "
+                "build the cache with entry_store='columnar'"
+            )
+        slots = self._slots
+        store.set_stamps(
+            [slots[key].sid for key in keys if key in slots], round_index
+        )
+
+    def stamp_all_pairs(self, round_index: int) -> None:
+        """Record that every current pair was scored at ``round_index``."""
+        store = self._store
+        if store is None:
+            raise DataError(
+                "per-pair round stamps live in the columnar entry store — "
+                "build the cache with entry_store='columnar'"
+            )
+        store.stamp_all(round_index)
+
+    # ------------------------------------------------------------------
     # evidence accessors
     # ------------------------------------------------------------------
 
@@ -1240,16 +1595,52 @@ class EvidenceCache:
         """The resolved store layout: ``"columnar"`` or ``"list"``."""
         return "columnar" if self._store is not None else "list"
 
-    def close(self) -> None:
-        """Release the worker pool, if a persistent one was started.
+    @property
+    def executor(self):
+        """The live :class:`repro.exec.ShardExecutor`, or ``None``."""
+        return self._executor
 
-        Only meaningful under ``pool="persistent"`` with the
-        ``"process"`` backend; a no-op otherwise. The cache stays
-        usable — the next sharded build simply starts a fresh pool.
+    @property
+    def owns_executor(self) -> bool:
+        """Whether :meth:`close` closes the executor (vs borrowing it)."""
+        return self._owns_executor
+
+    @property
+    def last_build_shipped_bytes(self) -> int:
+        """Payload bytes serialized to workers by the last :meth:`build`.
+
+        Resident backend only (0 otherwise): a cold build ships every
+        shard's packed rows; a warm build ships nothing but the sweep
+        requests themselves.
         """
-        if self._executor is not None:
+        return self._last_build_shipped_bytes
+
+    @property
+    def last_sync_shipped_bytes(self) -> int:
+        """Payload bytes serialized to workers by the last delta-bearing
+        :meth:`sync` (resident backend only; 0 otherwise). Dirty-row
+        deltas in the common case; a full re-ship when new sources
+        forced a re-arm or a crashed worker's state was rebuilt.
+        """
+        return self._last_sync_shipped_bytes
+
+    def close(self) -> None:
+        """Release the worker executor, if this cache owns one.
+
+        Owned executors (created internally for ``pool="persistent"``
+        process pools or the ``"resident"`` backend) are closed and
+        dropped — for the resident backend this discards the workers'
+        shard state, so the next build is cold. A borrowed executor
+        (passed to the constructor) is left alive for its owner.
+        Idempotent; the cache stays usable — the next sharded build
+        simply starts a fresh executor.
+        """
+        if self._executor is None:
+            return
+        if self._owns_executor:
             self._executor.close()
             self._executor = None
+            self._resident_fresh = False
 
     def __enter__(self) -> "EvidenceCache":
         return self

@@ -32,14 +32,20 @@ Three properties deliver that invariance:
   lengths), not as Claim objects or dataset slices, and a worker ships
   its records back the same way (:class:`RecordBlock`).
 
-:class:`ParallelSweepExecutor` owns the backend choice. The ``"numpy"``
-backend runs the same vectorised shard sweep in-process (no pool — the
-win is replacing the per-record Python loop with array ops);
-``"process"`` fans shards out to a ``concurrent.futures`` process pool.
-The generic, payload-agnostic sharding used by the temporal and opinion
-collectors (:func:`run_collector_shards`) reuses the subclass's own
-``_collect`` hook inside each worker, so those modalities parallelise
-without numpy packing.
+Execution itself lives behind the transport-agnostic
+:class:`repro.exec.ShardExecutor` interface: ``"numpy"`` runs the same
+vectorised shard sweep in-process (no pool — the win is replacing the
+per-record Python loop with array ops); ``"process"`` fans shards out
+to a stateless ``concurrent.futures`` process pool; ``"resident"``
+pins each shard to a long-lived worker that keeps the shard's packed
+records resident and receives only dirty-range deltas (see
+:mod:`repro.exec.resident`). :class:`SweepConfig.executor` builds the
+right executor for the policy. The generic, payload-agnostic sharding
+used by the temporal and opinion collectors
+(:func:`run_collector_shards`) reuses the subclass's own ``_collect``
+hook inside each worker, so those modalities parallelise without numpy
+packing. :class:`ParallelSweepExecutor` remains as a thin legacy
+facade over the same machinery.
 """
 
 from __future__ import annotations
@@ -67,7 +73,7 @@ MIN_DERIVED_SHARD = 32
 #: whole pool behind it.
 SHARDS_PER_WORKER = 4
 
-_BACKENDS = ("serial", "process", "numpy")
+_BACKENDS = ("serial", "process", "numpy", "resident")
 
 
 def _validate_policy(
@@ -134,8 +140,16 @@ class SweepConfig:
     def parallel(self) -> bool:
         return self.backend != "serial"
 
-    def executor(self) -> "ParallelSweepExecutor":
-        return ParallelSweepExecutor(
+    def executor(self):
+        """A fresh :class:`repro.exec.ShardExecutor` for this policy.
+
+        The caller owns the returned executor and must close it (or use
+        it as a context manager); ``resident`` pools are persistent by
+        construction, ``process`` pools only under ``pool="persistent"``.
+        """
+        from repro.exec import make_executor
+
+        return make_executor(
             self.backend,
             self.num_workers,
             persistent=self.pool == "persistent",
@@ -362,7 +376,14 @@ def sweep_shard(payload: ShardPayload) -> RecordBlock:
 
 
 class ParallelSweepExecutor:
-    """Runs shard work under the configured backend, results in shard order.
+    """Legacy callable-based executor (superseded by :mod:`repro.exec`).
+
+    Kept for back compatibility with callers that pass a worker
+    *callable* to :meth:`run`; new code obtains a
+    :class:`repro.exec.ShardExecutor` from :meth:`SweepConfig.executor`
+    and addresses work by registry task name instead.
+
+    Runs shard work under the configured backend, results in shard order.
 
     ``"numpy"`` (and ``"serial"``, for the generic collector path) runs
     the worker in-process; ``"process"`` uses a
@@ -464,7 +485,7 @@ def run_collector_shards(
     groups: Sequence[tuple],
     fixed_pairs: Sequence[tuple] | None,
     cap_limit: int | None,
-    executor: ParallelSweepExecutor,
+    executor,
     planner: ShardPlanner,
 ) -> tuple[list[tuple[dict, dict]], ShardPlan]:
     """Shard a generic by-item sweep and run it under ``executor``.
@@ -472,15 +493,19 @@ def run_collector_shards(
     ``groups`` must be the full ``(item, providers)`` list in sorted
     item order — the same input the serial
     :meth:`~repro.dependence.collector.PairSlotCollector.build` takes.
-    Returns the per-shard ``(slots, truncated)`` results in shard order
-    plus the plan used, for the caller's order-canonicalised merge.
+    ``executor`` is a :class:`repro.exec.ShardExecutor` (the legacy
+    :class:`ParallelSweepExecutor` is also accepted). Returns the
+    per-shard ``(slots, truncated)`` results in shard order plus the
+    plan used, for the caller's order-canonicalised merge.
     """
     plan = planner.plan([item for item, _ in groups])
     tasks = [
         (cls, groups[start:end], fixed_pairs, cap_limit)
         for start, end in plan.ranges()
     ]
-    return executor.run(_collector_shard_sweep, tasks), plan
+    if isinstance(executor, ParallelSweepExecutor):
+        return executor.run(_collector_shard_sweep, tasks), plan
+    return executor.run("collector.shard_sweep", tasks), plan
 
 
 def merge_collector_shards(

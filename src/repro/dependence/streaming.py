@@ -329,12 +329,16 @@ class StreamingDependenceEngine:
         return self._dataset.compact_log(self._cache.synced_version)
 
     def close(self) -> None:
-        """Release the evidence cache's worker pool, if one is alive.
+        """Release the evidence cache's executor, if the cache owns one.
 
         Relevant under ``DependenceParams(parallel_backend="process",
-        pool="persistent")``, where the pool survives across
-        ingest/rebuild cycles; a no-op otherwise. The engine stays
-        usable after closing.
+        pool="persistent")`` and under ``parallel_backend="resident"``
+        (whose pinned workers are persistent by construction) — after
+        ``close()`` no worker process is left alive. A borrowed
+        executor (one handed to the cache at construction) is left
+        running for its owner. Idempotent and a no-op otherwise; the
+        engine stays usable after closing (the next sharded build
+        simply creates a fresh executor).
         """
         self._cache.close()
 

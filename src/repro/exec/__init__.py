@@ -1,0 +1,61 @@
+"""Execution layer: transport-agnostic shard executors.
+
+The dependence layer's planner/payload/merge contract
+(:mod:`repro.dependence.sharding`) talks to workers only through the
+:class:`ShardExecutor` interface defined here. Three transports ship:
+
+``SerialExecutor``
+    in-process, zero serialization — backs ``serial`` and ``numpy``;
+``PoolExecutor``
+    stateless ``ProcessPoolExecutor`` fan-out — backs ``process``;
+``ResidentPoolExecutor``
+    pinned long-lived workers holding per-shard packed records, fed
+    dirty-range deltas — backs ``resident``.
+
+Pick one with :func:`make_executor`; policy objects
+(:class:`repro.dependence.sharding.SweepConfig`) call it for you.
+"""
+
+from __future__ import annotations
+
+from repro.exec.base import (
+    ExecutorCapabilities,
+    SerialExecutor,
+    ShardExecutor,
+)
+from repro.exec.pool import PoolExecutor
+from repro.exec.resident import ResidentPoolExecutor, ResidentWorkerLost
+from repro.exec.tasks import TASKS, resolve_task, task_is_stateful
+
+__all__ = [
+    "ExecutorCapabilities",
+    "PoolExecutor",
+    "ResidentPoolExecutor",
+    "ResidentWorkerLost",
+    "SerialExecutor",
+    "ShardExecutor",
+    "TASKS",
+    "make_executor",
+    "resolve_task",
+    "task_is_stateful",
+]
+
+
+def make_executor(
+    backend: str, num_workers: int = 1, *, persistent: bool = False
+) -> ShardExecutor:
+    """Build the executor serving a parallel-backend policy value.
+
+    ``serial`` and ``numpy`` share the in-process executor (the
+    backend only selects the kernels inside the task); ``process``
+    gets the stateless pool (persistent or ephemeral); ``resident``
+    gets the pinned resident-state pool, which is persistent by
+    construction.
+    """
+    if backend == "process":
+        return PoolExecutor(num_workers, persistent=persistent)
+    if backend == "resident":
+        return ResidentPoolExecutor(num_workers)
+    if backend in ("serial", "numpy"):
+        return SerialExecutor()
+    raise ValueError(f"unknown parallel backend {backend!r}")

@@ -1,0 +1,133 @@
+"""Transport-agnostic shard executor interface.
+
+The dependence layer plans work as numbered shards (see
+:class:`repro.dependence.sharding.ShardPlan`) and hands each shard's
+work item — a full payload or a dirty-range delta — to a
+:class:`ShardExecutor`. The interface is deliberately RPC-shaped:
+callers address *shards* by id and *work* by registry name
+(:mod:`repro.exec.tasks`), never a transport, so a multi-node
+implementation can drop in behind the same three calls:
+
+``submit(shard_id, task, delta)``
+    run one task against one shard and return its result;
+``run(task, deltas)``
+    batch form over a dense shard list (``shard_id`` = list index);
+``run_shards(task, deltas)``
+    batch form over a sparse ``{shard_id: delta}`` mapping.
+
+Every executor states its contract up front via
+:class:`ExecutorCapabilities`: whether workers retain per-shard state
+between calls (``resident_state``) and what serialization the
+transport applies to payloads (``serialization``). Callers use the
+former to decide between shipping full payloads every time and
+shipping deltas against resident state; the latter is informational
+(byte accounting is only meaningful when it is not ``"none"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exec.tasks import resolve_task
+
+__all__ = ["ExecutorCapabilities", "ShardExecutor", "SerialExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """What a :class:`ShardExecutor` implementation guarantees.
+
+    ``resident_state``
+        Workers hold per-shard state across calls, so stateful registry
+        tasks (``resident.*``) are accepted and deltas may be shipped
+        instead of full payloads.
+    ``serialization``
+        Format applied to task payloads in transit: ``"none"`` for
+        in-process execution, ``"pickle"`` for process transports.
+    """
+
+    resident_state: bool
+    serialization: str
+
+
+class ShardExecutor:
+    """Abstract executor; see the module docstring for the contract.
+
+    ``close()`` is idempotent for every implementation. Executors are
+    context managers: ``__exit__`` closes.
+    """
+
+    capabilities = ExecutorCapabilities(
+        resident_state=False, serialization="none"
+    )
+
+    def submit(self, shard_id: int, task: str | Callable, delta: Any) -> Any:
+        """Run ``task`` against shard ``shard_id`` and return its result."""
+        raise NotImplementedError
+
+    def run(
+        self, task: str | Callable, deltas: Sequence[Any]
+    ) -> list[Any]:
+        """Run ``task`` over a dense shard list; index = shard id."""
+        return [self.submit(i, task, delta) for i, delta in enumerate(deltas)]
+
+    def run_shards(
+        self, task: str | Callable, deltas: Mapping[int, Any]
+    ) -> dict[int, Any]:
+        """Run ``task`` over a sparse ``{shard_id: delta}`` mapping."""
+        return {
+            shard_id: self.submit(shard_id, task, deltas[shard_id])
+            for shard_id in sorted(deltas)
+        }
+
+    @property
+    def bytes_shipped(self) -> int:
+        """Cumulative payload bytes serialized to workers (0 in-process)."""
+        return 0
+
+    def close(self) -> None:
+        """Release worker resources. Safe to call repeatedly."""
+
+    @property
+    def closed(self) -> bool:
+        return False
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """In-process executor: tasks run inline, state lives in a dict.
+
+    Serves the ``serial`` and ``numpy`` backends (the backend choice
+    only changes the kernels inside the task, not the transport).
+    Resident state is supported trivially — it is an ordinary mapping
+    in this process — which makes the serial executor the reference
+    implementation for the stateful task contract.
+    """
+
+    capabilities = ExecutorCapabilities(
+        resident_state=True, serialization="none"
+    )
+
+    def __init__(self) -> None:
+        self._state: dict[int, Any] = {}
+        self._closed = False
+
+    def submit(self, shard_id: int, task: str | Callable, delta: Any) -> Any:
+        fn, stateful = resolve_task(task)
+        if stateful:
+            return fn(self._state, shard_id, delta)
+        return fn(delta)
+
+    def close(self) -> None:
+        self._state.clear()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

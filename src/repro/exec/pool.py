@@ -1,0 +1,88 @@
+"""Stateless process-pool executor.
+
+:class:`PoolExecutor` preserves the pre-executor-layer behaviour of
+``ParallelSweepExecutor`` bit-for-bit for the ``process`` backend:
+
+- a batch of one (or zero) payloads runs in-process — the pool spin-up
+  would dominate, and results are identical either way;
+- ``persistent`` pools are created lazily and survive across ``run``
+  calls until :meth:`close`; a broken pool is shut down before the
+  error propagates so no dead workers linger;
+- ephemeral pools (the default) are sized ``min(num_workers, len)``
+  and torn down per call.
+
+Workers are anonymous — there is no shard→worker pinning and no
+resident state, so only stateless tasks are accepted.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+from repro.exec.base import ExecutorCapabilities, ShardExecutor
+from repro.exec.tasks import resolve_task, task_is_stateful
+
+__all__ = ["PoolExecutor"]
+
+
+def _invoke(item: tuple[str | Callable, Any]) -> Any:
+    """Pool-side trampoline: resolve the task name and apply it."""
+    task, delta = item
+    fn, _ = resolve_task(task)
+    return fn(delta)
+
+
+class PoolExecutor(ShardExecutor):
+    """ProcessPoolExecutor-backed stateless executor."""
+
+    capabilities = ExecutorCapabilities(
+        resident_state=False, serialization="pickle"
+    )
+
+    def __init__(self, num_workers: int = 1, *, persistent: bool = False):
+        self.num_workers = int(num_workers)
+        self.persistent = bool(persistent)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def submit(self, shard_id: int, task: str | Callable, delta: Any) -> Any:
+        return self.run(task, [delta])[0]
+
+    def run(
+        self, task: str | Callable, deltas: Sequence[Any]
+    ) -> list[Any]:
+        if task_is_stateful(task):
+            raise RuntimeError(
+                f"task {task!r} needs resident state; PoolExecutor "
+                "workers are anonymous (use ResidentPoolExecutor)"
+            )
+        deltas = list(deltas)
+        if len(deltas) <= 1:
+            fn, _ = resolve_task(task)
+            return [fn(delta) for delta in deltas]
+        items = [(task, delta) for delta in deltas]
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers
+                )
+            try:
+                return list(self._pool.map(_invoke, items))
+            except BrokenProcessPool:
+                # A dead worker poisons the whole pool; drop it so the
+                # next run (if the caller retries) starts clean.
+                self.close()
+                raise
+        workers = min(self.num_workers, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_invoke, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    @property
+    def closed(self) -> bool:
+        return self._pool is None

@@ -1,0 +1,70 @@
+"""Named task registry for the execution layer.
+
+Executors ship *task names*, not callables, across their transport —
+the registry is the RPC surface. Each entry maps a stable string name
+to ``(module, attribute, stateful)``. Workers resolve the name by
+import at call time, so the registry works identically in-process and
+across process (or, later, network) boundaries.
+
+Stateless tasks are pure functions of their payload::
+
+    fn(payload) -> result
+
+Stateful tasks additionally receive the worker's resident-state
+mapping (one entry per shard held by that worker) and the shard id::
+
+    fn(state, shard_id, delta) -> result
+
+Only executors whose :class:`~repro.exec.base.ExecutorCapabilities`
+advertise ``resident_state`` accept stateful tasks. For back
+compatibility executors also accept a plain module-level callable in
+place of a name; callables are always treated as stateless.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+# name -> (module path, attribute, stateful)
+TASKS: dict[str, tuple[str, str, bool]] = {
+    "evidence.sweep_shard": (
+        "repro.dependence.sharding",
+        "sweep_shard",
+        False,
+    ),
+    "collector.shard_sweep": (
+        "repro.dependence.sharding",
+        "_collector_shard_sweep",
+        False,
+    ),
+    "resident.adopt": ("repro.exec.resident", "adopt_shard", True),
+    "resident.delta": ("repro.exec.resident", "apply_delta", True),
+    "resident.sweep": ("repro.exec.resident", "sweep_resident", True),
+}
+
+
+def resolve_task(task: str | Callable) -> tuple[Callable, bool]:
+    """Resolve a task name (or bare callable) to ``(fn, stateful)``."""
+    if callable(task):
+        return task, False
+    try:
+        module_name, attribute, stateful = TASKS[task]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor task {task!r}; registered: {sorted(TASKS)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute), stateful
+
+
+def task_is_stateful(task: str | Callable) -> bool:
+    """Whether ``task`` mutates or reads worker-resident shard state."""
+    if callable(task):
+        return False
+    try:
+        return TASKS[task][2]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor task {task!r}; registered: {sorted(TASKS)}"
+        ) from None

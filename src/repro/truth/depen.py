@@ -217,11 +217,17 @@ class Depen(TruthDiscovery):
         pair's posterior is recomputed only when some input of it moved
         — an agreement entry's truth probability or an endpoint's
         clamped accuracy drifted beyond ``it.rescore_tolerance`` since
-        the round the posterior was last scored (drift accumulates, so
-        reuse chains stay within the bound; a full re-score resets the
-        baseline). With the 0.0 default only bitwise-unchanged inputs
-        are reused, which is exact; the per-round counters land in the
-        trace (``pairs_rescored`` / ``pairs_reused``).
+        the round *that pair* was last scored. Drift accumulates
+        monotonically; each pair's baseline is the cumulative drift
+        snapshot taken the round it was stamped (per-slot round stamps
+        in the columnar entry store), so a pair's baseline resets
+        exactly when it is re-scored. With a list entry store there are
+        no stamps and the coarser shared baseline applies: it resets
+        only on rounds where every pair was re-scored, so it reuses a
+        subset of what the per-pair baseline reuses. With the 0.0
+        default only bitwise-unchanged inputs are reused, which is
+        exact either way; the per-round counters land in the trace
+        (``pairs_rescored`` / ``pairs_reused``).
         """
         import numpy as np
 
@@ -234,8 +240,15 @@ class Depen(TruthDiscovery):
         accuracies = np.full(
             engine.n_sources, it.initial_accuracy, dtype=np.float64
         )
+        # Cumulative input drift. On the per-pair path (columnar entry
+        # store) these grow monotonically and each stamp round keeps a
+        # snapshot as its baseline; on the list path they reset whenever
+        # every pair was re-scored (the shared baseline).
         drift_p = np.zeros(len(table), dtype=np.float64)
         drift_a = np.zeros(engine.n_sources, dtype=np.float64)
+        per_pair = evidence_cache.entry_store == "columnar"
+        base_p: dict[int, object] = {}
+        base_a: dict[int, object] = {}
         prev_clamped = None
         graph = DependenceGraph()
         winners = None
@@ -260,24 +273,62 @@ class Depen(TruthDiscovery):
                 )
                 rescored = len(evidence_cache)
                 reused = 0
-                drift_p[:] = 0.0
-                drift_a[:] = 0.0
+                if per_pair:
+                    evidence_cache.stamp_all_pairs(rounds)
+                    base_p[rounds] = drift_p.copy()
+                    base_a[rounds] = drift_a.copy()
+                else:
+                    drift_p[:] = 0.0
+                    drift_a[:] = 0.0
             else:
                 evidence_cache.refresh(table)
-                affected = evidence_cache.pairs_with_moved_entries(
-                    drift_p > tol
-                )
-                moved_codes = np.flatnonzero(drift_a > tol)
-                if moved_codes.size:
-                    moved_sources = {
-                        sources[code] for code in moved_codes.tolist()
-                    }
-                    for key in evidence_cache:
-                        if key[0] in moved_sources or key[1] in moved_sources:
-                            affected.add(key)
+                if per_pair:
+                    affected = set()
+                    groups: dict[int, list] = {}
+                    for key, stamp in evidence_cache.pair_round_stamps().items():
+                        groups.setdefault(stamp, []).append(key)
+                    for stamp, keys in groups.items():
+                        if stamp not in base_p:
+                            # Never scored (stamp 0) or the baseline
+                            # predates this call: no basis for reuse.
+                            affected.update(keys)
+                            continue
+                        moved = evidence_cache.pairs_with_moved_entries(
+                            drift_p - base_p[stamp] > tol
+                        )
+                        affected.update(moved.intersection(keys))
+                        moved_codes = np.flatnonzero(
+                            drift_a - base_a[stamp] > tol
+                        )
+                        if moved_codes.size:
+                            moved_sources = {
+                                sources[code] for code in moved_codes.tolist()
+                            }
+                            for key in keys:
+                                if (
+                                    key[0] in moved_sources
+                                    or key[1] in moved_sources
+                                ):
+                                    affected.add(key)
+                else:
+                    affected = evidence_cache.pairs_with_moved_entries(
+                        drift_p > tol
+                    )
+                    moved_codes = np.flatnonzero(drift_a > tol)
+                    if moved_codes.size:
+                        moved_sources = {
+                            sources[code] for code in moved_codes.tolist()
+                        }
+                        for key in evidence_cache:
+                            if (
+                                key[0] in moved_sources
+                                or key[1] in moved_sources
+                            ):
+                                affected.add(key)
                 previous = graph
                 graph = DependenceGraph()
                 rescored = 0
+                rescored_keys: list = []
                 for key in evidence_cache:
                     pair = None if key in affected else previous.get(*key)
                     if pair is None:
@@ -288,11 +339,23 @@ class Depen(TruthDiscovery):
                             params,
                         )
                         rescored += 1
+                        if per_pair:
+                            rescored_keys.append(key)
                     graph.add(pair)
                 reused = len(evidence_cache) - rescored
-                if reused == 0:
+                if per_pair:
+                    if rescored_keys:
+                        evidence_cache.stamp_pairs(rescored_keys, rounds)
+                        base_p[rounds] = drift_p.copy()
+                        base_a[rounds] = drift_a.copy()
+                    live = set(evidence_cache.pair_round_stamps().values())
+                    for stamp in list(base_p):
+                        if stamp not in live:
+                            del base_p[stamp]
+                            del base_a[stamp]
+                elif reused == 0:
                     # Everything was re-scored against the current
-                    # inputs: they are the new drift baseline.
+                    # inputs: they are the new shared drift baseline.
                     drift_p[:] = 0.0
                     drift_a[:] = 0.0
             scores = engine.scores(clamped, params.n_false_values)

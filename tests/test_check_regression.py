@@ -27,6 +27,11 @@ HEALTHY = {
         },
         "serial_vs_sharded": {"speedups": {"numpy": 2.1, "process_4": 1.6}},
         "streaming_rescore": {"pairs": 1225, "rescored": 77},
+        "sync_delta": {
+            "full_payload_bytes": 80000,
+            "delta_bytes": 7000,
+            "shipped_bytes_ratio": 11.4,
+        },
         "truth_round": {
             "speedup": 2.1,
             "depen_restricted_rescore": {"rescored": 9800, "reused": 2450},
@@ -56,10 +61,21 @@ def test_healthy_trajectory_passes(tmp_path):
         "ingest_vs_rebuild.speedup[5%]",
         "serial_vs_sharded.speedups.numpy",
         "streaming_rescore.rescored/pairs",
+        "sync_delta.shipped_bytes_ratio",
         "truth_round.speedup",
         "truth_round.depen_restricted_rescore.reused",
     ):
         assert metric in result.stdout
+
+
+def test_sync_delta_ratio_gate_catches_full_reships(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    # A sync() that re-serializes full shard state instead of deltas.
+    doctored["results"]["sync_delta"]["shipped_bytes_ratio"] = 1.2
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "sync_delta.shipped_bytes_ratio" in result.stdout
+    assert "REGRESSION" in result.stdout
 
 
 def test_doctored_speedup_fails_with_readable_delta(tmp_path):

@@ -1,15 +1,17 @@
 """Worker-count invariance of the sharded parallel evidence sweep.
 
-The contract of :mod:`repro.dependence.sharding`: for every backend
-(``serial``, ``numpy``, ``process``) and every worker count, the
-structural pass produces **bit-for-bit identical** results — evidence,
-candidate pairs, co-coverage counts, cap truncations, and the
-dependence posteriors scored from them — across all three modalities
-(snapshot, temporal, opinions), including after interleaved streaming
-ingest. These tests pin exactly that, with deterministic worlds and a
+The contract of :mod:`repro.dependence.sharding` and the executors in
+:mod:`repro.exec`: for every backend (``serial``, ``numpy``,
+``process``, ``resident``) and every worker count, the structural pass
+produces **bit-for-bit identical** results — evidence, candidate
+pairs, co-coverage counts, cap truncations, and the dependence
+posteriors scored from them — across all three modalities (snapshot,
+temporal, opinions), including after interleaved streaming ingest.
+These tests pin exactly that, with deterministic worlds and a
 hypothesis property over random claim tables, plus the deterministic
 shard-planning and restricted-rescoring behaviour the streaming engine
-builds on.
+builds on, the resident pool's delta shipping and crash recovery, and
+the owned-vs-borrowed executor lifecycle.
 """
 
 from __future__ import annotations
@@ -52,6 +54,9 @@ from repro.generators import (
 from repro.truth import Depen
 
 WORKER_COUNTS = (1, 2, 4)
+
+#: Backends whose builds fan out over shards (everything but serial).
+SHARDED_BACKENDS = ("numpy", "process", "resident")
 
 ALL_MODEL_PARAMS = [
     {"false_value_model": model, "evidence_form": form}
@@ -168,24 +173,26 @@ class TestSnapshotInvariance:
             dataset, params=DependenceParams(entry_store="list", **model)
         )
         assert list_store.collect_all(probs) == reference
-        for backend in ("numpy", "process"):
+        for backend in SHARDED_BACKENDS:
             for workers in WORKER_COUNTS:
                 cache = EvidenceCache(
                     dataset, params=_parallel(backend, workers, 13, **model)
                 )
                 assert cache.pairs == serial.pairs
                 assert cache.collect_all(probs) == reference
+                cache.close()
 
     def test_exact_mode_matches_serial(self, snapshot_world):
         probs = uniform_value_probabilities(snapshot_world)
         reference = EvidenceCache(
             snapshot_world, params=DependenceParams(), exact=True
         ).collect_all(probs)
-        for backend in ("numpy", "process"):
+        for backend in SHARDED_BACKENDS:
             cache = EvidenceCache(
                 snapshot_world, params=_parallel(backend), exact=True
             )
             assert cache.collect_all(probs) == reference
+            cache.close()
 
     def test_min_overlap_and_co_counts_match(self, snapshot_world):
         probs = uniform_value_probabilities(snapshot_world)
@@ -193,7 +200,7 @@ class TestSnapshotInvariance:
             serial = EvidenceCache(
                 snapshot_world, params=DependenceParams(), min_overlap=min_overlap
             )
-            for backend in ("numpy", "process"):
+            for backend in SHARDED_BACKENDS:
                 cache = EvidenceCache(
                     snapshot_world,
                     params=_parallel(backend),
@@ -202,6 +209,7 @@ class TestSnapshotInvariance:
                 assert cache.pairs == serial.pairs
                 assert cache._co_counts == serial._co_counts
                 assert cache.collect_all(probs) == serial.collect_all(probs)
+                cache.close()
 
     def test_fixed_candidate_pairs_match(self, snapshot_world):
         sources = snapshot_world.sources
@@ -212,11 +220,12 @@ class TestSnapshotInvariance:
         ]
         probs = uniform_value_probabilities(snapshot_world)
         reference = EvidenceCache(snapshot_world, fixed).collect_all(probs)
-        for backend in ("numpy", "process"):
+        for backend in SHARDED_BACKENDS:
             cache = EvidenceCache(
                 snapshot_world, fixed, params=_parallel(backend)
             )
             assert cache.collect_all(probs) == reference
+            cache.close()
 
     def test_hot_object_cap_and_truncations_match(self, snapshot_world):
         probs = uniform_value_probabilities(snapshot_world)
@@ -225,13 +234,14 @@ class TestSnapshotInvariance:
             params=DependenceParams(max_providers_per_object=6),
         )
         reference = serial.collect_all(probs)
-        for backend in ("numpy", "process"):
+        for backend in SHARDED_BACKENDS:
             params = _parallel(backend, 3, 11, max_providers_per_object=6)
             cache = EvidenceCache(snapshot_world, params=params)
             assert cache.collect_all(probs) == reference
             assert dict(cache.truncated_objects) == dict(
                 serial.truncated_objects
             )
+            cache.close()
 
     @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
     def test_interleaved_ingest_matches_cold_serial_rebuild(self, model):
@@ -239,26 +249,31 @@ class TestSnapshotInvariance:
         claims = _random_claims(rng, n_sources=12, n_objects=40)
         batches = [claims[:150], claims[150:170], claims[170:]]
         caches = {
-            workers: EvidenceCache(
+            (backend, workers): EvidenceCache(
                 ClaimDataset(),
-                params=_parallel("process", workers, 9, **model),
+                params=_parallel(backend, workers, 9, **model),
             )
+            for backend in ("process", "resident")
             for workers in WORKER_COUNTS
         }
-        datasets = {workers: cache.dataset for workers, cache in caches.items()}
+        datasets = {key: cache.dataset for key, cache in caches.items()}
+        first = ("process", 1)
         for batch in batches:
-            for workers, cache in caches.items():
-                datasets[workers].add_claims(batch)
+            for key, cache in caches.items():
+                datasets[key].add_claims(batch)
                 cache.sync()
-            probs = uniform_value_probabilities(datasets[1])
+            probs = uniform_value_probabilities(datasets[first])
             cold = EvidenceCache(
-                ClaimDataset(list(datasets[1])), params=DependenceParams(**model)
+                ClaimDataset(list(datasets[first])),
+                params=DependenceParams(**model),
             )
             reference = cold.collect_all(
                 uniform_value_probabilities(cold.dataset)
             )
-            for workers, cache in caches.items():
-                assert cache.collect_all(probs) == reference, workers
+            for key, cache in caches.items():
+                assert cache.collect_all(probs) == reference, key
+        for cache in caches.values():
+            cache.close()
 
     def test_sync_reports_shard_routing(self):
         rng = random.Random(5)
@@ -280,7 +295,7 @@ class TestSnapshotInvariance:
     def test_depen_end_to_end_matches_serial(self, snapshot_world):
         iteration = IterationParams(max_rounds=3)
         reference = Depen(DependenceParams(), iteration).discover(snapshot_world)
-        for backend in ("numpy", "process"):
+        for backend in SHARDED_BACKENDS:
             result = Depen(_parallel(backend), iteration).discover(
                 snapshot_world
             )
@@ -308,11 +323,12 @@ class TestCollectorSharding:
 
     def test_temporal_collector_matches_serial(self, temporal_world):
         serial = CoAdoptionCollector(temporal_world)
-        for workers in WORKER_COUNTS:
-            sweep = SweepConfig("process", workers, shard_size=5)
-            sharded = CoAdoptionCollector(temporal_world, sweep=sweep)
-            assert sharded.pairs == serial.pairs
-            assert sharded._slots == serial._slots
+        for backend in ("process", "resident"):
+            for workers in WORKER_COUNTS:
+                sweep = SweepConfig(backend, workers, shard_size=5)
+                sharded = CoAdoptionCollector(temporal_world, sweep=sweep)
+                assert sharded.pairs == serial.pairs
+                assert sharded._slots == serial._slots
 
     def test_temporal_discovery_matches_serial(self, temporal_world):
         reference = discover_temporal_dependence(temporal_world)
@@ -326,11 +342,12 @@ class TestCollectorSharding:
     def test_rater_collector_matches_serial(self, rating_world):
         matrix = rating_world.matrix
         serial = RaterPairCollector(matrix)
-        for workers in WORKER_COUNTS:
-            sweep = SweepConfig("process", workers, shard_size=4)
-            sharded = RaterPairCollector(matrix, sweep=sweep)
-            assert sharded.pairs == serial.pairs
-            assert sharded._slots == serial._slots
+        for backend in ("process", "resident"):
+            for workers in WORKER_COUNTS:
+                sweep = SweepConfig(backend, workers, shard_size=4)
+                sharded = RaterPairCollector(matrix, sweep=sweep)
+                assert sharded.pairs == serial.pairs
+                assert sharded._slots == serial._slots
 
     def test_rater_discovery_matches_serial(self, rating_world):
         matrix = rating_world.matrix
@@ -408,7 +425,7 @@ class TestStreamingRestrictedDiscover:
         assert stats["rescored"] < stats["pairs"]
         assert stats["rescored"] + stats["reused"] == stats["pairs"]
 
-    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "process", "resident"])
     def test_restricted_equals_full_bit_for_bit(self, backend):
         engine, batches = self._engine_and_batches(backend)
         for batch in batches:
@@ -418,6 +435,7 @@ class TestStreamingRestrictedDiscover:
                 dataset=ClaimDataset(list(engine.dataset))
             )
             _graphs_equal(graph, fresh.discover())
+        engine.close()
 
     def test_no_change_rescores_nothing(self):
         engine, batches = self._engine_and_batches()
@@ -486,6 +504,222 @@ class TestStreamingRestrictedDiscover:
         assert engine.last_discover_stats["restricted"] is True
 
 
+class TestResidentPool:
+    """The resident executor: delta shipping, warm builds, crash repair."""
+
+    def _cache(self, claims, workers=2, shard_size=13):
+        dataset = ClaimDataset(claims)
+        return EvidenceCache(
+            dataset, params=_parallel("resident", workers, shard_size)
+        )
+
+    def _world_claims(self, n_objects=120, seed=3):
+        dataset, _ = simple_copier_world(
+            n_objects=n_objects,
+            n_independent=8,
+            n_copiers=3,
+            accuracy=0.8,
+            seed=seed,
+        )
+        return list(dataset)
+
+    def test_sync_ships_deltas_not_state(self):
+        """≤10% dirty objects must cut shipped bytes by ≥5x vs a full
+        state ship — the point of keeping records worker-resident."""
+        cache = self._cache(self._world_claims())
+        full = cache.last_build_shipped_bytes
+        assert full > 0
+        n_objects = len(cache.dataset.objects)
+        new_objs = [f"zzz-{i:02d}" for i in range(6)]
+        assert len(new_objs) <= 0.10 * n_objects
+        cache.dataset.add_claims(
+            [
+                Claim(src, obj, f"v-{obj}")
+                for obj in new_objs
+                for src in ("ind00", "ind01")
+            ]
+        )
+        cache.sync()
+        delta = cache.last_sync_shipped_bytes
+        assert 0 < delta * 5 <= full, (delta, full)
+        # ... and the repaired cache is bit-for-bit a cold rebuild.
+        cold = EvidenceCache(
+            ClaimDataset(list(cache.dataset)), params=DependenceParams()
+        )
+        probs = uniform_value_probabilities(cache.dataset)
+        assert cache.collect_all(probs) == cold.collect_all(probs)
+        cache.close()
+
+    def test_warm_rebuild_ships_no_shard_state(self):
+        cache = self._cache(self._world_claims())
+        cold = cache.last_build_shipped_bytes
+        cache.build()  # dataset unchanged: workers already hold the rows
+        assert cache.last_build_shipped_bytes < cold / 5
+        probs = uniform_value_probabilities(cache.dataset)
+        reference = EvidenceCache(
+            ClaimDataset(list(cache.dataset)), params=DependenceParams()
+        )
+        assert cache.collect_all(probs) == reference.collect_all(probs)
+        cache.close()
+
+    def test_new_source_rearms_residency(self):
+        cache = self._cache(self._world_claims())
+        cache.dataset.add_claims(
+            [
+                Claim("brand-new", obj, f"v-{obj}")
+                for obj in cache.dataset.objects[:30]
+            ]
+        )
+        cache.sync()
+        probs = uniform_value_probabilities(cache.dataset)
+        cold = EvidenceCache(
+            ClaimDataset(list(cache.dataset)), params=DependenceParams()
+        )
+        assert cache.collect_all(probs) == cold.collect_all(probs)
+        # Residency survived the re-arm: the next sync is deltas again.
+        cache.dataset.add_claims(
+            [Claim(s, "yyy-0", "w") for s in ("ind00", "ind01")]
+        )
+        cache.sync()
+        assert (
+            0
+            < cache.last_sync_shipped_bytes * 5
+            <= cache.last_build_shipped_bytes
+        )
+        cache.close()
+
+    def test_worker_crash_mid_stream_rebuilds_resident_state(self):
+        """SIGKILL one pinned worker; the next sync's delta send finds
+        the corpse, re-ships the lost shards' state onto a respawned
+        worker, and the repaired cache equals a cold rebuild bit for
+        bit."""
+        import os
+        import signal
+        import time
+
+        cache = self._cache(self._world_claims())
+        pids = cache.executor.worker_pids()
+        assert len(pids) == 2
+        os.kill(pids[0], signal.SIGKILL)
+        time.sleep(0.1)
+        cache.dataset.add_claims(
+            [
+                Claim(src, f"crash-{i}", f"w-{i}")
+                for i in range(4)
+                for src in ("ind02", "ind03")
+            ]
+        )
+        cache.sync()
+        probs = uniform_value_probabilities(cache.dataset)
+        cold = EvidenceCache(
+            ClaimDataset(list(cache.dataset)), params=DependenceParams()
+        )
+        assert cache.collect_all(probs) == cold.collect_all(probs)
+        # The replacement worker is live and distinct from the corpse.
+        new_pids = cache.executor.worker_pids()
+        assert pids[0] not in new_pids
+        cache.close()
+
+
+class TestExecutorLifecycle:
+    """Owned vs borrowed executors, idempotent close, no stray pools."""
+
+    def _claims(self):
+        rng = random.Random(17)
+        return _random_claims(rng, n_sources=10, n_objects=40)
+
+    @staticmethod
+    def _alive(pid):
+        import os
+
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        return True
+
+    def test_owned_executor_closed_with_cache(self):
+        cache = EvidenceCache(
+            ClaimDataset(self._claims()), params=_parallel("resident", 2, 9)
+        )
+        assert cache.owns_executor
+        pids = cache.executor.worker_pids()
+        assert all(self._alive(pid) for pid in pids)
+        cache.close()
+        cache.close()  # idempotent
+        assert cache.executor is None
+        assert not any(self._alive(pid) for pid in pids)
+
+    def test_borrowed_executor_survives_cache_close(self):
+        from repro.exec import make_executor
+
+        executor = make_executor("resident", 2)
+        try:
+            cache = EvidenceCache(
+                ClaimDataset(self._claims()),
+                params=_parallel("resident", 2, 9),
+                executor=executor,
+            )
+            assert not cache.owns_executor
+            pids = executor.worker_pids()
+            cache.close()
+            assert not executor.closed
+            assert all(self._alive(pid) for pid in pids)
+            # The borrowed executor still serves the next build.
+            cache2 = EvidenceCache(
+                ClaimDataset(self._claims()),
+                params=_parallel("resident", 2, 9),
+                executor=executor,
+            )
+            probs = uniform_value_probabilities(cache2.dataset)
+            reference = EvidenceCache(
+                ClaimDataset(self._claims()), params=DependenceParams()
+            )
+            assert cache2.collect_all(probs) == reference.collect_all(probs)
+            cache2.close()
+        finally:
+            executor.close()
+        assert executor.closed
+        assert not any(self._alive(pid) for pid in pids)
+
+    def test_streaming_exit_leaves_no_live_pool(self):
+        pids = []
+        with StreamingDependenceEngine(
+            params=_parallel("resident", 2, 9)
+        ) as engine:
+            engine.ingest(self._claims())
+            engine.discover()
+            pids = engine.cache.executor.worker_pids()
+            assert pids and all(self._alive(pid) for pid in pids)
+        assert not any(self._alive(pid) for pid in pids)
+
+    def test_serial_and_pool_executor_close_idempotent(self):
+        from repro.exec import make_executor
+
+        for backend in ("serial", "process"):
+            executor = make_executor(backend, 2, persistent=True)
+            executor.run("evidence.sweep_shard", [])
+            executor.close()
+            executor.close()
+            assert executor.closed
+
+    def test_capabilities_are_declared(self):
+        from repro.exec import make_executor
+
+        serial = make_executor("serial")
+        pool = make_executor("process", 2)
+        resident = make_executor("resident", 2)
+        try:
+            assert serial.capabilities.resident_state
+            assert not pool.capabilities.resident_state
+            assert pool.capabilities.serialization == "pickle"
+            assert resident.capabilities.resident_state
+            assert resident.capabilities.serialization == "pickle"
+        finally:
+            for executor in (serial, pool, resident):
+                executor.close()
+
+
 # ----------------------------------------------------------------------
 # property: worker-count invariance over arbitrary claim tables
 # ----------------------------------------------------------------------
@@ -541,15 +775,16 @@ def test_property_numpy_backend_invariance(table):
 )
 def test_property_worker_count_invariance_with_ingest(table):
     """Every execution policy — num_workers ∈ {1, 2, 4}, the in-process
-    numpy backend, the persistent worker pool, and the columnar entry
-    store behind them all — serves the same cache contents and
-    posteriors as the pure-Python list-store reference, before and
-    after interleaved streaming ingest."""
+    numpy backend, the persistent worker pool, the resident pool, and
+    the columnar entry store behind them all — serves the same cache
+    contents and posteriors as the pure-Python list-store reference,
+    before and after interleaved streaming ingest."""
     claims, split = table
     engines = {
-        f"process-{workers}": StreamingDependenceEngine(
-            params=_parallel("process", workers, 3)
+        f"{backend}-{workers}": StreamingDependenceEngine(
+            params=_parallel(backend, workers, 3)
         )
+        for backend in ("process", "resident")
         for workers in WORKER_COUNTS
     }
     engines["numpy"] = StreamingDependenceEngine(
@@ -605,8 +840,13 @@ def test_property_temporal_and_opinion_invariance(data):
         RatingWorldConfig(n_items=data.draw(st.integers(4, 20))), seed=seed
     ).matrix
     rating_serial = RaterPairCollector(matrix)
-    for workers in WORKER_COUNTS:
-        sweep = SweepConfig("process", workers, shard_size=3)
+    for backend, workers in (
+        ("process", 1),
+        ("process", 2),
+        ("process", 4),
+        ("resident", 2),
+    ):
+        sweep = SweepConfig(backend, workers, shard_size=3)
         sharded_temporal = CoAdoptionCollector(temporal, sweep=sweep)
         assert sharded_temporal._slots == temporal_serial._slots
         sharded_raters = RaterPairCollector(matrix, sweep=sweep)

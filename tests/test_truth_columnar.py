@@ -558,6 +558,57 @@ class TestRestrictedRescoring:
         with pytest.raises(ParameterError):
             IterationParams(rescore_tolerance=-1e-9)
 
+    @pytest.fixture(scope="class")
+    def hetero_world(self):
+        """Two disjoint clusters settling at different speeds.
+
+        The copier cluster keeps drifting for most of the run while the
+        unanimous cluster freezes after two rounds — exactly the shape
+        where a per-pair baseline beats the shared one: the shared
+        baseline only resets on all-rescored rounds, which the
+        slow-settling cluster prevents, so its pairs stay marked dirty
+        forever once their accumulated drift passes the tolerance.
+        """
+        dataset, _ = simple_copier_world(
+            n_objects=80, n_independent=10, n_copiers=3, accuracy=0.8, seed=11
+        )
+        claims = list(dataset)
+        for s in range(4):
+            for o in range(20):
+                claims.append(Claim(f"una{s}", f"uobj{o:02d}", f"truth{o:02d}"))
+        return ClaimDataset(claims)
+
+    def test_per_pair_baseline_strictly_beats_shared(self, hetero_world):
+        it = IterationParams(
+            max_rounds=20,
+            accuracy_tolerance=1e-9,
+            rescore_tolerance=1e-4,
+            fail_on_max_rounds=False,
+        )
+        # The list entry store has no per-slot round stamps, so it runs
+        # the shared-baseline restriction — the comparison point.
+        shared = Depen(
+            _depen_params("columnar", entry_store="list"), it
+        ).discover(hetero_world)
+        per_pair = Depen(
+            _depen_params("columnar", entry_store="columnar"), it
+        ).discover(hetero_world)
+        shared_reused = [t.pairs_reused for t in shared.trace]
+        per_pair_reused = [t.pairs_reused for t in per_pair.trace]
+        # Pinned counts: the unanimous cluster's 6 pairs settle by round
+        # 3 under both schemes; from round 15 the copier cluster starts
+        # settling too, which only the per-pair baseline can exploit.
+        assert shared_reused == [0, 0] + [6] * 18
+        assert per_pair_reused == (
+            [0, 0] + [6] * 12 + [48, 42, 84, 48, 84, 84]
+        )
+        assert sum(per_pair_reused) > sum(shared_reused)
+        assert all(
+            p >= s for p, s in zip(per_pair_reused, shared_reused)
+        )
+        # Restriction never changes what DEPEN decides.
+        assert per_pair.decisions == shared.decisions
+
 
 # ---------------------------------------------------------------------------
 # VoteOrderCache: dirty-object re-sort on ingest
