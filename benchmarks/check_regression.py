@@ -78,8 +78,19 @@ GATES: dict[str, list[tuple[str, Callable[[dict], float], str, float]]] = {
             5.0,
         ),
     ],
+    "pair_posterior_batch": [
+        # The batched posterior kernel vs the scalar pair_posterior
+        # loop over the same refreshed evidence — the acceptance floor
+        # of the fused-DEPEN-round optimisation.
+        (
+            "pair_posterior_batch.speedup",
+            lambda s: s["speedup"],
+            "min",
+            3.0,
+        ),
+    ],
     "truth_round": [
-        ("truth_round.speedup", lambda s: s["speedup"], "min", 1.5),
+        ("truth_round.speedup", lambda s: s["speedup"], "min", 2.5),
         # DEPEN's in-round restricted re-scoring must actually fire:
         # a settling run that reuses zero posteriors means the
         # moved-entry tracking silently broke.

@@ -49,6 +49,7 @@ ENV_OVERRIDES: tuple[tuple[str, str], ...] = (
     ("entry_store", "REPRO_ENTRY_STORE"),
     ("pool", "REPRO_POOL"),
     ("truth_backend", "REPRO_TRUTH_BACKEND"),
+    ("posterior_backend", "REPRO_POSTERIOR_BACKEND"),
 )
 
 _INT_ENV_FIELDS = ("num_workers", "shard_size")
@@ -58,6 +59,11 @@ _INT_ENV_FIELDS = ("num_workers", "shard_size")
 #: :class:`repro.truth.accu.Accu`,
 #: :func:`repro.truth.columnar.resolve_truth_backend`).
 TRUTH_BACKENDS = ("auto", "columnar", "dict")
+
+#: Recognised ``posterior_backend`` settings — the single source of
+#: truth for this class and
+#: :func:`repro.dependence.bayes_batch.resolve_posterior_backend`.
+POSTERIOR_BACKENDS = ("auto", "batch", "scalar")
 
 
 @dataclass(frozen=True, slots=True)
@@ -169,10 +175,24 @@ class DependenceParams:
     pure-Python reference loop; ``"auto"`` (the default) picks columnar
     when numpy is importable.
 
+    ``posterior_backend`` selects how *pair posteriors* are computed
+    when many pairs are scored at once (``discover_dependence``,
+    streaming restricted re-scoring, DEPEN's in-round re-scoring) —
+    pure execution policy, bit-for-bit invariant. ``"batch"`` runs the
+    three-hypothesis Bayes posterior for every selected pair in one
+    vectorised pass over the columnar evidence layout
+    (:class:`~repro.dependence.bayes_batch.BatchedPosteriorEngine`;
+    requires numpy and ``entry_store="columnar"``); ``"scalar"`` is the
+    per-pair reference loop over
+    :func:`~repro.dependence.bayes.pair_posterior`; ``"auto"`` (the
+    default) picks batch whenever the evidence cache is columnar and
+    numpy is importable.
+
     Execution-policy fields honour environment overrides
     (:data:`ENV_OVERRIDES`): ``REPRO_PARALLEL_BACKEND``,
     ``REPRO_NUM_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_ENTRY_STORE``,
-    ``REPRO_POOL`` and ``REPRO_TRUTH_BACKEND`` replace the matching
+    ``REPRO_POOL``, ``REPRO_TRUTH_BACKEND`` and
+    ``REPRO_POSTERIOR_BACKEND`` replace the matching
     field when it holds its
     default value — so CI can exercise a whole test suite under the
     process pool without touching any call site. Explicit *non-default*
@@ -195,6 +215,7 @@ class DependenceParams:
     overlap_warning_bound: int | None = 128
     overlap_policy: str = "warn"
     truth_backend: str = "auto"
+    posterior_backend: str = "auto"
 
     def _apply_env_overrides(self) -> None:
         defaults = {
@@ -294,6 +315,11 @@ class DependenceParams:
             raise ParameterError(
                 "truth_backend must be 'auto', 'columnar' or 'dict', got "
                 f"{self.truth_backend!r}"
+            )
+        if self.posterior_backend not in POSTERIOR_BACKENDS:
+            raise ParameterError(
+                "posterior_backend must be 'auto', 'batch' or 'scalar', got "
+                f"{self.posterior_backend!r}"
             )
 
     @property

@@ -8,6 +8,10 @@ from repro.dependence.bayes import (
     pair_posterior,
     uniform_value_probabilities,
 )
+from repro.dependence.bayes_batch import (
+    BatchedPosteriorEngine,
+    resolve_posterior_backend,
+)
 from repro.dependence.collector import (
     PairSlotCollector,
     ProviderCap,
@@ -39,6 +43,7 @@ from repro.dependence.streaming import StreamingDependenceEngine
 
 __all__ = [
     "AccuracySplit",
+    "BatchedPosteriorEngine",
     "ColumnarAgreeStore",
     "CopierClique",
     "DependenceGraph",
@@ -65,5 +70,6 @@ __all__ = [
     "independent_core",
     "pair_key",
     "pair_posterior",
+    "resolve_posterior_backend",
     "uniform_value_probabilities",
 ]

@@ -224,6 +224,22 @@ class PairDependence:
         return self.s2
 
 
+def normalized_posteriors(log_posts: list[float]) -> list[float]:
+    """Normalise log-posterior masses into probabilities, peak-shifted.
+
+    The shared tail of every posterior implementation in this package
+    (snapshot :func:`pair_posterior`, temporal
+    :func:`~repro.dependence.temporal.temporal_pair_posterior`, opinion
+    :func:`~repro.dependence.opinions.rater_pair_posterior`): subtract
+    the peak before exponentiating so the largest hypothesis maps to
+    ``exp(0)`` and nothing under- or overflows, then divide by the sum.
+    """
+    peak = max(log_posts)
+    weights = [math.exp(lp - peak) for lp in log_posts]
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
 def _per_object_rates(
     a_provider: float,
     a_other: float,
@@ -351,15 +367,13 @@ def pair_posterior(
         math.log(params.prior_direction) + log_s1_copies,
         math.log(params.prior_direction) + log_s2_copies,
     ]
-    peak = max(log_posts)
-    weights = [math.exp(lp - peak) for lp in log_posts]
-    total = sum(weights)
+    posts = normalized_posteriors(log_posts)
     return PairDependence(
         s1=evidence.s1,
         s2=evidence.s2,
-        p_independent=weights[0] / total,
-        p_s1_copies_s2=weights[1] / total,
-        p_s2_copies_s1=weights[2] / total,
+        p_independent=posts[0],
+        p_s1_copies_s2=posts[1],
+        p_s2_copies_s1=posts[2],
     )
 
 

@@ -1,0 +1,514 @@
+"""Batched Bayes posterior kernel over the columnar evidence layout.
+
+:func:`~repro.dependence.bayes.pair_posterior` scores one pair at a
+time; a full DEPEN re-score round calls it ~``n²/2`` times, and after
+the columnar refresh work of earlier iterations those scalar calls are
+the dominant cost of a round. :class:`BatchedPosteriorEngine` computes
+the three-hypothesis posterior for **all** candidate pairs (or any
+index-selected subset) in one array pass instead: ``kt``/``kf``/``kd``
+and the per-shared-value ``(p_true, popularity)`` segments already live
+in flat arrays inside :class:`~repro.dependence.evidence.EvidenceCache`
+and its :class:`~repro.dependence.entrystore.ColumnarAgreeStore`, so
+the hypothesis log-likelihoods become gathers plus ``np.bincount``
+segment sums, the ``calibrated``/``evidence_form``/``false_value_model``
+branches lift to per-pair masks, and the final softmax is a vectorised
+peak-shifted normalisation.
+
+Bit-for-bit parity with the scalar reference is a hard requirement (the
+whole repo's optimisation discipline), achieved by the conventions of
+:mod:`repro.truth.columnar`:
+
+* transcendentals run as scalar ``math.log``/``math.exp`` applied
+  element-wise (numpy's SIMD variants diverge from libm by 1 ulp on a
+  small fraction of inputs);
+* per-segment accumulation uses ``np.bincount``, which adds weights
+  sequentially in input order — each pair's per-value terms are fed in
+  segment (object) order, prefixed by the pair's ``kd`` term exactly
+  where the scalar loop starts its total (a bin's leading ``+0.0``
+  can only flip the sign of a zero, which the non-zero log-prior added
+  afterwards erases);
+* binary-operator chains mirror the scalar expressions' left-to-right
+  association, and the ``_TINY`` floors and the 0.95 popularity clamp
+  are applied at the same points.
+
+The engine is selected through ``DependenceParams.posterior_backend``
+(``auto`` | ``batch`` | ``scalar``, env ``REPRO_POSTERIOR_BACKEND``);
+``scalar`` keeps every call site on the reference loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import POSTERIOR_BACKENDS, DependenceParams
+from repro.dependence.bayes import _TINY, PairDependence
+from repro.exceptions import DataError, ParameterError
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+#: Environment variable consulted by ``DependenceParams`` for the
+#: default-valued ``posterior_backend`` field.
+POSTERIOR_BACKEND_ENV = "REPRO_POSTERIOR_BACKEND"
+
+
+def resolve_posterior_backend(setting: str, cache) -> str:
+    """Resolve ``auto|batch|scalar`` against a concrete evidence cache.
+
+    ``auto`` picks ``batch`` exactly when it can run: numpy importable
+    and the cache's entry store columnar. An explicit ``batch`` on a
+    cache that cannot support it is a :class:`ParameterError` — the
+    caller asked for something impossible and silence would mislead.
+    """
+    if setting not in POSTERIOR_BACKENDS:
+        raise ParameterError(
+            "posterior_backend must be 'auto', 'batch' or 'scalar', got "
+            f"{setting!r}"
+        )
+    columnar = cache is not None and cache.entry_store == "columnar"
+    if setting == "auto":
+        return "batch" if (np is not None and columnar) else "scalar"
+    if setting == "batch":
+        if np is None:
+            raise ParameterError(
+                "posterior_backend='batch' needs numpy for its array "
+                "kernels; install numpy or use posterior_backend='scalar'"
+            )
+        if not columnar:
+            raise ParameterError(
+                "posterior_backend='batch' reads the columnar evidence "
+                "layout; build the cache with entry_store='columnar' or "
+                "use posterior_backend='scalar'"
+            )
+    return setting
+
+
+def _exact_unary(fn, arr):
+    """Apply a scalar transcendental element-wise (libm-exact).
+
+    Same convention as :mod:`repro.truth.columnar`: numpy's SIMD
+    ``exp``/``log`` differ from ``math.exp``/``math.log`` by 1 ulp on a
+    small fraction of inputs, which breaks bit-for-bit equality with the
+    scalar reference.
+    """
+    return np.fromiter(map(fn, arr.tolist()), dtype=np.float64, count=arr.size)
+
+
+class BatchedPosteriorEngine:
+    """All-pairs (or subset) posterior computation for one evidence cache.
+
+    Reads the cache's columnar internals directly (same package); the
+    cache hands instances out via
+    :meth:`~repro.dependence.evidence.EvidenceCache.posterior_engine`,
+    memoized per params. Static, refresh-independent state — pair keys
+    in registry order, endpoint source codes, ``kd``, segment lengths,
+    the live-entry-to-pair-position map — is cached and re-derived only
+    when the cache's structural epoch moves (any ``sync``/``build``
+    bumps the dataset version or entry epoch). Per-call inputs are the
+    current accuracies and the soft sums of the last ``refresh``.
+
+    Positions are indices into :meth:`pair_keys` (the cache's slot
+    registry order — the exact order ``collect_all``/iteration yields
+    pairs). All posterior outputs are bit-for-bit equal to running
+    :func:`~repro.dependence.bayes.pair_posterior` on the evidence the
+    cache would serve for the same pair.
+    """
+
+    def __init__(self, cache, params: DependenceParams) -> None:
+        if np is None:
+            raise ParameterError(
+                "posterior_backend='batch' needs numpy for its array "
+                "kernels; install numpy or use posterior_backend='scalar'"
+            )
+        if cache.entry_store != "columnar":
+            raise ParameterError(
+                "posterior_backend='batch' reads the columnar evidence "
+                "layout; build the cache with entry_store='columnar' or "
+                "use posterior_backend='scalar'"
+            )
+        cache.check_compatible(params)
+        self._cache = cache
+        self._params = params
+        self._state_key: tuple | None = None
+
+    # -- static (structural) state --------------------------------------
+
+    def _structural_key(self) -> tuple:
+        cache = self._cache
+        return (
+            cache.synced_version,
+            cache._entry_epoch,
+            cache._store.n_sids,
+            len(cache._slots),
+        )
+
+    def _ensure_static(self) -> None:
+        key = self._structural_key()
+        if key == self._state_key:
+            return
+        cache = self._cache
+        slots = cache._slots
+        n_pairs = len(slots)
+        self._keys = list(slots)
+        self._pos_of_key = {k: i for i, k in enumerate(self._keys)}
+        self.sources = cache.dataset.sources
+        code = {source: i for i, source in enumerate(self.sources)}
+        sid = np.empty(n_pairs, dtype=np.int64)
+        kd = np.empty(n_pairs, dtype=np.float64)
+        shared_len = np.empty(n_pairs, dtype=np.int64)
+        s1c = np.empty(n_pairs, dtype=np.int64)
+        s2c = np.empty(n_pairs, dtype=np.int64)
+        for i, slot in enumerate(slots.values()):
+            sid[i] = slot.sid
+            kd[i] = slot.kd
+            shared_len[i] = slot.length
+            s1c[i] = code[slot.s1]
+            s2c[i] = code[slot.s2]
+        self._sid = sid
+        self._kd = kd
+        self._s1c = s1c
+        self._s2c = s2c
+        # Per-pair mode lift of _slot_escaped: under overlap_policy=
+        # "auto" a fast cache scores bound-reaching pairs with the
+        # calibrated (marginal, popularity-aware) per-value treatment.
+        if cache._auto_empirical:
+            self._escaped = (
+                shared_len + kd.astype(np.int64) >= cache._overlap_bound
+            )
+        else:
+            self._escaped = np.zeros(n_pairs, dtype=bool)
+        # Per-value entry layout: only needed when some pair is scored
+        # per-value (non-fast cache, or escaped pairs under auto).
+        self._needs_values = (not cache._fast) or bool(self._escaped.any())
+        if self._needs_values:
+            live_sids, live_eids = cache._store.live()
+            pos_of_sid = np.zeros(
+                max(cache._store.n_sids, 1), dtype=np.int64
+            )
+            pos_of_sid[sid] = np.arange(n_pairs, dtype=np.int64)
+            self._entry_pos = pos_of_sid[live_sids]
+            self._entry_eids = live_eids
+        self._state_key = key
+
+    def pair_keys(self):
+        """Pair keys in position order (the cache's registry order)."""
+        self._ensure_static()
+        return self._keys
+
+    def positions_of(self, keys):
+        """Positions of the given pair keys, as an int64 array."""
+        self._ensure_static()
+        pos_of_key = self._pos_of_key
+        return np.fromiter(
+            (pos_of_key[key] for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
+    def endpoint_codes(self):
+        """Per-position ``(s1, s2)`` source codes w.r.t. :attr:`sources`."""
+        self._ensure_static()
+        return self._s1c, self._s2c
+
+    def stamp_array(self):
+        """Per-position last-scored round stamps (0 = never scored)."""
+        self._ensure_static()
+        return self._cache._store.stamps[self._sid]
+
+    def stamp_positions(self, positions, round_index: int) -> None:
+        """Record that the pairs at ``positions`` were scored this round."""
+        self._ensure_static()
+        self._cache._store.set_stamps(self._sid[positions], round_index)
+
+    def moved_pair_mask(self, moved):
+        """Per-position mask of pairs referencing a moved entry.
+
+        Same semantics as
+        :meth:`~repro.dependence.evidence.EvidenceCache.pairs_with_moved_entries`
+        (``moved`` is a table-slot-indexed drift mask) but produced as a
+        position mask with no per-pair Python work.
+        """
+        self._ensure_static()
+        cache = self._cache
+        entry_mask = cache.moved_entry_mask(moved)
+        flagged = cache._store.flagged_sids(entry_mask)
+        by_sid = np.zeros(max(cache._store.n_sids, 1), dtype=bool)
+        by_sid[flagged] = True
+        return by_sid[self._sid]
+
+    # -- per-call inputs -------------------------------------------------
+
+    def _accuracy_vector(self, accuracies):
+        """Source-code-indexed accuracy array from a mapping or array."""
+        if isinstance(accuracies, np.ndarray):
+            if accuracies.size != len(self.sources):
+                raise DataError(
+                    f"accuracy array has {accuracies.size} entries for "
+                    f"{len(self.sources)} sources"
+                )
+            return np.asarray(accuracies, dtype=np.float64)
+        acc = np.empty(len(self.sources), dtype=np.float64)
+        for code, source in enumerate(self.sources):
+            value = accuracies.get(source)
+            if value is not None:
+                acc[code] = value
+            else:
+                # Missing endpoint accuracies must fail like the scalar
+                # loop's accuracies[s] probe; non-endpoint sources are
+                # never read, so only flag codes that appear in a pair.
+                acc[code] = np.nan
+        return acc
+
+    def _check_accuracies(self, a1, a2, positions) -> None:
+        """The scalar per-call range check, hoisted to the batch boundary.
+
+        One reduction over the gathered endpoint accuracies replaces
+        ``2 × n_pairs`` scalar comparisons; out-of-range (or missing —
+        NaN) values raise the same errors the scalar path would.
+        """
+        for name, arr in (("a1", a1), ("a2", a2)):
+            if arr.size == 0:
+                continue
+            lo = arr.min()
+            hi = arr.max()
+            if 0.0 < lo and hi < 1.0:
+                continue
+            bad = np.flatnonzero(~((arr > 0.0) & (arr < 1.0)))[0]
+            value = arr[bad]
+            if math.isnan(value):
+                keys = self.pair_keys()
+                key = keys[int(positions[bad])]
+                raise KeyError(key[0] if name == "a1" else key[1])
+            raise DataError(
+                f"{name} must be in (0, 1), got {float(value)}"
+            )
+
+    # -- the kernel ------------------------------------------------------
+
+    def posterior_arrays(self, accuracies, positions=None):
+        """``(p_independent, p_s1_copies_s2, p_s2_copies_s1)`` arrays.
+
+        ``accuracies`` is a source-to-accuracy mapping or a
+        source-code-indexed float64 array (codes per :attr:`sources`).
+        ``positions`` selects a subset of pairs (unique indices into
+        :meth:`pair_keys`); ``None`` scores every pair. Requires the
+        cache to be refreshed against the current dataset version, like
+        any evidence read.
+        """
+        cache = self._cache
+        if not cache._refreshed:
+            raise DataError(
+                "evidence cache has not been refreshed yet — call "
+                "refresh(value_probs) or collect_all(value_probs) first"
+            )
+        if cache.dataset.version != cache.synced_version:
+            raise DataError(
+                "dataset has grown since the last refresh — call "
+                "refresh(value_probs) or collect_all(value_probs) to fold "
+                "the new claims in"
+            )
+        self._ensure_static()
+        params = self._params
+        if positions is None:
+            positions = np.arange(self._kd.size, dtype=np.int64)
+            s1c = self._s1c
+            s2c = self._s2c
+            kd = self._kd
+            sid = self._sid
+            escaped = self._escaped
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+            s1c = self._s1c[positions]
+            s2c = self._s2c[positions]
+            kd = self._kd[positions]
+            sid = self._sid[positions]
+            escaped = self._escaped[positions]
+        m = positions.size
+        acc = self._accuracy_vector(accuracies)
+        a1 = acc[s1c]
+        a2 = acc[s2c]
+        self._check_accuracies(a1, a2, positions)
+        kt = cache._kt_arr[sid]
+        kf = cache._kf_arr[sid]
+
+        n = params.n_false_values
+        c = params.copy_rate
+        one_minus_c = 1.0 - c
+        # Per-pair rates, association mirroring _per_object_rates /
+        # pair_posterior exactly.
+        pt_ind = a1 * a2
+        pf_ind = (1.0 - a1) * (1.0 - a2) / n
+        pd_ind = np.maximum(_TINY, 1.0 - pt_ind - pf_ind)
+        pt_12 = a2 * c + pt_ind * one_minus_c  # S1 copies S2: original is S2
+        pf_12 = (1.0 - a2) * c + pf_ind * one_minus_c
+        pd_copy = one_minus_c * pd_ind  # identical for both directions
+        pt_21 = a1 * c + pt_ind * one_minus_c
+        pf_21 = (1.0 - a1) * c + pf_ind * one_minus_c
+
+        log_pt = (
+            _exact_unary(math.log, np.maximum(pt_ind, _TINY)),
+            _exact_unary(math.log, np.maximum(pt_12, _TINY)),
+            _exact_unary(math.log, np.maximum(pt_21, _TINY)),
+        )
+        log_pd_ind = _exact_unary(math.log, np.maximum(pd_ind, _TINY))
+        log_pd_copy = _exact_unary(math.log, np.maximum(pd_copy, _TINY))
+        log_pd = (log_pd_ind, log_pd_copy, log_pd_copy)
+
+        if cache._fast:
+            value_mask = escaped
+            marginal = True  # escaped pairs are calibrated → marginalised
+        else:
+            value_mask = np.ones(m, dtype=bool)
+            marginal = cache._evidence_form == "marginal"
+        any_value = bool(value_mask.any())
+        all_value = bool(value_mask.all()) if m else False
+
+        lls = [None, None, None]
+        if not all_value:
+            # Aggregate-count path: kt·ln Pt + kf·ln Pf + kd·ln Pd.
+            log_pf = (
+                _exact_unary(math.log, np.maximum(pf_ind, _TINY)),
+                _exact_unary(math.log, np.maximum(pf_12, _TINY)),
+                _exact_unary(math.log, np.maximum(pf_21, _TINY)),
+            )
+            for h in range(3):
+                lls[h] = kt * log_pt[h] + kf * log_pf[h] + kd * log_pd[h]
+
+        if any_value:
+            value_lls = self._per_value_logliks(
+                positions,
+                value_mask,
+                marginal,
+                a1,
+                a2,
+                kd,
+                (pt_ind, pt_12, pt_21),
+                log_pt,
+                log_pd,
+            )
+            if all_value:
+                lls = value_lls
+            else:
+                for h in range(3):
+                    lls[h] = np.where(value_mask, value_lls[h], lls[h])
+
+        log_prior_ind = math.log(params.prior_independent)
+        log_prior_dir = math.log(params.prior_direction)
+        lp0 = log_prior_ind + lls[0]
+        lp1 = log_prior_dir + lls[1]
+        lp2 = log_prior_dir + lls[2]
+        peak = np.maximum(np.maximum(lp0, lp1), lp2)
+        w0 = _exact_unary(math.exp, lp0 - peak)
+        w1 = _exact_unary(math.exp, lp1 - peak)
+        w2 = _exact_unary(math.exp, lp2 - peak)
+        total = w0 + w1 + w2
+        return w0 / total, w1 / total, w2 / total
+
+    def _per_value_logliks(
+        self,
+        positions,
+        value_mask,
+        marginal,
+        a1,
+        a2,
+        kd,
+        pt,
+        log_pt,
+        log_pd,
+    ):
+        """Per-value log-likelihoods for the selected value-mode pairs.
+
+        Mirrors ``_log_likelihood_per_value``: each pair's total starts
+        at ``kd·ln(max(Pd, TINY))`` and accumulates its segment's
+        per-entry terms in object order — reproduced here as one
+        ``np.bincount`` per hypothesis whose weights put every pair's
+        ``kd`` term first (array prefix) and the entries after, so each
+        bin adds in the scalar loop's order.
+        """
+        cache = self._cache
+        params = self._params
+        m = positions.size
+        # Map selected positions to local bins, then keep only entries
+        # whose pair is a selected value-mode pair.
+        local = np.full(self._kd.size, -1, dtype=np.int64)
+        local[positions[value_mask]] = np.flatnonzero(value_mask)
+        entry_local = local[self._entry_pos]
+        keep = entry_local >= 0
+        e_bin = entry_local[keep]
+        e_eids = self._entry_eids[keep]
+
+        p = cache._p_arr[e_eids]
+        floor = 1.0 / params.n_false_values
+        if cache._pop_arr is not None:
+            pop = cache._pop_arr[e_eids]
+            q = np.where(
+                pop < 0.0,
+                floor,
+                np.minimum(0.95, np.maximum(floor, pop)),
+            )
+        else:
+            q = np.full(e_eids.size, floor, dtype=np.float64)
+        om = (1.0 - a1) * (1.0 - a2)
+        pf_ind_v = om[e_bin] * q
+        c = params.copy_rate
+        one_minus_c = 1.0 - c
+        # Per-entry false-value rates per hypothesis; the copy
+        # hypotheses' (1-a_original)·c constant is a per-pair gather.
+        const_12 = (1.0 - a2) * c
+        const_21 = (1.0 - a1) * c
+        pf_v = (
+            pf_ind_v,
+            const_12[e_bin] + one_minus_c * pf_ind_v,
+            const_21[e_bin] + one_minus_c * pf_ind_v,
+        )
+
+        bins_prefix = np.arange(m, dtype=np.int64)
+        if marginal:
+            bins = np.concatenate([bins_prefix, e_bin])
+        else:
+            one_minus_p = 1.0 - p
+            bins = np.concatenate([bins_prefix, np.repeat(e_bin, 2)])
+        out = []
+        for h in range(3):
+            kd_terms = kd * log_pd[h]
+            if marginal:
+                terms = _exact_unary(
+                    math.log,
+                    np.maximum(p * pt[h][e_bin] + (1.0 - p) * pf_v[h], _TINY),
+                )
+            else:
+                term_true = p * log_pt[h][e_bin]
+                term_false = one_minus_p * _exact_unary(
+                    math.log, np.maximum(pf_v[h], _TINY)
+                )
+                terms = np.empty(2 * e_bin.size, dtype=np.float64)
+                terms[0::2] = term_true
+                terms[1::2] = term_false
+            out.append(
+                np.bincount(
+                    bins,
+                    weights=np.concatenate([kd_terms, terms]),
+                    minlength=m,
+                )
+            )
+        return out
+
+    def posterior_pairs(self, accuracies, positions=None):
+        """The selected pairs' posteriors as ``PairDependence`` objects.
+
+        Convenience wrapper for graph-building call sites; the fused
+        DEPEN loop uses :meth:`posterior_arrays` directly and skips the
+        object churn.
+        """
+        p_ind, p12, p21 = self.posterior_arrays(accuracies, positions)
+        keys = self.pair_keys()
+        if positions is not None:
+            keys = [keys[i] for i in np.asarray(positions).tolist()]
+        return [
+            PairDependence(s1, s2, pi, pa, pb)
+            for (s1, s2), pi, pa, pb in zip(
+                keys, p_ind.tolist(), p12.tolist(), p21.tolist()
+            )
+        ]

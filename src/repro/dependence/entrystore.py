@@ -167,27 +167,37 @@ class ColumnarAgreeStore:
         """The slot's live entry ids, in object order (a view)."""
         return self._eids[slot.start : slot.start + slot.length]
 
-    def sums(self, p) -> tuple[list[float], list[float]]:
+    def live(self):
+        """The live cells as parallel ``(sids, eids)`` arrays.
+
+        Segment-contiguous, each segment's cells in object order — the
+        canonical flat view every vectorised consumer (segment sums,
+        moved-pair flagging, the batched posterior kernel) reads.
+        """
+        sids = self._sids[: self._used]
+        eids = self._eids[: self._used]
+        if self._dead:
+            mask = sids >= 0
+            sids = sids[mask]
+            eids = eids[mask]
+        return sids, eids
+
+    def sums(self, p):
         """Per-slot ``(Σ p, Σ (1-p))`` over the live segments.
 
         ``p`` is the entry-id-indexed float64 probability array. The
-        returned lists are indexed by ``sid`` and hold Python floats
-        (``tolist``), ready for scalar-heavy consumers. Accumulation is
+        returned float64 arrays are indexed by ``sid``. Accumulation is
         ``np.bincount`` — sequential, see the module docstring.
         """
         n = self._n_sids
         if n == 0:
-            return [], []
-        sids = self._sids[: self._used]
-        eids = self._eids[: self._used]
-        if self._dead:
-            live = sids >= 0
-            sids = sids[live]
-            eids = eids[live]
+            empty = np.zeros(0, dtype=np.float64)
+            return empty, empty.copy()
+        sids, eids = self.live()
         gathered = p[eids]
         kt = np.bincount(sids, weights=gathered, minlength=n)
         kf = np.bincount(sids, weights=1.0 - gathered, minlength=n)
-        return kt.tolist(), kf.tolist()
+        return kt, kf
 
     def flagged_sids(self, entry_mask):
         """Slot ids whose live segment references a flagged entry.
@@ -199,12 +209,7 @@ class ColumnarAgreeStore:
         cells — this is what lets DEPEN's iterative rounds re-score
         only the pairs whose evidence actually moved.
         """
-        sids = self._sids[: self._used]
-        eids = self._eids[: self._used]
-        if self._dead:
-            live = sids >= 0
-            sids = sids[live]
-            eids = eids[live]
+        sids, eids = self.live()
         return np.unique(sids[entry_mask[eids]])
 
     # -- round stamps -----------------------------------------------------

@@ -341,8 +341,14 @@ class EvidenceCache:
         )
         self._kt: list[float] = []
         self._kf: list[float] = []
+        self._kt_arr = None
+        self._kf_arr = None
         self._p_arr = None
         self._pop_arr = None
+        # Batched posterior engines, memoized per params (they read the
+        # columnar layout directly and re-derive their static state when
+        # the structural epoch moves, so they survive build()/sync()).
+        self._posterior_engines = getattr(self, "_posterior_engines", {})
         # Entry-epoch versioning for the table gather: any change to the
         # entry registry (rebuild, new entry, freed entry) invalidates
         # the cached entry-id -> table-slot index.
@@ -1304,7 +1310,12 @@ class EvidenceCache:
         if store is None:
             return
         self._p_arr = np.asarray(self._p, dtype=np.float64)
-        self._kt, self._kf = store.sums(self._p_arr)
+        self._kt_arr, self._kf_arr = store.sums(self._p_arr)
+        # Scalar consumers (collect_all's positional fast path, the
+        # per-pair _build) read Python floats; tolist keeps their types
+        # — and therefore their arithmetic — exactly as before.
+        self._kt = self._kt_arr.tolist()
+        self._kf = self._kf_arr.tolist()
         if self._pop is not None:
             self._pop_arr = np.asarray(self._pop, dtype=np.float64)
 
@@ -1358,7 +1369,9 @@ class EvidenceCache:
                 )
         if self._store is not None:
             self._p_arr = p_arr
-            self._kt, self._kf = self._store.sums(p_arr)
+            self._kt_arr, self._kf_arr = self._store.sums(p_arr)
+            self._kt = self._kt_arr.tolist()
+            self._kf = self._kf_arr.tolist()
             self._pop_arr = pop_arr
         else:
             self._p = p_arr.tolist()
@@ -1413,23 +1426,7 @@ class EvidenceCache:
         (the entry-to-slot gather must exist and match the current
         structural state).
         """
-        if (
-            self._gather is None
-            or not self._refreshed
-            or self._gather_key is None
-            or self._gather_key[2] != self._entry_epoch
-        ):
-            raise DataError(
-                "no table-based refresh against the current structure — "
-                "call refresh(table) before asking which pairs moved"
-            )
-        moved = np.asarray(moved, dtype=bool)
-        if self._pop is not None:
-            moved_rows = np.zeros(self._table_n_rows, dtype=bool)
-            moved_rows[self._table_row_of_slot[moved]] = True
-            entry_mask = moved_rows[self._gather_rows]
-        else:
-            entry_mask = moved[self._gather]
+        entry_mask = self.moved_entry_mask(moved)
         if self._store is not None:
             # The sid -> key reverse map shares the gather's staleness
             # exactly (both die with the entry epoch / structural
@@ -1452,6 +1449,48 @@ class EvidenceCache:
             for key, slot in self._slots.items()
             if any(flags[eid] for eid in slot.agree)
         }
+
+    def moved_entry_mask(self, moved):
+        """Entry-id-indexed boolean mask of agreement entries that moved.
+
+        The entry-level half of :meth:`pairs_with_moved_entries` —
+        ``moved`` is the same table-slot-indexed drift mask, widened to
+        per-object flags under the empirical/popularity models. Exposed
+        separately so the batched posterior engine can map it onto pair
+        *positions* without building a key set.
+        """
+        if (
+            self._gather is None
+            or not self._refreshed
+            or self._gather_key is None
+            or self._gather_key[2] != self._entry_epoch
+        ):
+            raise DataError(
+                "no table-based refresh against the current structure — "
+                "call refresh(table) before asking which pairs moved"
+            )
+        moved = np.asarray(moved, dtype=bool)
+        if self._pop is not None:
+            moved_rows = np.zeros(self._table_n_rows, dtype=bool)
+            moved_rows[self._table_row_of_slot[moved]] = True
+            return moved_rows[self._gather_rows]
+        return moved[self._gather]
+
+    def posterior_engine(self, params: DependenceParams):
+        """The memoized batched posterior engine for this cache.
+
+        Columnar store only. One engine per distinct ``params`` — the
+        engine caches position-indexed static arrays keyed on the
+        structural epoch, so reuse across rounds (and across
+        ``sync()``/``build()`` calls) is safe and cheap.
+        """
+        engine = self._posterior_engines.get(params)
+        if engine is None:
+            from repro.dependence.bayes_batch import BatchedPosteriorEngine
+
+            engine = BatchedPosteriorEngine(self, params)
+            self._posterior_engines[params] = engine
+        return engine
 
     # ------------------------------------------------------------------
     # per-pair round stamps (restricted re-scoring baselines)

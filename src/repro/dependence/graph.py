@@ -31,6 +31,7 @@ from repro.dependence.bayes import (
     analyze_pair,
     pair_posterior,
 )
+from repro.dependence.bayes_batch import resolve_posterior_backend
 from repro.dependence.collector import pair_key as _pair_key
 from repro.dependence.evidence import EvidenceCache
 from repro.exceptions import DataError
@@ -207,6 +208,13 @@ def discover_dependence(
             )
         cache.check_compatible(params)
     try:
+        backend = resolve_posterior_backend(params.posterior_backend, cache)
+        if backend == "batch":
+            cache.refresh(value_probs)
+            engine = cache.posterior_engine(params)
+            for pair in engine.posterior_pairs(accuracies):
+                graph.add(pair)
+            return graph
         for (s1, s2), evidence in cache.collect_all(value_probs).items():
             graph.add(
                 pair_posterior(

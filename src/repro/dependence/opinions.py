@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from repro.core.params import OpinionParams
 from repro.core.types import ObjectId, SourceId, Value
 from repro.core.world import DependenceKind
+from repro.dependence.bayes import normalized_posteriors
 from repro.dependence.collector import PairSlotCollector, pair_key
 from repro.exceptions import DataError
 from repro.opinions.ratings import RatingMatrix
@@ -157,17 +158,15 @@ def _posterior_from_records(
         math.log(params.prior_per_hypothesis) + log_dis_12,
         math.log(params.prior_per_hypothesis) + log_dis_21,
     ]
-    peak = max(log_posts)
-    exps = [math.exp(lp - peak) for lp in log_posts]
-    total = sum(exps)
+    posts = normalized_posteriors(log_posts)
     return RaterPairDependence(
         r1=r1,
         r2=r2,
-        p_independent=exps[0] / total,
-        p_r1_copies_r2=exps[1] / total,
-        p_r2_copies_r1=exps[2] / total,
-        p_r1_opposes_r2=exps[3] / total,
-        p_r2_opposes_r1=exps[4] / total,
+        p_independent=posts[0],
+        p_r1_copies_r2=posts[1],
+        p_r2_copies_r1=posts[2],
+        p_r1_opposes_r2=posts[3],
+        p_r2_opposes_r1=posts[4],
         co_rated=co_rated,
     )
 

@@ -38,9 +38,15 @@ from repro.dependence.bayes import (
     pair_posterior,
     uniform_value_probabilities,
 )
+from repro.dependence.bayes_batch import resolve_posterior_backend
 from repro.dependence.evidence import EvidenceCache
 from repro.dependence.graph import DependenceGraph, discover_dependence
 from repro.exceptions import DataError
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
 
 
 class StreamingDependenceEngine:
@@ -242,23 +248,57 @@ class StreamingDependenceEngine:
             affected = {key for key in cache.dirty_pairs() if key in cache}
             last_accs = self._last_accuracies
             changed = {s for s, a in accs.items() if last_accs.get(s) != a}
-            if changed:
-                for key in cache:
-                    if key[0] in changed or key[1] in changed:
-                        affected.add(key)
             cache.refresh(value_probs)
             graph = DependenceGraph()
             previous = self._graph
-            rescored = 0
-            for key in cache:
-                pair = None if key in affected else previous.get(*key)
-                if pair is None:
-                    pair = pair_posterior(
-                        cache.evidence(*key), accs[key[0]], accs[key[1]],
-                        self.params,
+            backend = resolve_posterior_backend(
+                self.params.posterior_backend, cache
+            )
+            if backend == "batch":
+                engine = cache.posterior_engine(self.params)
+                keys = engine.pair_keys()
+                need = np.zeros(len(keys), dtype=bool)
+                if changed:
+                    # Vectorised endpoint selection: pairs touching a
+                    # changed-accuracy source, via the engine's static
+                    # endpoint code arrays instead of an O(pairs)
+                    # membership loop.
+                    code = {s: i for i, s in enumerate(engine.sources)}
+                    changed_codes = np.asarray(
+                        sorted(code[s] for s in changed if s in code),
+                        dtype=np.int64,
                     )
-                    rescored += 1
-                graph.add(pair)
+                    if changed_codes.size:
+                        s1c, s2c = engine.endpoint_codes()
+                        need |= np.isin(s1c, changed_codes)
+                        need |= np.isin(s2c, changed_codes)
+                for i, key in enumerate(keys):
+                    if not need[i] and (
+                        key in affected or previous.get(*key) is None
+                    ):
+                        need[i] = True
+                positions = np.flatnonzero(need)
+                rescored = int(positions.size)
+                scored = iter(engine.posterior_pairs(accs, positions))
+                for i, key in enumerate(keys):
+                    graph.add(
+                        next(scored) if need[i] else previous.get(*key)
+                    )
+            else:
+                if changed:
+                    for key in cache:
+                        if key[0] in changed or key[1] in changed:
+                            affected.add(key)
+                rescored = 0
+                for key in cache:
+                    pair = None if key in affected else previous.get(*key)
+                    if pair is None:
+                        pair = pair_posterior(
+                            cache.evidence(*key), accs[key[0]], accs[key[1]],
+                            self.params,
+                        )
+                        rescored += 1
+                    graph.add(pair)
             self._graph = graph
         # Cleared only after scoring succeeded: a KeyError (bad caller
         # accuracies) mid-score must not lose the invalidation set, or

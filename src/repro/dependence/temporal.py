@@ -59,7 +59,7 @@ from repro.core.claims import ValuePeriod
 from repro.core.params import TemporalParams
 from repro.core.temporal_dataset import TemporalDataset
 from repro.core.types import ObjectId, SourceId, Value
-from repro.dependence.bayes import PairDependence
+from repro.dependence.bayes import PairDependence, normalized_posteriors
 from repro.dependence.collector import PairSlotCollector, pair_key
 from repro.dependence.graph import DependenceGraph
 from repro.exceptions import DataError
@@ -576,15 +576,13 @@ def temporal_pair_posterior(
         math.log(params.prior_direction) + llr_s1_copies,
         math.log(params.prior_direction) + llr_s2_copies,
     ]
-    peak = max(log_posts)
-    exps = [math.exp(lp - peak) for lp in log_posts]
-    total = sum(exps)
+    posts = normalized_posteriors(log_posts)
     return PairDependence(
         s1=s1,
         s2=s2,
-        p_independent=exps[0] / total,
-        p_s1_copies_s2=exps[1] / total,
-        p_s2_copies_s1=exps[2] / total,
+        p_independent=posts[0],
+        p_s1_copies_s2=posts[1],
+        p_s2_copies_s1=posts[2],
     )
 
 

@@ -27,7 +27,12 @@ from __future__ import annotations
 
 from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams, IterationParams
-from repro.dependence.bayes import pair_posterior, uniform_value_probabilities
+from repro.dependence.bayes import (
+    PairDependence,
+    pair_posterior,
+    uniform_value_probabilities,
+)
+from repro.dependence.bayes_batch import resolve_posterior_backend
 from repro.dependence.evidence import EvidenceCache
 from repro.dependence.graph import DependenceGraph, discover_dependence
 from repro.exceptions import ConvergenceError
@@ -228,6 +233,19 @@ class Depen(TruthDiscovery):
         default only bitwise-unchanged inputs are reused, which is
         exact either way; the per-round counters land in the trace
         (``pairs_rescored`` / ``pairs_reused``).
+
+        With the batched posterior backend
+        (:mod:`repro.dependence.bayes_batch`, the default on a columnar
+        entry store) the whole dependence step is fused: the affected
+        set is a boolean mask over pair positions, the posteriors for
+        the selected positions come from one
+        :meth:`~repro.dependence.bayes_batch.BatchedPosteriorEngine.posterior_arrays`
+        call, and they are written straight into the persistent
+        dependence matrix — a steady-state round does no per-pair
+        Python work at all. The scalar backend
+        (``posterior_backend="scalar"``) keeps the per-pair
+        :func:`~repro.dependence.bayes.pair_posterior` loop as the
+        bit-for-bit reference.
         """
         import numpy as np
 
@@ -247,6 +265,10 @@ class Depen(TruthDiscovery):
         drift_p = np.zeros(len(table), dtype=np.float64)
         drift_a = np.zeros(engine.n_sources, dtype=np.float64)
         per_pair = evidence_cache.entry_store == "columnar"
+        batched = (
+            resolve_posterior_backend(params.posterior_backend, evidence_cache)
+            == "batch"
+        )
         base_p: dict[int, object] = {}
         base_a: dict[int, object] = {}
         prev_clamped = None
@@ -255,111 +277,212 @@ class Depen(TruthDiscovery):
         trace: list[RoundTrace] = []
         converged = False
         rounds = 0
+        # Batched-posterior state: the engine, the current per-position
+        # posterior arrays and the persistent dependence matrix (only
+        # re-scored positions are rewritten each round; the graph object
+        # is materialised once, after the loop).
+        posterior = None
+        post_ind = post_12 = post_21 = None
+        pair_s1c = pair_s2c = None
+        dep = None
+        # Endpoint-code arrays for the scalar path's vectorised
+        # "pairs touching a moved source" selection; built lazily once
+        # per run (the pair set is fixed across rounds).
+        pair_keys: list | None = None
+        key1_codes = None
+        key2_codes = None
         for rounds in range(1, it.max_rounds + 1):
             clamped = engine.clamp(
                 accuracies, it.accuracy_floor, it.accuracy_ceiling
             )
             if prev_clamped is not None:
                 drift_a += np.abs(clamped - prev_clamped)
-            acc_map = dict(zip(sources, clamped.tolist()))
-            if rounds == 1:
-                graph = discover_dependence(
-                    dataset,
-                    table,
-                    acc_map,
-                    params,
-                    min_overlap=self.min_overlap,
-                    evidence_cache=evidence_cache,
-                )
-                rescored = len(evidence_cache)
-                reused = 0
-                if per_pair:
+            if batched:
+                # Fused DEPEN round: posteriors for every affected pair
+                # come from one batched kernel pass and land straight in
+                # the dependence matrix — zero per-pair Python work in
+                # the steady state. The accuracy vector is already in
+                # engine-source order, so no dict round-trip either.
+                evidence_cache.refresh(table)
+                if posterior is None:
+                    posterior = evidence_cache.posterior_engine(params)
+                    pair_s1c, pair_s2c = posterior.endpoint_codes()
+                    dep = np.zeros(
+                        (engine.n_sources, engine.n_sources),
+                        dtype=np.float64,
+                    )
+                if rounds == 1:
+                    post_ind, post_12, post_21 = posterior.posterior_arrays(
+                        clamped
+                    )
+                    rescored = int(post_ind.size)
+                    reused = 0
+                    p_dep = post_12 + post_21
+                    dep[pair_s1c, pair_s2c] = p_dep
+                    dep[pair_s2c, pair_s1c] = p_dep
                     evidence_cache.stamp_all_pairs(rounds)
                     base_p[rounds] = drift_p.copy()
                     base_a[rounds] = drift_a.copy()
                 else:
-                    drift_p[:] = 0.0
-                    drift_a[:] = 0.0
-            else:
-                evidence_cache.refresh(table)
-                if per_pair:
-                    affected = set()
-                    groups: dict[int, list] = {}
-                    for key, stamp in evidence_cache.pair_round_stamps().items():
-                        groups.setdefault(stamp, []).append(key)
-                    for stamp, keys in groups.items():
+                    stamps = posterior.stamp_array()
+                    affected_mask = np.zeros(stamps.size, dtype=bool)
+                    for stamp in np.unique(stamps).tolist():
+                        in_group = stamps == stamp
                         if stamp not in base_p:
                             # Never scored (stamp 0) or the baseline
                             # predates this call: no basis for reuse.
-                            affected.update(keys)
+                            affected_mask |= in_group
                             continue
-                        moved = evidence_cache.pairs_with_moved_entries(
+                        moved = posterior.moved_pair_mask(
                             drift_p - base_p[stamp] > tol
                         )
-                        affected.update(moved.intersection(keys))
-                        moved_codes = np.flatnonzero(
-                            drift_a - base_a[stamp] > tol
+                        moved_src = drift_a - base_a[stamp] > tol
+                        affected_mask |= in_group & (
+                            moved
+                            | moved_src[pair_s1c]
+                            | moved_src[pair_s2c]
                         )
-                        if moved_codes.size:
-                            moved_sources = {
-                                sources[code] for code in moved_codes.tolist()
-                            }
-                            for key in keys:
-                                if (
-                                    key[0] in moved_sources
-                                    or key[1] in moved_sources
-                                ):
-                                    affected.add(key)
-                else:
-                    affected = evidence_cache.pairs_with_moved_entries(
-                        drift_p > tol
-                    )
-                    moved_codes = np.flatnonzero(drift_a > tol)
-                    if moved_codes.size:
-                        moved_sources = {
-                            sources[code] for code in moved_codes.tolist()
-                        }
-                        for key in evidence_cache:
-                            if (
-                                key[0] in moved_sources
-                                or key[1] in moved_sources
-                            ):
-                                affected.add(key)
-                previous = graph
-                graph = DependenceGraph()
-                rescored = 0
-                rescored_keys: list = []
-                for key in evidence_cache:
-                    pair = None if key in affected else previous.get(*key)
-                    if pair is None:
-                        pair = pair_posterior(
-                            evidence_cache.evidence(*key),
-                            acc_map[key[0]],
-                            acc_map[key[1]],
-                            params,
+                    sel = np.flatnonzero(affected_mask)
+                    rescored = int(sel.size)
+                    reused = int(post_ind.size) - rescored
+                    if sel.size:
+                        pi, p12, p21 = posterior.posterior_arrays(
+                            clamped, sel
                         )
-                        rescored += 1
-                        if per_pair:
-                            rescored_keys.append(key)
-                    graph.add(pair)
-                reused = len(evidence_cache) - rescored
-                if per_pair:
-                    if rescored_keys:
-                        evidence_cache.stamp_pairs(rescored_keys, rounds)
+                        post_ind[sel] = pi
+                        post_12[sel] = p12
+                        post_21[sel] = p21
+                        p_dep = p12 + p21
+                        dep[pair_s1c[sel], pair_s2c[sel]] = p_dep
+                        dep[pair_s2c[sel], pair_s1c[sel]] = p_dep
+                        posterior.stamp_positions(sel, rounds)
                         base_p[rounds] = drift_p.copy()
                         base_a[rounds] = drift_a.copy()
-                    live = set(evidence_cache.pair_round_stamps().values())
+                    live = set(np.unique(posterior.stamp_array()).tolist())
                     for stamp in list(base_p):
                         if stamp not in live:
                             del base_p[stamp]
                             del base_a[stamp]
-                elif reused == 0:
-                    # Everything was re-scored against the current
-                    # inputs: they are the new shared drift baseline.
-                    drift_p[:] = 0.0
-                    drift_a[:] = 0.0
+            else:
+                acc_map = dict(zip(sources, clamped.tolist()))
+                if rounds == 1:
+                    graph = discover_dependence(
+                        dataset,
+                        table,
+                        acc_map,
+                        params,
+                        min_overlap=self.min_overlap,
+                        evidence_cache=evidence_cache,
+                    )
+                    rescored = len(evidence_cache)
+                    reused = 0
+                    if per_pair:
+                        evidence_cache.stamp_all_pairs(rounds)
+                        base_p[rounds] = drift_p.copy()
+                        base_a[rounds] = drift_a.copy()
+                    else:
+                        drift_p[:] = 0.0
+                        drift_a[:] = 0.0
+                else:
+                    evidence_cache.refresh(table)
+                    if pair_keys is None:
+                        pair_keys = list(evidence_cache)
+                        key1_codes = np.fromiter(
+                            (src_code[k1] for k1, _ in pair_keys),
+                            dtype=np.int64,
+                            count=len(pair_keys),
+                        )
+                        key2_codes = np.fromiter(
+                            (src_code[k2] for _, k2 in pair_keys),
+                            dtype=np.int64,
+                            count=len(pair_keys),
+                        )
+                    if per_pair:
+                        affected = set()
+                        stamps_of = evidence_cache.pair_round_stamps()
+                        groups: dict[int, list[int]] = {}
+                        for idx, key in enumerate(pair_keys):
+                            groups.setdefault(stamps_of[key], []).append(idx)
+                        for stamp, indices in groups.items():
+                            if stamp not in base_p:
+                                # Never scored (stamp 0) or the baseline
+                                # predates this call: no basis for reuse.
+                                affected.update(
+                                    pair_keys[i] for i in indices
+                                )
+                                continue
+                            moved = evidence_cache.pairs_with_moved_entries(
+                                drift_p - base_p[stamp] > tol
+                            )
+                            if moved:
+                                affected.update(
+                                    moved.intersection(
+                                        pair_keys[i] for i in indices
+                                    )
+                                )
+                            moved_src = drift_a - base_a[stamp] > tol
+                            if moved_src.any():
+                                idx_arr = np.asarray(
+                                    indices, dtype=np.int64
+                                )
+                                hit = (
+                                    moved_src[key1_codes[idx_arr]]
+                                    | moved_src[key2_codes[idx_arr]]
+                                )
+                                affected.update(
+                                    pair_keys[i]
+                                    for i in idx_arr[hit].tolist()
+                                )
+                    else:
+                        affected = evidence_cache.pairs_with_moved_entries(
+                            drift_p > tol
+                        )
+                        moved_src = drift_a > tol
+                        if moved_src.any():
+                            hit = (
+                                moved_src[key1_codes]
+                                | moved_src[key2_codes]
+                            )
+                            affected.update(
+                                key
+                                for key, h in zip(pair_keys, hit.tolist())
+                                if h
+                            )
+                    previous = graph
+                    graph = DependenceGraph()
+                    rescored = 0
+                    rescored_keys: list = []
+                    for key in evidence_cache:
+                        pair = None if key in affected else previous.get(*key)
+                        if pair is None:
+                            pair = pair_posterior(
+                                evidence_cache.evidence(*key),
+                                acc_map[key[0]],
+                                acc_map[key[1]],
+                                params,
+                            )
+                            rescored += 1
+                            if per_pair:
+                                rescored_keys.append(key)
+                        graph.add(pair)
+                    reused = len(evidence_cache) - rescored
+                    if per_pair:
+                        if rescored_keys:
+                            evidence_cache.stamp_pairs(rescored_keys, rounds)
+                            base_p[rounds] = drift_p.copy()
+                            base_a[rounds] = drift_a.copy()
+                        live = set(evidence_cache.pair_round_stamps().values())
+                        for stamp in list(base_p):
+                            if stamp not in live:
+                                del base_p[stamp]
+                                del base_a[stamp]
+                    elif reused == 0:
+                        # Everything was re-scored against the current
+                        # inputs: they are the new shared drift baseline.
+                        drift_p[:] = 0.0
+                        drift_a[:] = 0.0
+                dep = dependence_matrix(graph, sources, src_code)
             scores = engine.scores(clamped, params.n_false_values)
-            dep = dependence_matrix(graph, sources, src_code)
             counts = engine.depen_counts(
                 scores, dep, params.copy_rate, clamped
             )
@@ -389,6 +512,24 @@ class Depen(TruthDiscovery):
                 converged = True
                 break
 
+        if batched and posterior is not None:
+            # One-time graph materialisation from the posterior arrays;
+            # tolist() yields the exact Python floats the scalar path's
+            # PairDependence objects hold.
+            graph = DependenceGraph()
+            pi_list = post_ind.tolist()
+            p12_list = post_12.tolist()
+            p21_list = post_21.tolist()
+            for i, (s1, s2) in enumerate(posterior.pair_keys()):
+                graph.add(
+                    PairDependence(
+                        s1=s1,
+                        s2=s2,
+                        p_independent=pi_list[i],
+                        p_s1_copies_s2=p12_list[i],
+                        p_s2_copies_s1=p21_list[i],
+                    )
+                )
         if not converged and it.fail_on_max_rounds:
             raise ConvergenceError(
                 f"{self.name}: no convergence in {it.max_rounds} rounds"

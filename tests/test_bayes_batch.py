@@ -1,0 +1,426 @@
+"""Batched posterior kernel: bit-for-bit equivalence with the scalar path.
+
+The contract of :mod:`repro.dependence.bayes_batch`: for every evidence
+model, the :class:`BatchedPosteriorEngine` produces posteriors that are
+**bit-for-bit identical** to calling
+:func:`~repro.dependence.bayes.pair_posterior` on the evidence the cache
+serves for the same pair — all pairs or any index-selected subset,
+including under streaming ingest — plus the backend resolution rules,
+the env override, and the hoisted accuracy validation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset
+from repro.core.params import DependenceParams, IterationParams
+from repro.dependence.bayes import pair_posterior, uniform_value_probabilities
+from repro.dependence.bayes_batch import (
+    BatchedPosteriorEngine,
+    resolve_posterior_backend,
+)
+from repro.dependence.evidence import EvidenceCache
+from repro.dependence.graph import discover_dependence
+from repro.dependence.streaming import StreamingDependenceEngine
+from repro.exceptions import DataError, ParameterError
+from repro.truth import Depen
+
+ALL_MODEL_PARAMS = [
+    {"false_value_model": model, "evidence_form": form}
+    for model in ("uniform", "empirical")
+    for form in ("expected_log", "marginal")
+]
+
+
+def _params(entry_store="columnar", **overrides):
+    overrides.setdefault("overlap_warning_bound", None)
+    return DependenceParams(entry_store=entry_store, **overrides)
+
+
+def _random_claims(rng, n_sources=10, n_objects=30, coverage=18, n_values=3):
+    claims = []
+    for i in range(n_sources):
+        for obj in rng.sample(range(n_objects), coverage):
+            claims.append(
+                Claim(
+                    source=f"S{i:02d}",
+                    object=f"o{obj:03d}",
+                    value=f"v{rng.randrange(n_values)}",
+                )
+            )
+    rng.shuffle(claims)
+    return claims
+
+
+def _random_accuracies(rng, dataset):
+    return {s: rng.uniform(0.05, 0.95) for s in dataset.sources}
+
+
+def _scalar_reference(cache, value_probs, accs, params):
+    """The scalar path's posteriors, keyed by pair."""
+    return {
+        key: pair_posterior(evidence, accs[key[0]], accs[key[1]], params)
+        for key, evidence in cache.collect_all(value_probs).items()
+    }
+
+
+def _assert_pairs_equal(batch_pairs, reference):
+    assert len(batch_pairs) == len(reference)
+    for pair in batch_pairs:
+        ref = reference[(pair.s1, pair.s2)]
+        assert pair.p_independent == ref.p_independent, (pair.s1, pair.s2)
+        assert pair.p_s1_copies_s2 == ref.p_s1_copies_s2, (pair.s1, pair.s2)
+        assert pair.p_s2_copies_s1 == ref.p_s2_copies_s1, (pair.s1, pair.s2)
+
+
+# ---------------------------------------------------------------------------
+# backend resolution and parameter plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    def test_params_validate_posterior_backend(self):
+        with pytest.raises(ParameterError):
+            DependenceParams(posterior_backend="vectorized")
+
+    def test_env_override_on_default_params(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTERIOR_BACKEND", "scalar")
+        assert DependenceParams().posterior_backend == "scalar"
+        # An explicit non-default argument always wins.
+        assert (
+            DependenceParams(posterior_backend="batch").posterior_backend
+            == "batch"
+        )
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTERIOR_BACKEND", "simd")
+        with pytest.raises(ParameterError):
+            DependenceParams()
+
+    def test_auto_resolves_by_entry_store(self):
+        dataset = ClaimDataset(_random_claims(random.Random(0)))
+        columnar = EvidenceCache(dataset, params=_params("columnar"))
+        listy = EvidenceCache(dataset, params=_params("list"))
+        assert resolve_posterior_backend("auto", columnar) == "batch"
+        assert resolve_posterior_backend("auto", listy) == "scalar"
+        assert resolve_posterior_backend("auto", None) == "scalar"
+        assert resolve_posterior_backend("scalar", columnar) == "scalar"
+        assert resolve_posterior_backend("batch", columnar) == "batch"
+
+    def test_explicit_batch_on_list_store_raises(self):
+        dataset = ClaimDataset(_random_claims(random.Random(0)))
+        listy = EvidenceCache(dataset, params=_params("list"))
+        with pytest.raises(ParameterError):
+            resolve_posterior_backend("batch", listy)
+        with pytest.raises(ParameterError):
+            BatchedPosteriorEngine(listy, _params("list"))
+
+    def test_invalid_setting_raises(self):
+        with pytest.raises(ParameterError):
+            resolve_posterior_backend("simd", None)
+
+    def test_engine_memoized_per_params(self):
+        dataset = ClaimDataset(_random_claims(random.Random(0)))
+        params = _params()
+        cache = EvidenceCache(dataset, params=params)
+        assert cache.posterior_engine(params) is cache.posterior_engine(params)
+
+
+# ---------------------------------------------------------------------------
+# bit-for-bit equivalence with pair_posterior
+# ---------------------------------------------------------------------------
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    def test_all_pairs_bitwise(self, model):
+        rng = random.Random(7)
+        dataset = ClaimDataset(_random_claims(rng))
+        params = _params(**model)
+        cache = EvidenceCache(dataset, params=params)
+        probs = uniform_value_probabilities(dataset)
+        accs = _random_accuracies(rng, dataset)
+        reference = _scalar_reference(cache, probs, accs, params)
+        engine = cache.posterior_engine(params)
+        _assert_pairs_equal(engine.posterior_pairs(accs), reference)
+
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    def test_nonuniform_value_probs_bitwise(self, model):
+        rng = random.Random(11)
+        dataset = ClaimDataset(_random_claims(rng))
+        params = _params(**model)
+        cache = EvidenceCache(dataset, params=params)
+        probs = uniform_value_probabilities(dataset)
+        for by_value in probs.values():
+            for value in by_value:
+                by_value[value] = rng.uniform(0.01, 0.99)
+        accs = _random_accuracies(rng, dataset)
+        reference = _scalar_reference(cache, probs, accs, params)
+        engine = cache.posterior_engine(params)
+        _assert_pairs_equal(engine.posterior_pairs(accs), reference)
+
+    def test_calibrated_pairs_bitwise(self):
+        # overlap_policy="auto" with a small bound: bound-reaching pairs
+        # escape to the calibrated (marginal, popularity-aware)
+        # treatment while the rest stay on the fast aggregate path —
+        # the batch kernel must mix both modes in one pass.
+        rng = random.Random(13)
+        claims = []
+        for i in range(8):
+            # Alternate dense and sparse sources so only dense-dense
+            # pairs reach the calibration bound.
+            for obj in rng.sample(range(20), 18 if i % 2 else 6):
+                claims.append(
+                    Claim(
+                        source=f"S{i:02d}",
+                        object=f"o{obj:03d}",
+                        value=f"v{rng.randrange(3)}",
+                    )
+                )
+        rng.shuffle(claims)
+        dataset = ClaimDataset(claims)
+        params = _params(overlap_policy="auto", overlap_warning_bound=12)
+        cache = EvidenceCache(dataset, params=params)
+        probs = uniform_value_probabilities(dataset)
+        accs = _random_accuracies(rng, dataset)
+        reference = _scalar_reference(cache, probs, accs, params)
+        engine = cache.posterior_engine(params)
+        engine.pair_keys()  # force static state for the mode check
+        escaped = engine._escaped
+        assert escaped.any() and not escaped.all()  # genuinely mixed
+        _assert_pairs_equal(engine.posterior_pairs(accs), reference)
+
+    def test_subset_selection_bitwise(self):
+        rng = random.Random(17)
+        dataset = ClaimDataset(_random_claims(rng))
+        params = _params(evidence_form="marginal")
+        cache = EvidenceCache(dataset, params=params)
+        probs = uniform_value_probabilities(dataset)
+        accs = _random_accuracies(rng, dataset)
+        reference = _scalar_reference(cache, probs, accs, params)
+        engine = cache.posterior_engine(params)
+        keys = engine.pair_keys()
+        subset = rng.sample(keys, len(keys) // 3)
+        positions = engine.positions_of(subset)
+        batch = engine.posterior_pairs(accs, positions)
+        assert [(p.s1, p.s2) for p in batch] == subset
+        _assert_pairs_equal(batch, {k: reference[k] for k in subset})
+
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    def test_streaming_ingest_then_subset_bitwise(self, model):
+        rng = random.Random(19)
+        claims = _random_claims(rng, n_sources=8, n_objects=24, coverage=14)
+        split = len(claims) // 2
+        params = _params(**model)
+        streaming = StreamingDependenceEngine(params=params)
+        streaming.ingest(claims[:split])
+        streaming.discover()
+        streaming.ingest(claims[split:])
+        cache = streaming.cache
+        cache.sync()
+        probs = uniform_value_probabilities(streaming.dataset)
+        accs = _random_accuracies(rng, streaming.dataset)
+        reference = _scalar_reference(cache, probs, accs, params)
+        engine = cache.posterior_engine(params)
+        keys = engine.pair_keys()
+        assert set(keys) == set(reference)
+        subset = rng.sample(keys, max(1, len(keys) // 2))
+        positions = engine.positions_of(subset)
+        _assert_pairs_equal(
+            engine.posterior_pairs(accs, positions),
+            {k: reference[k] for k in subset},
+        )
+        _assert_pairs_equal(engine.posterior_pairs(accs), reference)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**20),
+        model=st.sampled_from(ALL_MODEL_PARAMS),
+        n_sources=st.integers(3, 9),
+        n_values=st.integers(1, 4),
+    )
+    def test_hypothesis_equivalence(self, seed, model, n_sources, n_values):
+        rng = random.Random(seed)
+        dataset = ClaimDataset(
+            _random_claims(
+                rng,
+                n_sources=n_sources,
+                n_objects=12,
+                coverage=rng.randint(4, 12),
+                n_values=n_values,
+            )
+        )
+        params = _params(**model)
+        cache = EvidenceCache(dataset, params=params)
+        probs = uniform_value_probabilities(dataset)
+        accs = _random_accuracies(rng, dataset)
+        reference = _scalar_reference(cache, probs, accs, params)
+        engine = cache.posterior_engine(params)
+        _assert_pairs_equal(engine.posterior_pairs(accs), reference)
+
+
+# ---------------------------------------------------------------------------
+# hoisted accuracy validation
+# ---------------------------------------------------------------------------
+
+
+class TestHoistedValidation:
+    def _engine(self, rng):
+        dataset = ClaimDataset(_random_claims(rng))
+        params = _params()
+        cache = EvidenceCache(dataset, params=params)
+        cache.refresh(uniform_value_probabilities(dataset))
+        return dataset, params, cache.posterior_engine(params)
+
+    def test_out_of_range_accuracy_matches_scalar_error(self):
+        rng = random.Random(23)
+        dataset, params, engine = self._engine(rng)
+        accs = _random_accuracies(rng, dataset)
+        # The lexicographically smallest source is s1 of its pairs, so
+        # the scalar loop and the batch check name the same operand.
+        accs[min(dataset.sources)] = 1.5
+        with pytest.raises(DataError, match=r"a1 must be in \(0, 1\), got 1.5"):
+            engine.posterior_pairs(accs)
+
+    def test_missing_accuracy_raises_key_error_like_scalar(self):
+        rng = random.Random(29)
+        dataset, params, engine = self._engine(rng)
+        accs = _random_accuracies(rng, dataset)
+        victim = dataset.sources[0]
+        del accs[victim]
+        with pytest.raises(KeyError):
+            engine.posterior_pairs(accs)
+
+    def test_unrefreshed_cache_raises(self):
+        dataset = ClaimDataset(_random_claims(random.Random(31)))
+        params = _params()
+        cache = EvidenceCache(dataset, params=params)
+        engine = cache.posterior_engine(params)
+        with pytest.raises(DataError, match="has not been refreshed"):
+            engine.posterior_pairs({s: 0.8 for s in dataset.sources})
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: Depen and the streaming engine, batch vs scalar
+# ---------------------------------------------------------------------------
+
+
+def _results_equal(a, b):
+    assert a.decisions == b.decisions
+    assert a.distributions == b.distributions
+    assert a.accuracies == b.accuracies
+    assert a.rounds == b.rounds
+    assert a.converged == b.converged
+    assert len(a.trace) == len(b.trace)
+    for ta, tb in zip(a.trace, b.trace):
+        assert ta.round_index == tb.round_index
+        assert ta.accuracy_change == tb.accuracy_change
+        assert ta.decisions_changed == tb.decisions_changed
+        assert ta.pairs_rescored == tb.pairs_rescored
+        assert ta.pairs_reused == tb.pairs_reused
+
+
+def _graphs_equal(a, b):
+    keys_a = {(p.s1, p.s2): p for p in a}
+    keys_b = {(p.s1, p.s2): p for p in b}
+    assert set(keys_a) == set(keys_b)
+    for key, pa in keys_a.items():
+        pb = keys_b[key]
+        assert pa.p_independent == pb.p_independent, key
+        assert pa.p_s1_copies_s2 == pb.p_s1_copies_s2, key
+        assert pa.p_s2_copies_s1 == pb.p_s2_copies_s1, key
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    def test_depen_batch_equals_scalar(self, model):
+        dataset = ClaimDataset(_random_claims(random.Random(37)))
+        iteration = IterationParams(max_rounds=6, fail_on_max_rounds=False)
+        results = {}
+        for backend in ("batch", "scalar"):
+            params = _params(posterior_backend=backend, **model)
+            results[backend] = Depen(params, iteration).discover(dataset)
+        _results_equal(results["batch"], results["scalar"])
+        _graphs_equal(
+            results["batch"].dependence, results["scalar"].dependence
+        )
+
+    def test_depen_dict_truth_backend_with_batch(self):
+        dataset = ClaimDataset(_random_claims(random.Random(41)))
+        iteration = IterationParams(max_rounds=4, fail_on_max_rounds=False)
+        results = {}
+        for backend in ("batch", "scalar"):
+            params = _params(
+                posterior_backend=backend, truth_backend="dict"
+            )
+            results[backend] = Depen(params, iteration).discover(dataset)
+        _results_equal(results["batch"], results["scalar"])
+
+    def test_depen_list_store_auto_resolves_scalar(self):
+        # auto on a list entry store must quietly stay on the scalar
+        # reference, matching the columnar/batch result bitwise.
+        dataset = ClaimDataset(_random_claims(random.Random(43)))
+        iteration = IterationParams(max_rounds=4, fail_on_max_rounds=False)
+        listy = Depen(_params("list"), iteration).discover(dataset)
+        columnar = Depen(_params("columnar"), iteration).discover(dataset)
+        assert listy.decisions == columnar.decisions
+        assert listy.distributions == columnar.distributions
+        assert listy.accuracies == columnar.accuracies
+
+    def test_discover_dependence_batch_equals_scalar(self):
+        rng = random.Random(47)
+        dataset = ClaimDataset(_random_claims(rng))
+        probs = uniform_value_probabilities(dataset)
+        accs = _random_accuracies(rng, dataset)
+        graphs = {}
+        for backend in ("batch", "scalar"):
+            graphs[backend] = discover_dependence(
+                dataset, probs, accs, _params(posterior_backend=backend)
+            )
+        _graphs_equal(graphs["batch"], graphs["scalar"])
+
+    @pytest.mark.parametrize("model", ALL_MODEL_PARAMS)
+    def test_streaming_restricted_batch_equals_scalar(self, model):
+        rng = random.Random(53)
+        claims = _random_claims(rng, n_sources=9, n_objects=30, coverage=16)
+        batches = [claims[i::3] for i in range(3)]
+        engines = {
+            backend: StreamingDependenceEngine(
+                params=_params(posterior_backend=backend, **model)
+            )
+            for backend in ("batch", "scalar")
+        }
+        accs = None
+        for i, batch in enumerate(batches):
+            for backend, engine in engines.items():
+                engine.ingest(batch)
+                engine.discover(accuracies=accs)
+            stats = {
+                backend: engine.last_discover_stats
+                for backend, engine in engines.items()
+            }
+            assert stats["batch"] == stats["scalar"], f"batch {i}"
+            _graphs_equal(engines["batch"].graph, engines["scalar"].graph)
+            if i == 1:
+                # Perturb a few accuracies so the restricted path's
+                # changed-endpoint selection is exercised.
+                accs = engines["batch"].accuracies
+                for s in rng.sample(sorted(accs), 3):
+                    accs[s] = rng.uniform(0.2, 0.9)
+        final = {
+            backend: engine.last_discover_stats
+            for backend, engine in engines.items()
+        }
+        assert final["batch"]["restricted"]
+        assert final["batch"] == final["scalar"]

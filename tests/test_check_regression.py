@@ -32,8 +32,9 @@ HEALTHY = {
             "delta_bytes": 7000,
             "shipped_bytes_ratio": 11.4,
         },
+        "pair_posterior_batch": {"speedup": 7.1, "pairs": 1225},
         "truth_round": {
-            "speedup": 2.1,
+            "speedup": 2.9,
             "depen_restricted_rescore": {"rescored": 9800, "reused": 2450},
         },
     },
@@ -62,6 +63,7 @@ def test_healthy_trajectory_passes(tmp_path):
         "serial_vs_sharded.speedups.numpy",
         "streaming_rescore.rescored/pairs",
         "sync_delta.shipped_bytes_ratio",
+        "pair_posterior_batch.speedup",
         "truth_round.speedup",
         "truth_round.depen_restricted_rescore.reused",
     ):
@@ -88,6 +90,15 @@ def test_doctored_speedup_fails_with_readable_delta(tmp_path):
     assert "FAIL: round_refresh.speedup" in result.stdout
     # The healthy metrics still render as ok rows.
     assert "batch_vs_per_pair.speedup" in result.stdout
+
+
+def test_posterior_batch_gate_catches_slow_kernel(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["pair_posterior_batch"]["speedup"] = 2.4  # below 3.0
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "pair_posterior_batch.speedup" in result.stdout
+    assert "REGRESSION" in result.stdout
 
 
 def test_truth_round_reuse_gate_catches_dead_restriction(tmp_path):
