@@ -1,0 +1,209 @@
+"""Experiment SV1 — online serving under concurrent ingest.
+
+ROADMAP item 2 asks for the production shape of Example 4.1: truth
+rounds keep running in the background while readers query the served
+answers concurrently. This bench drives the full serving stack — a
+:class:`repro.Session` over a 50-source copier world, its asyncio
+:class:`~repro.serve.engine.ServingEngine` with the background
+ingest/refresh/publish loop live, and a fleet of reader coroutines —
+and measures:
+
+* sustained read throughput (queries/sec) and latency (p50/p99 ms)
+  while the writer keeps republishing;
+* *consistency*: every answer a reader ever observed is re-checked,
+  after the run, against the immutable snapshot of the version it was
+  stamped with — any deviation (value, probability, or version drift
+  inside one snapshot read) counts as a torn read. The acceptance bar
+  is exactly zero.
+
+Headline numbers land in the ``serving`` section of
+``BENCH_scalability.json`` (see ``conftest.py``) and are floored by
+``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import statistics
+import time
+
+import repro
+from repro.core.claims import Claim
+from repro.eval import render_table
+from repro.generators import simple_copier_world
+
+_ON_CI = bool(os.environ.get("CI"))
+
+#: Reader fleet size and per-run wall budget. Readers are coroutines on
+#: one loop — the fleet exists to interleave with the executor-run
+#: truth rounds, not to add CPU parallelism.
+N_READERS = 4
+RUN_SECONDS = 1.5 if _ON_CI else 2.0
+
+
+def _fifty_source_world():
+    dataset, world = simple_copier_world(
+        n_objects=150,
+        n_independent=40,
+        n_copiers=10,
+        accuracy=0.85,
+        seed=23,
+    )
+    assert len(dataset.sources) == 50
+    return dataset, world
+
+
+async def _drive(session, engine, probe):
+    """Readers + feeder racing the background refresh loop."""
+    latencies: list[float] = []
+    answers: list = []
+    stop = time.perf_counter() + RUN_SECONDS
+
+    async def reader(offset: int) -> int:
+        count = 0
+        while time.perf_counter() < stop:
+            obj = probe[(offset + count) % len(probe)]
+            started = time.perf_counter()
+            answer = await engine.query(obj)
+            latencies.append(time.perf_counter() - started)
+            answers.append((obj, answer))
+            count += 1
+            if count % 64 == 0:
+                await asyncio.sleep(0)  # let the feeder/loop breathe
+        return count
+
+    async def feeder() -> int:
+        batches = 0
+        while time.perf_counter() < stop:
+            session.feed(
+                [
+                    Claim(
+                        source=f"live{batches % 3}",
+                        object=probe[batches % len(probe)],
+                        value=f"live-{batches}",
+                    )
+                ]
+            )
+            batches += 1
+            await asyncio.sleep(0.02)
+        return batches
+
+    engine.start()
+    started = time.perf_counter()
+    counts = await asyncio.gather(*(reader(i * 7) for i in range(N_READERS)),
+                                  feeder())
+    elapsed = time.perf_counter() - started
+    await engine.stop()
+    return latencies, answers, sum(counts[:-1]), counts[-1], elapsed
+
+
+def test_serving_throughput_and_consistency(bench_record):
+    dataset, _ = _fifty_source_world()
+    # Retention sized so every version published during the run stays
+    # resolvable for the post-run consistency audit.
+    session = repro.Session(dataset=dataset, min_overlap=5, retention=512)
+    first = session.publish()
+    probe = list(first.objects)
+    engine = session.serving(refresh_interval=0.01)
+
+    latencies, answers, queries, batches, elapsed = asyncio.run(
+        _drive(session, engine, probe)
+    )
+    qps = queries / elapsed
+    p50_ms = statistics.median(latencies) * 1e3
+    p99_ms = statistics.quantiles(latencies, n=100)[98] * 1e3
+    versions = session.store.versions()
+
+    # --- consistency audit: every observed answer must be bitwise what
+    # the snapshot of its stamped version serves today (immutable, so
+    # "today" == publish time). fingerprint() re-hashes the arrays, so
+    # silent in-place mutation of a served snapshot would also surface.
+    torn = 0
+    by_version = {v: session.store.get(v) for v in versions}
+    for obj, answer in answers:
+        snapshot = by_version.get(answer.version)
+        if snapshot is None or snapshot.answer(obj) != answer:
+            torn += 1
+
+    session.close()
+
+    rows = [
+        ("queries served", f"{queries}"),
+        ("elapsed (s)", f"{elapsed:.2f}"),
+        ("queries/sec", f"{qps:,.0f}"),
+        ("p50 latency (ms)", f"{p50_ms:.3f}"),
+        ("p99 latency (ms)", f"{p99_ms:.3f}"),
+        ("versions published", f"{len(versions)}"),
+        ("ingest batches fed", f"{batches}"),
+        ("torn reads", f"{torn}"),
+    ]
+    print()
+    print(render_table(("metric", "value"), rows))
+
+    bench_record(
+        "serving",
+        {
+            "queries": queries,
+            "elapsed_s": elapsed,
+            "qps": qps,
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+            "versions_published": len(versions),
+            "torn_reads": torn,
+            "readers": N_READERS,
+            "sources": len(dataset.sources),
+        },
+    )
+
+    # Acceptance: >= 1000 queries/sec sustained against the 50-source
+    # workload with background republishing, zero torn reads. CI gets
+    # the usual looser wall-clock floor; consistency never flakes.
+    assert torn == 0
+    assert len(versions) >= 2, "background loop never republished"
+    assert qps >= (1000.0 if _ON_CI else 2000.0)
+    assert p99_ms < (50.0 if _ON_CI else 20.0)
+
+
+def test_serving_pinned_reader_stability(bench_record):
+    """A reader pinned to version N is untouched by live republishing."""
+    dataset, _ = _fifty_source_world()
+    session = repro.Session(dataset=dataset, min_overlap=5, retention=512)
+    first = session.publish()
+    probe = list(first.objects)[:20]
+    pinned_before = {obj: first.answer(obj) for obj in probe}
+    fingerprint = first.fingerprint()
+
+    async def scenario():
+        engine = session.serving(refresh_interval=0.01)
+        engine.start()
+        deadline = time.perf_counter() + 1.0
+        checks = 0
+        while time.perf_counter() < deadline:
+            session.feed(
+                [Claim(source=f"churn{checks}",
+                       object=probe[checks % len(probe)],
+                       value=f"churn-{checks}")]
+            )
+            for obj in probe:
+                answer = await engine.query(obj, version=first.version)
+                assert answer == pinned_before[obj]
+                checks += 1
+            await asyncio.sleep(0.01)
+        await engine.stop()
+        return checks
+
+    checks = asyncio.run(scenario())
+    republished = session.store.stats()["latest_version"] - first.version
+    assert first.fingerprint() == fingerprint
+    assert republished >= 1, "nothing republished while pinned reader ran"
+    session.close()
+
+    print(
+        f"\npinned reader: {checks} stable reads across "
+        f"{republished} republishes"
+    )
+    bench_record(
+        "serving",
+        {"pinned_reads": checks, "pinned_republishes": republished},
+    )

@@ -89,6 +89,23 @@ GATES: dict[str, list[tuple[str, Callable[[dict], float], str, float]]] = {
             3.0,
         ),
     ],
+    "serving": [
+        # The online serving layer (bench_serving.py): sustained read
+        # throughput with the background ingest/refresh/publish loop
+        # live. The bench asserts >= 1000 qps; the gate floor sits at
+        # half that for noisy shared runners.
+        ("serving.qps", lambda s: s["qps"], "min", 500.0),
+        ("serving.p99_ms", lambda s: s["p99_ms"], "max", 100.0),
+        # Consistency is not wall-clock: an answer inconsistent with
+        # its stamped snapshot version is a correctness bug, floor 0.
+        ("serving.torn_reads", lambda s: s["torn_reads"], "max", 0.0),
+        (
+            "serving.versions_published",
+            lambda s: s["versions_published"],
+            "min",
+            2.0,
+        ),
+    ],
     "truth_round": [
         ("truth_round.speedup", lambda s: s["speedup"], "min", 2.5),
         # DEPEN's in-round restricted re-scoring must actually fire:

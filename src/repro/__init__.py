@@ -29,10 +29,24 @@ The package is organised by the paper's structure:
 ``repro.generators``
     Synthetic worlds: copier networks, rating worlds, temporal worlds,
     and the AbeBooks-scale bookstore catalog.
+``repro.serve``
+    The online serving layer: immutable versioned snapshots of each
+    truth round, a lock-free snapshot store, snapshot persistence, and
+    the asyncio serving front-end.
 ``repro.eval`` / ``repro.datasets``
     Metrics, the experiment harness, and the paper's worked examples
     (Tables 1-3) as data.
+
+The stable entry point is :class:`Session` — one object owning the
+ingest → discover → run_truth → publish → query/recommend lifecycle,
+with execution policy (``truth_backend``, ``posterior_backend``,
+``parallel_backend``, ``entry_store``, …) accepted once at
+construction. The layer modules stay importable for direct use; the
+top-level convenience aliases that encouraged hand-stitching the
+pipeline are deprecated in favour of the session.
 """
+
+import warnings
 
 from repro.core import (
     Claim,
@@ -49,14 +63,12 @@ from repro.core import (
     TemporalWorld,
     World,
 )
-from repro.dependence import (
-    DependenceGraph,
-    StreamingDependenceEngine,
-    discover_dependence,
-)
+from repro.dependence import DependenceGraph, StreamingDependenceEngine
+from repro.serve import ServedAnswer, ServingEngine, Snapshot, SnapshotStore
+from repro.session import Session
 from repro.truth import Accu, Depen, NaiveVote, TruthFinder, TruthResult
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Accu",
@@ -71,6 +83,11 @@ __all__ = [
     "NaiveVote",
     "OpinionParams",
     "Rating",
+    "ServedAnswer",
+    "ServingEngine",
+    "Session",
+    "Snapshot",
+    "SnapshotStore",
     "StreamingDependenceEngine",
     "TemporalClaim",
     "TemporalDataset",
@@ -82,3 +99,31 @@ __all__ = [
     "__version__",
     "discover_dependence",
 ]
+
+#: Deprecated top-level aliases, served lazily with a warning. The
+#: functions themselves are not deprecated — import them from their
+#: layer module (``repro.dependence``) or, better, use the
+#: :class:`Session` lifecycle that wires the layers correctly.
+_DEPRECATED_ALIASES = {
+    "discover_dependence": (
+        "repro.dependence",
+        "discover_dependence",
+        "Session.discover() (or repro.dependence.discover_dependence)",
+    ),
+}
+
+
+def __getattr__(name: str):
+    alias = _DEPRECATED_ALIASES.get(name)
+    if alias is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr, replacement = alias
+    warnings.warn(
+        f"repro.{name} is deprecated as a top-level alias; use "
+        f"{replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

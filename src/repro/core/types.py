@@ -4,8 +4,12 @@ The paper (section 2.1) models a structured source as a set of 4-tuples
 ``(o, v, t, p)`` — identifier, value, time, probability. We keep
 identifiers and values deliberately lightweight:
 
-* a *source id* and an *object id* are plain strings (hashable, sortable,
-  cheap to index);
+* a *source id* is a plain string (hashable, sortable, cheap to index);
+* an *object id* is a string, or a non-empty tuple of strings for
+  compound identifiers — e.g. the ``(book, field)`` objects of
+  :meth:`~repro.query.catalog.BookCatalog.claim_dataset`, where one
+  truth round fuses every listing field of a catalog at once (a dataset
+  should stick to one shape so object ordering stays well-defined);
 * a *value* is any hashable Python object. Truth-discovery algorithms only
   compare values for equality; the record-linkage layer is what decides
   when two distinct values are alternative representations of each other.
@@ -21,7 +25,7 @@ from typing import Hashable, TypeAlias
 from repro.exceptions import DataError
 
 SourceId: TypeAlias = str
-ObjectId: TypeAlias = str
+ObjectId: TypeAlias = "str | tuple[str, ...]"
 Value: TypeAlias = Hashable
 
 
@@ -38,9 +42,18 @@ def check_source_id(source: object) -> SourceId:
 
 def check_object_id(obj: object) -> ObjectId:
     """Validate and return an object (data item) identifier."""
-    if not isinstance(obj, str) or not obj:
-        raise DataError(f"object id must be a non-empty string, got {obj!r}")
-    return obj
+    if isinstance(obj, str) and obj:
+        return obj
+    if (
+        isinstance(obj, tuple)
+        and obj
+        and all(isinstance(part, str) and part for part in obj)
+    ):
+        return obj
+    raise DataError(
+        "object id must be a non-empty string or a non-empty tuple of "
+        f"non-empty strings, got {obj!r}"
+    )
 
 
 def check_value(value: object) -> Value:

@@ -22,6 +22,11 @@ from types import MappingProxyType
 
 import networkx as nx
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
 from repro.core.dataset import ClaimDataset
 from repro.core.params import DependenceParams
 from repro.core.types import SourceId
@@ -127,6 +132,55 @@ class DependenceGraph:
                 continue
             weight *= 1.0 - copy_rate * self.probability(source, other)
         return weight
+
+    def export_arrays(self, sources: list[SourceId]) -> dict:
+        """Columnar export of the stored posteriors for snapshot publication.
+
+        Returns read-only arrays over the pairs whose *both* endpoints
+        appear in ``sources``: ``pair_s1`` / ``pair_s2`` (int64 codes
+        into ``sources``, with ``pair_s1 < pair_s2`` per row, rows in
+        sorted code order so equal graphs export bitwise-equal arrays),
+        ``p_dependent``, ``p_s1_copies`` and ``p_s2_copies`` (float64,
+        aligned; the directional posteriors follow the *code* order, not
+        the stored pair's own endpoint order). Needs numpy.
+        """
+        if np is None:  # pragma: no cover - numpy ships with the toolchain
+            raise DataError(
+                "DependenceGraph.export_arrays needs numpy; install numpy "
+                "or keep consuming PairDependence objects directly"
+            )
+        code = {source: i for i, source in enumerate(sources)}
+        rows = []
+        for pair in self:
+            i = code.get(pair.s1)
+            j = code.get(pair.s2)
+            if i is None or j is None:
+                continue
+            if i > j:
+                i, j = j, i
+                first, second = pair.s2, pair.s1
+            else:
+                first, second = pair.s1, pair.s2
+            rows.append(
+                (
+                    i,
+                    j,
+                    pair.p_dependent,
+                    pair.copies_probability(first),
+                    pair.copies_probability(second),
+                )
+            )
+        rows.sort(key=lambda row: (row[0], row[1]))
+        arrays = {
+            "pair_s1": np.asarray([r[0] for r in rows], dtype=np.int64),
+            "pair_s2": np.asarray([r[1] for r in rows], dtype=np.int64),
+            "p_dependent": np.asarray([r[2] for r in rows], dtype=np.float64),
+            "p_s1_copies": np.asarray([r[3] for r in rows], dtype=np.float64),
+            "p_s2_copies": np.asarray([r[4] for r in rows], dtype=np.float64),
+        }
+        for arr in arrays.values():
+            arr.flags.writeable = False
+        return arrays
 
     def to_networkx(self, threshold: float = 0.0) -> nx.Graph:
         """Export as an undirected weighted graph (weight = dependence posterior)."""

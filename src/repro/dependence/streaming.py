@@ -107,6 +107,12 @@ class StreamingDependenceEngine:
             "restricted": False,
         }
         self._last_truth_stats: dict[str, int | str] = {}
+        # Publish hook state: the last truth result and the dataset
+        # version it was computed at, so snapshot() can tell a fresh
+        # result from one that pre-dates an ingest.
+        self._last_result = None
+        self._last_result_version: int | None = None
+        self._published_rounds = 0
 
     # ------------------------------------------------------------------
     # state
@@ -349,6 +355,8 @@ class StreamingDependenceEngine:
             "pairs_reused": sum(t.pairs_reused or 0 for t in counted),
             "restricted_rounds": sum(1 for t in counted if t.pairs_reused),
         }
+        self._last_result = result
+        self._last_result_version = self._dataset.version
         if result.accuracies:
             self._accuracies = dict(result.accuracies)
         if result.dependence is not None:
@@ -359,6 +367,58 @@ class StreamingDependenceEngine:
             # not a reuse baseline for restricted re-scoring.
             self._restricted_valid = False
         return result
+
+    # ------------------------------------------------------------------
+    # serving: snapshot / publish
+    # ------------------------------------------------------------------
+
+    @property
+    def truth_is_stale(self) -> bool:
+        """True when no truth result covers the current dataset version."""
+        return (
+            self._last_result is None
+            or self._last_result_version != self._dataset.version
+        )
+
+    def snapshot(self, *, refresh: bool = True):
+        """Freeze the current truth round as an immutable serving snapshot.
+
+        With ``refresh=True`` (the default) a stale state — claims
+        ingested since the last :meth:`run_truth`, or no run yet — first
+        re-runs truth discovery, so the snapshot always reflects the
+        dataset it is stamped with; ``refresh=False`` raises on a stale
+        state instead (for callers that control the cadence themselves).
+        The returned :class:`~repro.serve.snapshot.Snapshot` is
+        unpublished (no serving version) until a store stamps it.
+        """
+        # Imported lazily: repro.serve consumes this module's layer
+        # outputs; a top-level import would invert the layering.
+        from repro.exceptions import ServeError
+        from repro.serve.snapshot import Snapshot
+
+        if self.truth_is_stale:
+            if not refresh:
+                raise ServeError(
+                    "truth state is stale (ingest since the last "
+                    "run_truth); call run_truth() or pass refresh=True"
+                )
+            self.run_truth()
+        self._published_rounds += 1
+        return Snapshot.from_result(
+            self._dataset,
+            self._last_result,
+            round_id=self._published_rounds,
+        )
+
+    def publish(self, store, *, refresh: bool = True):
+        """:meth:`snapshot` then ``store.publish`` — returns the snapshot.
+
+        The one-call publish hook the serving loop uses: after any
+        sequence of :meth:`ingest` calls, one ``publish`` makes the
+        refreshed truth round visible to every reader of ``store``,
+        atomically.
+        """
+        return store.publish(self.snapshot(refresh=refresh))
 
     def compact(self) -> int:
         """Trim the dataset's mutation log up to the cache's sync point.

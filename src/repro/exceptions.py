@@ -55,3 +55,13 @@ class LinkageError(ReproError):
 
 class QueryError(ReproError):
     """A query is malformed or references an unknown catalog field."""
+
+
+class ServeError(ReproError):
+    """The online serving layer was used outside its contract.
+
+    Examples: querying a session or engine that has published no
+    snapshot yet, requesting a snapshot version the store has evicted,
+    re-publishing an already-published snapshot, or loading a persisted
+    snapshot whose files fail their integrity fingerprint.
+    """

@@ -1,7 +1,12 @@
 """Online query answering over multi-source catalogs."""
 
 from repro.query.catalog import LISTING_FIELDS, BookCatalog, Listing
-from repro.query.engine import OnlineQueryEngine, OnlineRun, ProbeStep
+from repro.query.engine import (
+    OnlineQueryEngine,
+    OnlineRun,
+    ProbeStep,
+    ServedQueryEngine,
+)
 from repro.query.ordering import (
     accuracy_order,
     coverage_order,
@@ -27,6 +32,7 @@ __all__ = [
     "OnlineRun",
     "ProbeStep",
     "Query",
+    "ServedQueryEngine",
     "TopPublisherQuery",
     "accuracy_order",
     "coverage_order",

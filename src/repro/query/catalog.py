@@ -107,6 +107,32 @@ class BookCatalog:
             )
         return dataset
 
+    def claim_dataset(
+        self, fields: Iterable[str] = LISTING_FIELDS
+    ) -> ClaimDataset:
+        """Project every listing field into one claim dataset.
+
+        Objects are ``(book, field)`` pairs, so one truth round (and one
+        published snapshot) covers the whole catalog — the serving
+        layer's query path (:class:`~repro.query.engine.ServedQueryEngine`)
+        reassembles fused per-book records from exactly this shape.
+        """
+        fields = tuple(fields)
+        for field in fields:
+            if field not in LISTING_FIELDS:
+                raise DataError(f"unknown listing field {field!r}")
+        dataset = ClaimDataset()
+        for (store, book), listing in sorted(self._by_key.items()):
+            for field in fields:
+                dataset.add(
+                    Claim(
+                        source=store,
+                        object=(book, field),
+                        value=listing.field(field),
+                    )
+                )
+        return dataset
+
     def remove_store(self, store: SourceId) -> None:
         """Drop all listings of one store (no-op for unknown stores)."""
         old = self._by_store.pop(store, {})

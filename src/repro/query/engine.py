@@ -9,6 +9,15 @@ order, maintains incrementally-fused records (accuracy-weighted,
 dependence-discounted votes per book × field), evaluates the query after
 every probe, and reports the anytime quality curve — how fast each
 ordering policy converges to the final (or ground-truth) answer.
+
+:class:`ServedQueryEngine` is the production read path: instead of
+re-deriving answers from raw claim dicts on every call, it evaluates
+queries against one published :class:`~repro.serve.snapshot.Snapshot`
+(objects = ``(book, field)`` pairs, see
+:meth:`~repro.query.catalog.BookCatalog.claim_dataset`), materialising
+the fused records once per snapshot — so every answer is consistent
+with exactly one truth round, and repeated queries pay a dict lookup,
+not a fusion pass.
 """
 
 from __future__ import annotations
@@ -119,15 +128,24 @@ class OnlineQueryEngine:
         self.accuracies = accuracies or {}
         self.dependence = dependence
         self.copy_rate = copy_rate
+        self._final_records: dict[ObjectId, dict[str, Value]] | None = None
 
     def final_records(self) -> dict[ObjectId, dict[str, Value]]:
-        """Fused records after probing every store (the offline answer)."""
-        fusion = _IncrementalFusion(
-            self.accuracies, self.dependence, self.copy_rate
-        )
-        for store in self.catalog.stores:
-            fusion.add_store(store, self.catalog)
-        return fusion.records()
+        """Fused records after probing every store (the offline answer).
+
+        Memoised: the catalog, accuracies and dependence knowledge are
+        fixed at construction, so the full fusion pass runs once — every
+        subsequent :meth:`run` with a default reference reuses it
+        instead of re-deriving the answer from raw claims per call.
+        """
+        if self._final_records is None:
+            fusion = _IncrementalFusion(
+                self.accuracies, self.dependence, self.copy_rate
+            )
+            for store in self.catalog.stores:
+                fusion.add_store(store, self.catalog)
+            self._final_records = fusion.records()
+        return self._final_records
 
     def run(
         self,
@@ -173,3 +191,51 @@ class OnlineQueryEngine:
                 )
             )
         return OnlineRun(steps=steps, final_answer=answer, reference=reference)
+
+
+class ServedQueryEngine:
+    """Query evaluation against one published serving snapshot.
+
+    The snapshot must cover a catalog-shaped dataset — objects are
+    ``(book, field)`` pairs, the shape
+    :meth:`~repro.query.catalog.BookCatalog.claim_dataset` produces and
+    one truth round fuses. The per-book records are assembled once at
+    construction (one pass over the snapshot's decisions); every
+    :meth:`answer` after that evaluates against the cached records, so
+    answers are bit-for-bit consistent with the snapshot's truth round
+    for as long as the engine lives — a publish elsewhere never bleeds
+    into an engine already serving version N.
+    """
+
+    def __init__(self, snapshot) -> None:
+        records: dict[ObjectId, dict[str, Value]] = {}
+        for obj, value in snapshot.decisions().items():
+            if not (isinstance(obj, tuple) and len(obj) == 2):
+                raise QueryError(
+                    "ServedQueryEngine needs a catalog-shaped snapshot "
+                    "(objects are (book, field) pairs, see "
+                    f"BookCatalog.claim_dataset); got object {obj!r}"
+                )
+            book, field = obj
+            records.setdefault(book, {})[field] = value
+        self.snapshot = snapshot
+        self._records = records
+
+    @property
+    def version(self) -> int | None:
+        """The serving version every answer is consistent with."""
+        return self.snapshot.version
+
+    def records(self) -> dict[ObjectId, dict[str, Value]]:
+        """The fused per-book records of the snapshot's truth round."""
+        return {book: dict(fields) for book, fields in self._records.items()}
+
+    def answer(self, query: Query) -> object:
+        """Evaluate one query against the snapshot's fused records."""
+        return query.evaluate(self._records)
+
+    def confidence(self, book: ObjectId, field: str) -> float:
+        """The truth probability behind one served record field."""
+        return self.snapshot.probability(
+            (book, field), self._records.get(book, {}).get(field)
+        )

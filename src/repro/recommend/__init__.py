@@ -5,7 +5,9 @@ from repro.recommend.scoring import (
     SourceScorecard,
     build_scorecards,
     rank_sources,
+    recommend_from_snapshot,
     recommend_sources,
+    snapshot_scorecards,
 )
 
 __all__ = [
@@ -13,5 +15,7 @@ __all__ = [
     "SourceScorecard",
     "build_scorecards",
     "rank_sources",
+    "recommend_from_snapshot",
     "recommend_sources",
+    "snapshot_scorecards",
 ]

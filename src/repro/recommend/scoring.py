@@ -164,6 +164,74 @@ def recommend_sources(
     return picked
 
 
+class _SnapshotDependenceView:
+    """Adapter giving a snapshot the two-call surface scoring needs.
+
+    :func:`build_scorecards` and :func:`_penalty` only ever ask a
+    dependence graph ``dependence_score(source)`` and
+    ``probability(s1, s2)`` — both of which a published
+    :class:`~repro.serve.snapshot.Snapshot` answers from its frozen
+    arrays, so recommendation can run entirely against the serving
+    layer's read path with no live graph in sight.
+    """
+
+    __slots__ = ("_snapshot",)
+
+    def __init__(self, snapshot) -> None:
+        self._snapshot = snapshot
+
+    def probability(self, s1: SourceId, s2: SourceId) -> float:
+        return self._snapshot.dependence_probability(s1, s2)
+
+    def dependence_score(self, source: SourceId) -> float:
+        return self._snapshot.dependence_score(source)
+
+
+def snapshot_scorecards(
+    snapshot, freshness: Mapping[SourceId, float] | None = None
+) -> dict[SourceId, SourceScorecard]:
+    """Scorecards for every source of a published snapshot.
+
+    Same normalisation as :func:`build_scorecards`, fed from the
+    snapshot's frozen accuracy/coverage/dependence arrays instead of
+    live discovery outputs — so a recommend served at version N keeps
+    answering from version N even while newer rounds publish.
+    """
+    accuracies = {s: snapshot.accuracy(s) for s in snapshot.sources}
+    coverages = {s: snapshot.source_coverage(s) for s in snapshot.sources}
+    return build_scorecards(
+        accuracies,
+        coverages,
+        _SnapshotDependenceView(snapshot),
+        freshness=freshness,
+    )
+
+
+def recommend_from_snapshot(
+    snapshot,
+    k: int,
+    weights: ScoreWeights | None = None,
+    goal: str = "truth",
+    copy_rate: float = 0.8,
+    cards: Mapping[SourceId, SourceScorecard] | None = None,
+) -> list[SourceId]:
+    """Greedy top-``k`` recommendation against one published snapshot.
+
+    ``cards`` lets a serving engine reuse scorecards it already built
+    for this snapshot version; omitted, they are derived on the spot.
+    """
+    if cards is None:
+        cards = snapshot_scorecards(snapshot)
+    return recommend_sources(
+        cards,
+        _SnapshotDependenceView(snapshot),
+        k,
+        weights=weights,
+        goal=goal,
+        copy_rate=copy_rate,
+    )
+
+
 def _penalty(
     source: SourceId,
     prior: SourceId,

@@ -1,0 +1,36 @@
+"""Online serving: versioned snapshots, lock-free reads, async front-end.
+
+The application layer's production shape (ROADMAP item 2): each
+completed truth round publishes an immutable
+:class:`~repro.serve.snapshot.Snapshot` into a
+:class:`~repro.serve.store.SnapshotStore` (latest-wins atomic swap,
+pinned-version reads, bounded retention), readers answer queries
+lock-free against whichever snapshot they resolved, and the asyncio
+:class:`~repro.serve.engine.ServingEngine` runs the background
+ingest/refresh/publish loop concurrently with the read traffic.
+:mod:`repro.serve.persist` makes snapshots durable (columnar save,
+memory-mapped load).
+"""
+
+from repro.serve.engine import ServingEngine
+from repro.serve.persist import (
+    cache_stats,
+    clear_cache,
+    fetch_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.serve.snapshot import ServedAnswer, Snapshot
+from repro.serve.store import SnapshotStore
+
+__all__ = [
+    "ServedAnswer",
+    "ServingEngine",
+    "Snapshot",
+    "SnapshotStore",
+    "cache_stats",
+    "clear_cache",
+    "fetch_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,431 @@
+"""Immutable, versioned snapshots of a published truth round.
+
+The serving layer's unit of consistency. Each completed truth round
+(DEPEN/ACCU directly, or :meth:`StreamingDependenceEngine.run_truth`
+behind a :class:`~repro.session.Session`) is frozen into one
+:class:`Snapshot`: the :class:`~repro.truth.columnar.ValueProbTable`'s
+CSR arrays (per-object slot segments, slot probabilities, provider
+counts), the winning slot per object, per-source accuracies and
+coverage, and the dependence graph's columnar export — every array
+read-only, every list a tuple. A reader holding a snapshot can answer
+``query`` / ``recommend`` / ``explain_dependence`` calls forever without
+locks, and two readers of the same snapshot always see bit-for-bit the
+same answers, no matter how many rounds the writer publishes meanwhile.
+
+A snapshot is *stamped* with its serving ``version`` exactly once —
+normally by :meth:`~repro.serve.store.SnapshotStore.publish` — and
+carries the ``dataset_version`` and ``round_id`` of the truth round it
+froze. :meth:`fingerprint` digests all array bytes plus the metadata, so
+torn reads and persistence corruption are detectable as inequality of a
+single hex string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+from repro.core.dataset import ClaimDataset
+from repro.core.types import ObjectId, SourceId, Value
+from repro.exceptions import ParameterError, ServeError
+from repro.truth.base import TruthResult
+from repro.truth.columnar import ValueProbTable
+
+#: The arrays every snapshot carries, in fingerprint/persistence order.
+ARRAY_FIELDS = (
+    "bounds",
+    "counts",
+    "probs",
+    "winners",
+    "accuracies",
+    "coverage",
+    "pair_s1",
+    "pair_s2",
+    "p_dependent",
+    "p_s1_copies",
+    "p_s2_copies",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ServedAnswer:
+    """One query's answer, tagged with the snapshot that produced it."""
+
+    object: ObjectId
+    value: Value
+    probability: float
+    version: int | None
+    dataset_version: int
+
+
+class Snapshot:
+    """One truth round, frozen for lock-free concurrent reads.
+
+    Build through :meth:`from_result` (the normal path) or hand the
+    constructor pre-frozen arrays (the persistence loader does). All
+    array arguments must be read-only; the constructor re-checks rather
+    than trusting callers, because a writable array would silently void
+    the whole layer's consistency guarantee.
+    """
+
+    __slots__ = (
+        "objects",
+        "sources",
+        "slot_values",
+        "bounds",
+        "counts",
+        "probs",
+        "winners",
+        "accuracies",
+        "coverage",
+        "pair_s1",
+        "pair_s2",
+        "p_dependent",
+        "p_s1_copies",
+        "p_s2_copies",
+        "dataset_version",
+        "round_id",
+        "_version",
+        "_row_of",
+        "_slot_of",
+        "_src_code",
+        "_adjacent",
+        "_fingerprint",
+    )
+
+    def __init__(
+        self,
+        *,
+        objects: tuple,
+        sources: tuple,
+        slot_values: tuple,
+        arrays: Mapping[str, "np.ndarray"],
+        dataset_version: int,
+        round_id: int,
+        version: int | None = None,
+    ) -> None:
+        if np is None:  # pragma: no cover - numpy ships with the toolchain
+            raise ParameterError(
+                "the serving layer needs numpy for its frozen arrays"
+            )
+        self.objects = tuple(objects)
+        self.sources = tuple(sources)
+        self.slot_values = tuple(slot_values)
+        missing = [name for name in ARRAY_FIELDS if name not in arrays]
+        if missing:
+            raise ServeError(f"snapshot arrays missing {missing}")
+        for name in ARRAY_FIELDS:
+            arr = arrays[name]
+            if arr.flags.writeable:
+                raise ServeError(
+                    f"snapshot array {name!r} is writable — freeze it "
+                    "(writeable=False) before publication"
+                )
+            setattr(self, name, arr)
+        if len(self.winners) != len(self.objects):
+            raise ServeError(
+                f"{len(self.winners)} winners for {len(self.objects)} objects"
+            )
+        if len(self.accuracies) != len(self.sources):
+            raise ServeError(
+                f"{len(self.accuracies)} accuracies for "
+                f"{len(self.sources)} sources"
+            )
+        self.dataset_version = dataset_version
+        self.round_id = round_id
+        self._version = version
+        # Read-side indexes, built once at publication: object -> row,
+        # per-object value -> slot, source -> code, and the dependence
+        # adjacency (code -> [(other code, pair index)]).
+        self._row_of = {obj: row for row, obj in enumerate(self.objects)}
+        bounds = self.bounds.tolist()
+        slot_of: dict[ObjectId, dict[Value, int]] = {}
+        for row, obj in enumerate(self.objects):
+            lo, hi = bounds[row], bounds[row + 1]
+            slot_of[obj] = {
+                self.slot_values[slot]: slot for slot in range(lo, hi)
+            }
+        self._slot_of = slot_of
+        self._src_code = {source: i for i, source in enumerate(self.sources)}
+        adjacent: dict[int, list[tuple[int, int]]] = {}
+        for k, (i, j) in enumerate(
+            zip(self.pair_s1.tolist(), self.pair_s2.tolist())
+        ):
+            adjacent.setdefault(i, []).append((j, k))
+            adjacent.setdefault(j, []).append((i, k))
+        self._adjacent = adjacent
+        self._fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_result(
+        cls,
+        dataset: ClaimDataset,
+        result: TruthResult,
+        *,
+        round_id: int | None = None,
+        version: int | None = None,
+    ) -> "Snapshot":
+        """Freeze one truth-discovery result over its dataset.
+
+        The value-probability CSR arrays are rebuilt through
+        :class:`~repro.truth.columnar.ValueProbTable` (so the slot
+        universe and segment order are exactly the columnar engines'),
+        accuracies and coverage are gathered per sorted source, and the
+        result's dependence graph — if any — is exported columnar.
+        Sources without an accuracy estimate (naive voting) freeze 0.0.
+        """
+        table = ValueProbTable(dataset, result.distributions)
+        frozen = table.freeze()
+        winners = np.empty(len(frozen["objects"]), dtype=np.int64)
+        for row, obj in enumerate(frozen["objects"]):
+            winners[row] = table.slot(obj, result.decisions[obj])
+        sources = tuple(dataset.sources)
+        accuracies = np.asarray(
+            [result.accuracies.get(s, 0.0) for s in sources],
+            dtype=np.float64,
+        )
+        coverage = np.asarray(
+            [dataset.coverage(s) for s in sources], dtype=np.int64
+        )
+        for arr in (winners, accuracies, coverage):
+            arr.flags.writeable = False
+        if result.dependence is not None:
+            dep = result.dependence.export_arrays(list(sources))
+        else:
+            dep = _empty_dependence()
+        arrays = {
+            "bounds": frozen["bounds"],
+            "counts": frozen["counts"],
+            "probs": frozen["probs"],
+            "winners": winners,
+            "accuracies": accuracies,
+            "coverage": coverage,
+            **dep,
+        }
+        return cls(
+            objects=frozen["objects"],
+            sources=sources,
+            slot_values=frozen["slot_values"],
+            arrays=arrays,
+            dataset_version=frozen["dataset_version"],
+            round_id=result.rounds if round_id is None else round_id,
+            version=version,
+        )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int | None:
+        """The serving version, once stamped by a store (else ``None``)."""
+        return self._version
+
+    def _stamp(self, version: int) -> None:
+        """Assign the serving version; exactly once, by the store."""
+        if self._version is not None:
+            raise ServeError(
+                f"snapshot already published as version {self._version}; "
+                "a snapshot is immutable once stamped"
+            )
+        self._version = version
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every array's bytes plus the metadata (hex).
+
+        Two snapshots with equal fingerprints answer every query
+        bit-for-bit identically; the digest is cached (the arrays cannot
+        change) and is what the persistence layer and the no-torn-reads
+        tests compare.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(
+                repr(
+                    (
+                        self.objects,
+                        self.sources,
+                        self.slot_values,
+                        self.dataset_version,
+                        self.round_id,
+                    )
+                ).encode()
+            )
+            for name in ARRAY_FIELDS:
+                arr = getattr(self, name)
+                digest.update(name.encode())
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def __len__(self) -> int:
+        return len(self.slot_values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        stamp = "unpublished" if self._version is None else f"v{self._version}"
+        return (
+            f"Snapshot({stamp}, {len(self.objects)} objects, "
+            f"{len(self.sources)} sources, round {self.round_id}, "
+            f"dataset v{self.dataset_version})"
+        )
+
+    # ------------------------------------------------------------------
+    # truth reads
+    # ------------------------------------------------------------------
+
+    def _row(self, obj: ObjectId) -> int:
+        try:
+            return self._row_of[obj]
+        except KeyError:
+            raise ServeError(
+                f"object {obj!r} is not covered by this snapshot "
+                f"(dataset v{self.dataset_version})"
+            ) from None
+
+    def answer(self, obj: ObjectId) -> ServedAnswer:
+        """The served truth for one object: winning value + probability."""
+        row = self._row(obj)
+        slot = int(self.winners[row])
+        return ServedAnswer(
+            object=obj,
+            value=self.slot_values[slot],
+            probability=float(self.probs[slot]),
+            version=self._version,
+            dataset_version=self.dataset_version,
+        )
+
+    def probability(self, obj: ObjectId, value: Value) -> float:
+        """Posterior probability of one (object, value); 0.0 if unobserved."""
+        slot = self._slot_of.get(obj)
+        if slot is None:
+            self._row(obj)  # uniform unknown-object error
+        idx = slot.get(value)
+        return 0.0 if idx is None else float(self.probs[idx])
+
+    def distribution(self, obj: ObjectId) -> dict[Value, float]:
+        """The full value distribution of one object (a fresh dict)."""
+        row = self._row(obj)
+        lo, hi = int(self.bounds[row]), int(self.bounds[row + 1])
+        return {
+            self.slot_values[slot]: float(self.probs[slot])
+            for slot in range(lo, hi)
+        }
+
+    def decisions(self) -> dict[ObjectId, Value]:
+        """All winning values, as the classic decisions dict."""
+        return {
+            obj: self.slot_values[slot]
+            for obj, slot in zip(self.objects, self.winners.tolist())
+        }
+
+    # ------------------------------------------------------------------
+    # source reads
+    # ------------------------------------------------------------------
+
+    def _code(self, source: SourceId) -> int:
+        try:
+            return self._src_code[source]
+        except KeyError:
+            raise ServeError(
+                f"source {source!r} is not covered by this snapshot"
+            ) from None
+
+    def accuracy(self, source: SourceId) -> float:
+        """The frozen accuracy estimate of one source."""
+        return float(self.accuracies[self._code(source)])
+
+    def source_coverage(self, source: SourceId) -> int:
+        """Objects the source covered at freeze time."""
+        return int(self.coverage[self._code(source)])
+
+    def dependence_probability(self, s1: SourceId, s2: SourceId) -> float:
+        """Total dependence posterior of a pair (0.0 if unanalysed)."""
+        i, j = self._code(s1), self._code(s2)
+        if i > j:
+            i, j = j, i
+        for other, k in self._adjacent.get(i, ()):
+            if other == j:
+                return float(self.p_dependent[k])
+        return 0.0
+
+    def directed_probability(
+        self, copier: SourceId, original: SourceId
+    ) -> float:
+        """Posterior that ``copier`` copies ``original`` (0.0 if unanalysed)."""
+        i, j = self._code(copier), self._code(original)
+        lo, hi = (i, j) if i < j else (j, i)
+        for other, k in self._adjacent.get(lo, ()):
+            if other == hi:
+                directed = (
+                    self.p_s1_copies if i == lo else self.p_s2_copies
+                )
+                return float(directed[k])
+        return 0.0
+
+    def dependence_score(self, source: SourceId) -> float:
+        """Max dependence posterior over the source's analysed pairs."""
+        code = self._code(source)
+        pairs = self._adjacent.get(code)
+        if not pairs:
+            return 0.0
+        return max(float(self.p_dependent[k]) for _, k in pairs)
+
+    def explain_dependence(
+        self, source: SourceId, threshold: float = 0.0
+    ) -> list[dict]:
+        """The source's dependence neighbourhood, strongest pair first.
+
+        Each entry reports the partner, the total posterior, and the
+        directed posterior that *this* source is the copier — the
+        "explanation" the recommendation surface shows next to a
+        penalised source.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ServeError(
+                f"threshold must be in [0, 1], got {threshold}"
+            )
+        code = self._code(source)
+        entries = []
+        for other, k in self._adjacent.get(code, ()):
+            p = float(self.p_dependent[k])
+            if p < threshold:
+                continue
+            directed = (
+                self.p_s1_copies
+                if code == int(self.pair_s1[k])
+                else self.p_s2_copies
+            )
+            entries.append(
+                {
+                    "source": source,
+                    "other": self.sources[other],
+                    "p_dependent": p,
+                    "p_copies_other": float(directed[k]),
+                }
+            )
+        entries.sort(key=lambda e: (-e["p_dependent"], repr(e["other"])))
+        return entries
+
+
+def _empty_dependence() -> dict:
+    """The dependence export of a result without a graph (all independent)."""
+    arrays = {
+        "pair_s1": np.empty(0, dtype=np.int64),
+        "pair_s2": np.empty(0, dtype=np.int64),
+        "p_dependent": np.empty(0, dtype=np.float64),
+        "p_s1_copies": np.empty(0, dtype=np.float64),
+        "p_s2_copies": np.empty(0, dtype=np.float64),
+    }
+    for arr in arrays.values():
+        arr.flags.writeable = False
+    return arrays

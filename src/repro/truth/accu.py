@@ -9,6 +9,8 @@ clique still out-votes an accurate loner.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.dataset import ClaimDataset
 from repro.core.params import TRUTH_BACKENDS, IterationParams
 from repro.exceptions import ConvergenceError, ParameterError
@@ -48,7 +50,18 @@ class Accu(TruthDiscovery):
         n_false_values: int = 100,
         iteration: IterationParams | None = None,
         truth_backend: str = "auto",
+        backend: str | None = None,
     ) -> None:
+        if backend is not None:
+            # Pre-facade spelling; kept as a warning shim one release.
+            warnings.warn(
+                "Accu(backend=...) is deprecated; spell it "
+                "Accu(truth_backend=...) — or set it once on "
+                "repro.Session(truth_backend=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            truth_backend = backend
         if truth_backend not in TRUTH_BACKENDS:
             raise ParameterError(
                 "truth_backend must be 'auto', 'columnar' or 'dict', got "

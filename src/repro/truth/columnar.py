@@ -258,6 +258,33 @@ class ValueProbTable:
         self.probs = new
         self.version += 1
 
+    def freeze(self) -> dict:
+        """Copy-on-write freeze of the table's current state for publication.
+
+        Returns the arrays a :class:`~repro.serve.snapshot.Snapshot`
+        needs, all marked read-only. The structural arrays (``bounds``,
+        ``counts``, ``row_of_slot``) are never written in place after
+        construction, so they are shared zero-copy and locked in place —
+        an accidental in-place write anywhere would raise from then on.
+        ``probs`` *is* replaced each round (:meth:`set_probs` swaps the
+        whole array rather than mutating, which is what makes the freeze
+        safe), but the incoming array may alias a producer's buffer, so
+        the frozen copy is materialised once per publish.
+        """
+        probs = self.probs.copy()
+        probs.flags.writeable = False
+        for arr in (self.bounds, self.counts, self.row_of_slot):
+            arr.flags.writeable = False
+        return {
+            "objects": tuple(self.objects),
+            "slot_values": tuple(self.slot_values),
+            "bounds": self.bounds,
+            "counts": self.counts,
+            "row_of_slot": self.row_of_slot,
+            "probs": probs,
+            "dataset_version": self.dataset_version,
+        }
+
     def moved_objects(self) -> set[ObjectId]:
         """Objects owning at least one moved slot (diagnostics)."""
         rows = np.unique(self.row_of_slot[self.moved])

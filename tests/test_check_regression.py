@@ -33,6 +33,13 @@ HEALTHY = {
             "shipped_bytes_ratio": 11.4,
         },
         "pair_posterior_batch": {"speedup": 7.1, "pairs": 1225},
+        "serving": {
+            "qps": 150000.0,
+            "p50_ms": 0.002,
+            "p99_ms": 0.010,
+            "torn_reads": 0,
+            "versions_published": 10,
+        },
         "truth_round": {
             "speedup": 2.9,
             "depen_restricted_rescore": {"rescored": 9800, "reused": 2450},
@@ -64,10 +71,31 @@ def test_healthy_trajectory_passes(tmp_path):
         "streaming_rescore.rescored/pairs",
         "sync_delta.shipped_bytes_ratio",
         "pair_posterior_batch.speedup",
+        "serving.qps",
+        "serving.p99_ms",
+        "serving.torn_reads",
         "truth_round.speedup",
         "truth_round.depen_restricted_rescore.reused",
     ):
         assert metric in result.stdout
+
+
+def test_serving_torn_read_gate_is_zero_tolerance(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["serving"]["torn_reads"] = 1
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "serving.torn_reads" in result.stdout
+    assert "REGRESSION" in result.stdout
+
+
+def test_serving_qps_gate_catches_slow_reads(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["serving"]["qps"] = 320.0  # below 500
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "serving.qps" in result.stdout
+    assert "REGRESSION" in result.stdout
 
 
 def test_sync_delta_ratio_gate_catches_full_reships(tmp_path):

@@ -1,0 +1,243 @@
+"""repro.Session facade: lifecycle, policy normalization, async serving."""
+
+import asyncio
+import warnings
+
+import pytest
+
+import repro
+from repro.core.claims import Claim
+from repro.core.params import DependenceParams
+from repro.exceptions import ParameterError, ServeError
+from repro.generators import simple_copier_world
+from repro.serve import ServingEngine
+from repro.truth.accu import Accu
+
+
+@pytest.fixture()
+def world():
+    return simple_copier_world(
+        n_objects=30, n_independent=5, n_copiers=2, seed=7
+    )
+
+
+# ---------------------------------------------------------------------------
+# policy-keyword normalization
+# ---------------------------------------------------------------------------
+
+
+def test_policy_keywords_fold_into_params():
+    session = repro.Session(
+        truth_backend="dict",
+        posterior_backend="scalar",
+        entry_store="list",
+    )
+    assert session.params.truth_backend == "dict"
+    assert session.params.posterior_backend == "scalar"
+    assert session.params.entry_store == "list"
+    session.close()
+
+
+def test_explicit_keyword_beats_params_field():
+    base = DependenceParams(truth_backend="dict")
+    session = repro.Session(params=base, truth_backend="columnar")
+    assert session.params.truth_backend == "columnar"
+    assert base.truth_backend == "dict"  # the passed params are untouched
+    session.close()
+
+
+def test_unknown_policy_keyword_rejected_eagerly():
+    with pytest.raises(ParameterError, match="unknown Session keyword"):
+        repro.Session(truth_bakend="dict")
+
+
+def test_dataset_and_claims_are_exclusive(world):
+    dataset, _ = world
+    with pytest.raises(ParameterError, match="not both"):
+        repro.Session(dataset=dataset, claims=list(dataset))
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_full_lifecycle(world):
+    dataset, world_truth = world
+    with repro.Session(claims=list(dataset), min_overlap=5) as session:
+        graph = session.discover()
+        assert graph is session.graph
+        result = session.run_truth()
+        snapshot = session.publish()
+        assert snapshot.version == 1
+        assert not session.dirty
+        for obj in list(dataset.objects)[:10]:
+            answer = session.query(obj)
+            assert answer.value == result.decisions[obj]
+            assert answer.version == 1
+            assert session.query_value(obj, answer.value) == answer.probability
+            assert session.distribution(obj) == result.distributions[obj]
+        top = session.recommend(3)
+        assert len(top) == 3
+        pair = session.explain_dependence("ind00", "cop00")
+        assert 0.0 <= pair["p_dependent"] <= 1.0
+        neighbourhood = session.explain_dependence("cop00")
+        assert neighbourhood
+        stats = session.stats()
+        assert stats["store"]["published"] == 1
+        assert stats["claims"] == len(dataset)
+
+
+def test_query_before_publish_guides(world):
+    dataset, _ = world
+    with repro.Session(dataset=dataset) as session:
+        with pytest.raises(ServeError, match="no snapshot yet"):
+            session.query(next(iter(dataset.objects)))
+
+
+def test_refresh_skips_clean_state(world):
+    dataset, _ = world
+    with repro.Session(dataset=dataset, min_overlap=5) as session:
+        first = session.refresh()
+        assert first is not None and first.version == 1
+        assert session.refresh() is None  # nothing changed
+        session.feed([Claim(source="s-new", object="obj0000", value="x")])
+        assert session.dirty
+        second = session.refresh()
+        assert second is not None and second.version == 2
+        assert not session.dirty
+
+
+def test_feed_drained_on_publish(world):
+    dataset, _ = world
+    with repro.Session(dataset=dataset, min_overlap=5) as session:
+        queued = session.feed(
+            [Claim(source="s-fed", object="obj0000", value="fed")]
+            )
+        assert queued == 1
+        assert session.stats()["pending"] == 1
+        session.publish()
+        assert session.stats()["pending"] == 0
+        assert "s-fed" in session.dataset.sources
+
+
+def test_pinned_version_query(world):
+    dataset, _ = world
+    with repro.Session(dataset=dataset, min_overlap=5) as session:
+        session.publish()
+        old = session.query("obj0000", version=1)
+        session.ingest(
+            [Claim(source=f"n{i}", object="obj0000", value="new") for i in range(9)]
+        )
+        session.publish()
+        assert session.query("obj0000").value == "new"
+        assert session.query("obj0000", version=1) == old
+
+
+# ---------------------------------------------------------------------------
+# async serving front-end
+# ---------------------------------------------------------------------------
+
+
+def test_serving_engine_reads(world):
+    dataset, _ = world
+
+    async def scenario():
+        with repro.Session(dataset=dataset, min_overlap=5) as session:
+            session.publish()
+            engine = session.serving()
+            answer = await engine.query("obj0000")
+            assert answer.version == 1
+            assert await engine.query_value("obj0000", answer.value) == (
+                answer.probability
+            )
+            top = await engine.recommend(3)
+            assert len(top) == 3
+            again = await engine.recommend(3)
+            assert again == top  # memoized scorecards, same version
+            pair = await engine.explain_dependence("ind00", "cop00")
+            assert "p_dependent" in pair
+            stats = engine.stats()
+            assert stats["queries"] == 2
+            assert stats["recommends"] == 2
+
+    asyncio.run(scenario())
+
+
+def test_serving_engine_background_loop(world):
+    dataset, _ = world
+
+    async def scenario():
+        with repro.Session(dataset=dataset, min_overlap=5) as session:
+            session.publish()
+            engine = session.serving(refresh_interval=0.01)
+            engine.start()
+            assert engine.running
+            with pytest.raises(ServeError, match="already running"):
+                engine.start()
+            session.feed(
+                [Claim(source="live", object="obj0000", value="live-value")]
+            )
+            for _ in range(200):
+                if session.store.stats()["latest_version"] >= 2:
+                    break
+                await asyncio.sleep(0.01)
+            answer = await engine.query("obj0000")
+            assert answer.version >= 2
+            await engine.stop()
+            assert not engine.running
+            assert engine.stats()["refreshes"] >= 1
+
+    asyncio.run(scenario())
+
+
+def test_serving_engine_requires_refresh_for_loop(world):
+    dataset, _ = world
+
+    async def scenario():
+        with repro.Session(dataset=dataset, min_overlap=5) as session:
+            session.publish()
+            engine = ServingEngine(session.store)
+            assert (await engine.query("obj0000")).version == 1
+            with pytest.raises(ServeError, match="no refresh callable"):
+                engine.start()
+            with pytest.raises(ServeError, match="no refresh callable"):
+                await engine.refresh_once()
+
+    asyncio.run(scenario())
+
+
+def test_serving_engine_validates_interval(world):
+    dataset, _ = world
+    with repro.Session(dataset=dataset) as session:
+        with pytest.raises(ServeError, match="refresh_interval"):
+            session.serving(refresh_interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+
+
+def test_top_level_discover_dependence_warns(world):
+    dataset, _ = world
+    with pytest.warns(DeprecationWarning, match="Session.discover"):
+        fn = repro.discover_dependence
+    from repro.dependence import discover_dependence
+
+    assert fn is discover_dependence
+
+
+def test_unknown_top_level_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.not_a_thing  # noqa: B018
+
+
+def test_accu_backend_keyword_warns(world):
+    dataset, _ = world
+    with pytest.warns(DeprecationWarning, match="truth_backend"):
+        accu = Accu(backend="dict")
+    assert accu.truth_backend == "dict"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        Accu(truth_backend="dict")  # the new spelling is silent
