@@ -49,6 +49,12 @@ GATES: dict[str, list[tuple[str, Callable[[dict], float], str, float]]] = {
         )
         for fraction in ("2%", "5%", "10%")
     ],
+    "mutation_sync": [
+        # The mutation-algebra acceptance floor: an inverse-delta sync
+        # after a <=10% retract/correct batch must beat the cold
+        # rebuild by 3x (the bench also asserts bit-for-bit equality).
+        ("mutation_sync.speedup", lambda s: s["speedup"], "min", 3.0),
+    ],
     "serial_vs_sharded": [
         (
             "serial_vs_sharded.speedups.numpy",

@@ -49,12 +49,16 @@ pipeline are deprecated in favour of the session.
 import warnings
 
 from repro.core import (
+    ABSENT,
     Claim,
     ClaimDataset,
     DependenceEdge,
     DependenceKind,
     DependenceParams,
     IterationParams,
+    Mutation,
+    MutationBatch,
+    MutationDelta,
     OpinionParams,
     Rating,
     TemporalClaim,
@@ -63,7 +67,11 @@ from repro.core import (
     TemporalWorld,
     World,
 )
-from repro.dependence import DependenceGraph, StreamingDependenceEngine
+from repro.dependence import (
+    DependenceGraph,
+    StreamingDependenceEngine,
+    StreamingTemporalDataset,
+)
 from repro.serve import ServedAnswer, ServingEngine, Snapshot, SnapshotStore
 from repro.session import Session
 from repro.truth import Accu, Depen, NaiveVote, TruthFinder, TruthResult
@@ -71,6 +79,7 @@ from repro.truth import Accu, Depen, NaiveVote, TruthFinder, TruthResult
 __version__ = "0.2.0"
 
 __all__ = [
+    "ABSENT",
     "Accu",
     "Claim",
     "ClaimDataset",
@@ -79,7 +88,11 @@ __all__ = [
     "DependenceGraph",
     "DependenceKind",
     "DependenceParams",
+    "IngestDelta",
     "IterationParams",
+    "Mutation",
+    "MutationBatch",
+    "MutationDelta",
     "NaiveVote",
     "OpinionParams",
     "Rating",
@@ -89,6 +102,7 @@ __all__ = [
     "Snapshot",
     "SnapshotStore",
     "StreamingDependenceEngine",
+    "StreamingTemporalDataset",
     "TemporalClaim",
     "TemporalDataset",
     "TemporalParams",
@@ -109,6 +123,15 @@ _DEPRECATED_ALIASES = {
         "repro.dependence",
         "discover_dependence",
         "Session.discover() (or repro.dependence.discover_dependence)",
+    ),
+    # Pre-mutation-algebra name of the ingest return type: every ingest
+    # is now one (possibly mixed) MutationBatch, so the delta it reports
+    # is a MutationDelta. The old name stays importable from
+    # repro.core.dataset without a warning for pinned code.
+    "IngestDelta": (
+        "repro.core.dataset",
+        "IngestDelta",
+        "MutationDelta (the same type under its mutation-algebra name)",
     ),
 }
 

@@ -6,7 +6,14 @@ modules.
 """
 
 from repro.core.claims import Claim, Rating, TemporalClaim, ValuePeriod
-from repro.core.dataset import ClaimDataset, IngestDelta
+from repro.core.dataset import (
+    ABSENT,
+    ClaimDataset,
+    IngestDelta,
+    Mutation,
+    MutationBatch,
+    MutationDelta,
+)
 from repro.core.params import (
     DependenceParams,
     IterationParams,
@@ -23,6 +30,7 @@ from repro.core.world import (
 )
 
 __all__ = [
+    "ABSENT",
     "Claim",
     "ClaimDataset",
     "DependenceEdge",
@@ -30,6 +38,9 @@ __all__ = [
     "DependenceParams",
     "IngestDelta",
     "IterationParams",
+    "Mutation",
+    "MutationBatch",
+    "MutationDelta",
     "OpinionParams",
     "Rating",
     "TemporalClaim",

@@ -19,16 +19,31 @@ is more likely to be a partial copier" (section 3.2).
 Ingest and change tracking
 --------------------------
 
-The store is mutable under a restricted discipline: claims are only ever
-*added* (a claim, once present, never changes value and is never
-removed — conflicting re-assertions raise). Every successful add bumps a
-monotonic :attr:`~ClaimDataset.version` and is recorded in a mutation
-log, so consumers that cache derived structure (the batch evidence
-engine, vote-order caches) can ask "what changed since version v?"
-(:meth:`~ClaimDataset.new_claims_since`) and invalidate only the dirty
-objects instead of assuming immutability. :meth:`~ClaimDataset.add_claims`
-is the batch ingest entry point and returns an :class:`IngestDelta`
-summarising the batch.
+The store is mutable under the full mutation algebra real feeds need:
+claims can be *added*, *retracted* (withdrawn entirely) and *corrected*
+(same source re-asserts a different value). Blind conflicting
+re-assertions still raise — a correction must be explicit
+(:meth:`~ClaimDataset.correct`), so an ingest bug cannot silently
+rewrite history. Every successful mutation bumps a monotonic
+:attr:`~ClaimDataset.version` and appends a typed :class:`Mutation`
+record to the mutation log, so consumers that cache derived structure
+(the batch evidence engine, vote-order caches) can ask "what changed
+since version v?" and repair only the dirty objects:
+
+* :meth:`~ClaimDataset.dirty_objects_since` — objects touched by *any*
+  mutation kind, removals included;
+* :meth:`~ClaimDataset.mutations_since` — per dirty object, each
+  touched source's value *as of* the asked-for version (or
+  :data:`ABSENT`), i.e. exactly the old state an inverse delta needs;
+* :meth:`~ClaimDataset.new_claims_since` — the coarse per-object
+  touched-source sets (kept for add-mostly consumers).
+
+:meth:`~ClaimDataset.apply` is the unified ingest entry point: one
+:class:`MutationBatch` of mixed adds/retractions/corrections applied as
+a single versioned transaction, returning a :class:`MutationDelta`.
+:meth:`~ClaimDataset.add_claims`, :meth:`~ClaimDataset.retract_claims`
+and :meth:`~ClaimDataset.correct_claims` are thin wrappers constructing
+single-kind batches.
 """
 
 from __future__ import annotations
@@ -39,7 +54,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from operator import itemgetter
 from types import MappingProxyType
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.core.claims import Claim
 from repro.core.types import ObjectId, SourceId, Value
@@ -50,22 +65,100 @@ from repro.exceptions import DataError
 _EMPTY_VIEW: Mapping = MappingProxyType({})
 
 
-@dataclass(frozen=True, slots=True)
-class IngestDelta:
-    """Summary of one :meth:`ClaimDataset.add_claims` batch.
+class _AbsentType:
+    """Sentinel type for :data:`ABSENT` (``None`` is a legal claim value)."""
 
-    ``added`` new claims were inserted (``duplicates`` re-asserted an
-    identical existing claim and were no-ops), touching ``dirty_objects``;
-    ``version`` is the dataset version after the batch.
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ABSENT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: "No value": in a :class:`Mutation`, the old value of an add and the
+#: new value of a retraction — the claim did not exist on that side.
+ABSENT = _AbsentType()
+
+
+class Mutation(NamedTuple):
+    """One typed entry of the mutation log.
+
+    A tuple subclass ordered by ``version`` first, so the log stays
+    bisectable by version. ``old_value`` is :data:`ABSENT` for adds;
+    ``new_value`` is :data:`ABSENT` for retractions. The pair
+    ``(old_value, new_value)`` makes every record invertible — an
+    inverse-delta consumer reconstructs the state at any logged version
+    from the *first* record per (source, object) after it.
+    """
+
+    version: int
+    kind: str  # "add" | "retract" | "correct"
+    source: SourceId
+    object: ObjectId
+    old_value: Any
+    new_value: Any
+
+
+@dataclass(frozen=True)
+class MutationBatch:
+    """One mixed add/retract/correct transaction for :meth:`ClaimDataset.apply`.
+
+    ``adds`` and ``corrections`` are claims; ``retractions`` are
+    ``(source, object)`` keys. The batch is applied retractions first,
+    then corrections, then adds — a deterministic order that lets one
+    batch move a claim's key (retract ``(S, o)`` and re-add it) without
+    tripping the conflicting-assertion check.
+    """
+
+    adds: tuple[Claim, ...] = ()
+    retractions: tuple[tuple[SourceId, ObjectId], ...] = ()
+    corrections: tuple[Claim, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "adds", tuple(self.adds))
+        object.__setattr__(self, "retractions", tuple(self.retractions))
+        object.__setattr__(self, "corrections", tuple(self.corrections))
+
+    def __bool__(self) -> bool:
+        return bool(self.adds or self.retractions or self.corrections)
+
+    def __len__(self) -> int:
+        return len(self.adds) + len(self.retractions) + len(self.corrections)
+
+    @classmethod
+    def from_claims(cls, claims: Iterable[Claim]) -> "MutationBatch":
+        """The add-only batch the legacy ingest wrappers construct."""
+        return cls(adds=tuple(claims))
+
+
+@dataclass(frozen=True, slots=True)
+class MutationDelta:
+    """Summary of one :meth:`ClaimDataset.apply` transaction.
+
+    ``added``/``retracted``/``corrected`` count the mutations applied
+    (``duplicates`` re-asserted an identical existing claim and were
+    no-ops), touching ``dirty_objects``; ``version`` is the dataset
+    version after the batch. For add-only batches this is exactly the
+    historical ``IngestDelta`` shape (which remains as an alias).
     """
 
     added: int
     duplicates: int
     dirty_objects: frozenset[ObjectId]
     version: int
+    retracted: int = 0
+    corrected: int = 0
 
     def __bool__(self) -> bool:
-        return self.added > 0
+        return (self.added + self.retracted + self.corrected) > 0
+
+
+#: Backwards-compatible name: add-only deltas predate the mutation
+#: algebra. Same class — ``isinstance`` checks and field access keep
+#: working.
+IngestDelta = MutationDelta
 
 
 class ClaimDataset:
@@ -83,10 +176,10 @@ class ClaimDataset:
         self._by_source: dict[SourceId, dict[ObjectId, Claim]] = {}
         self._by_object: dict[ObjectId, dict[SourceId, Claim]] = {}
         self._by_object_value: dict[ObjectId, dict[Value, set[SourceId]]] = {}
-        # Monotonic mutation tracking: every successful add bumps the
-        # version and appends (version, source, object) to the log.
+        # Monotonic mutation tracking: every successful add/retract/
+        # correct bumps the version and appends a typed Mutation record.
         self._version = 0
-        self._log: list[tuple[int, SourceId, ObjectId]] = []
+        self._log: list[Mutation] = []
         self._log_floor = 0
         for claim in claims:
             self.add(claim)
@@ -115,32 +208,144 @@ class ClaimDataset:
             claim.value, set()
         ).add(claim.source)
         self._version += 1
-        self._log.append((self._version, claim.source, claim.object))
+        self._log.append(
+            Mutation(
+                self._version, "add", claim.source, claim.object,
+                ABSENT, claim.value,
+            )
+        )
 
-    def add_claims(self, claims: Iterable[Claim]) -> IngestDelta:
-        """Batch ingest: insert many claims, returning what changed.
+    def retract(self, source: SourceId, obj: ObjectId) -> None:
+        """Withdraw one claim entirely, keeping all indexes consistent.
 
-        Identical duplicates are tolerated (ingest pipelines replay);
-        conflicting re-assertions raise :class:`~repro.exceptions.DataError`
-        exactly as :meth:`add` does, with everything added before the
-        offending claim retained.
+        Retracting a claim that was never made (or is already gone)
+        raises :class:`~repro.exceptions.DataError`. Empty sub-indexes
+        are dropped, so :attr:`sources` / :attr:`objects` afterwards
+        match a dataset that never saw the claim.
         """
-        start = self._version
+        claim = self._by_key.pop((source, obj), None)
+        if claim is None:
+            raise DataError(
+                f"cannot retract: source {source!r} makes no claim about "
+                f"object {obj!r}"
+            )
+        by_source = self._by_source[source]
+        del by_source[obj]
+        if not by_source:
+            del self._by_source[source]
+        by_object = self._by_object[obj]
+        del by_object[source]
+        if not by_object:
+            del self._by_object[obj]
+        values = self._by_object_value[obj]
+        providers = values[claim.value]
+        providers.discard(source)
+        if not providers:
+            del values[claim.value]
+        if not values:
+            del self._by_object_value[obj]
+        self._version += 1
+        self._log.append(
+            Mutation(self._version, "retract", source, obj, claim.value, ABSENT)
+        )
+
+    def correct(self, claim: Claim) -> None:
+        """Replace the value this source already asserts for this object.
+
+        The explicit form of a conflicting re-assertion: where
+        :meth:`add` raises, ``correct`` swaps the claim in place.
+        Correcting a claim that was never made raises
+        :class:`~repro.exceptions.DataError` (a correction with no
+        target is an ingest bug, not an add); re-asserting the identical
+        claim is a no-op, like duplicate adds.
+        """
+        if not isinstance(claim, Claim):
+            raise DataError(f"expected a Claim, got {type(claim).__name__}")
+        existing = self._by_key.get(claim.key)
+        if existing is None:
+            raise DataError(
+                f"cannot correct: source {claim.source!r} makes no claim "
+                f"about object {claim.object!r}; use add() for new claims"
+            )
+        if existing == claim:
+            return
+        self._by_key[claim.key] = claim
+        self._by_source[claim.source][claim.object] = claim
+        self._by_object[claim.object][claim.source] = claim
+        if existing.value != claim.value:
+            values = self._by_object_value[claim.object]
+            providers = values[existing.value]
+            providers.discard(claim.source)
+            if not providers:
+                del values[existing.value]
+            values.setdefault(claim.value, set()).add(claim.source)
+        self._version += 1
+        self._log.append(
+            Mutation(
+                self._version, "correct", claim.source, claim.object,
+                existing.value, claim.value,
+            )
+        )
+
+    def apply(self, batch: MutationBatch | Iterable[Claim]) -> MutationDelta:
+        """Apply one mixed mutation batch as a versioned transaction.
+
+        Accepts a :class:`MutationBatch` or, for convenience, a bare
+        iterable of claims (treated as an add-only batch). Mutations are
+        applied retractions → corrections → adds; identical duplicate
+        adds/corrections are tolerated (ingest pipelines replay), while
+        conflicting blind re-assertions, retractions of absent claims
+        and corrections without a target raise
+        :class:`~repro.exceptions.DataError`, with everything applied
+        before the offending mutation retained.
+        """
+        if not isinstance(batch, MutationBatch):
+            batch = MutationBatch.from_claims(batch)
         duplicates = 0
+        added = retracted = corrected = 0
         dirty: set[ObjectId] = set()
-        for claim in claims:
+        for source, obj in batch.retractions:
+            self.retract(source, obj)
+            retracted += 1
+            dirty.add(obj)
+        for claim in batch.corrections:
+            before = self._version
+            self.correct(claim)
+            if self._version == before:
+                duplicates += 1
+            else:
+                corrected += 1
+                dirty.add(claim.object)
+        for claim in batch.adds:
             before = self._version
             self.add(claim)
             if self._version == before:
                 duplicates += 1
             else:
+                added += 1
                 dirty.add(claim.object)
-        return IngestDelta(
-            added=self._version - start,
+        return MutationDelta(
+            added=added,
             duplicates=duplicates,
             dirty_objects=frozenset(dirty),
             version=self._version,
+            retracted=retracted,
+            corrected=corrected,
         )
+
+    def add_claims(self, claims: Iterable[Claim]) -> MutationDelta:
+        """Batch ingest of adds only: ``apply(MutationBatch(adds=claims))``."""
+        return self.apply(MutationBatch.from_claims(claims))
+
+    def retract_claims(
+        self, keys: Iterable[tuple[SourceId, ObjectId]]
+    ) -> MutationDelta:
+        """Batch retraction: ``apply(MutationBatch(retractions=keys))``."""
+        return self.apply(MutationBatch(retractions=tuple(keys)))
+
+    def correct_claims(self, claims: Iterable[Claim]) -> MutationDelta:
+        """Batch correction: ``apply(MutationBatch(corrections=claims))``."""
+        return self.apply(MutationBatch(corrections=tuple(claims)))
 
     # ------------------------------------------------------------------
     # change tracking
@@ -148,7 +353,7 @@ class ClaimDataset:
 
     @property
     def version(self) -> int:
-        """Monotonic mutation counter (number of claims ever added)."""
+        """Monotonic mutation counter (adds + retractions + corrections)."""
         return self._version
 
     def _log_start(self, version: int) -> int:
@@ -167,19 +372,49 @@ class ClaimDataset:
         return bisect_right(self._log, version, key=itemgetter(0))
 
     def dirty_objects_since(self, version: int) -> set[ObjectId]:
-        """Objects touched by claims added after ``version``."""
-        return {obj for _, _, obj in self._log[self._log_start(version) :]}
+        """Objects touched by *any* mutation after ``version``.
+
+        Removals are unioned in: a retracted or corrected claim dirties
+        its object exactly like a new one, so caches that invalidate by
+        dirty object repair mutated state too.
+        """
+        return {m.object for m in self._log[self._log_start(version) :]}
 
     def new_claims_since(self, version: int) -> dict[ObjectId, set[SourceId]]:
-        """Per dirty object, the sources whose claims arrived after ``version``.
+        """Per dirty object, the sources whose claims *changed* after ``version``.
 
-        This is the delta consumers need for dirty-object invalidation:
-        values never change and claims are never removed, so "which
-        sources are new per object" fully describes the mutation.
+        Historically named for the add-only era; since the mutation
+        algebra landed the sets also contain sources that retracted or
+        corrected their claim — a source in the set may no longer cover
+        the object at all. Consumers that need the direction of change
+        (what the source said *before*) should use
+        :meth:`mutations_since` instead.
         """
         delta: dict[ObjectId, set[SourceId]] = {}
-        for _, source, obj in self._log[self._log_start(version) :]:
-            delta.setdefault(obj, set()).add(source)
+        for m in self._log[self._log_start(version) :]:
+            delta.setdefault(m.object, set()).add(m.source)
+        return delta
+
+    def mutations_since(
+        self, version: int
+    ) -> dict[ObjectId, dict[SourceId, Any]]:
+        """Per dirty object, each touched source's value *at* ``version``.
+
+        The inverse-delta view of the log: for every (source, object)
+        mutated after ``version``, the value that source asserted when
+        the consumer last looked — :data:`ABSENT` if it asserted nothing
+        then. Combined with the current indexes this reconstructs the
+        full old provider→value map of any dirty object, which is
+        exactly what a cached structure needs to retire its stale
+        contributions before re-collecting.
+
+        Only the *first* logged mutation per key matters (its
+        ``old_value`` is the state at ``version``); later mutations of
+        the same key describe intermediate states no consumer saw.
+        """
+        delta: dict[ObjectId, dict[SourceId, Any]] = {}
+        for m in self._log[self._log_start(version) :]:
+            delta.setdefault(m.object, {}).setdefault(m.source, m.old_value)
         return delta
 
     def compact_log(self, upto_version: int | None = None) -> int:
@@ -188,8 +423,11 @@ class ClaimDataset:
         Long-running ingest loops call this once every consumer has
         synced past ``upto_version`` (default: the current version), so
         the log does not grow without bound. Returns the number of
-        entries dropped. Asking for changes older than the compaction
-        point afterwards raises.
+        entries dropped. Mutation kinds are irrelevant to compaction:
+        retraction and correction records after the cutoff survive
+        verbatim (their ``old_value`` is still needed by un-synced
+        consumers); asking for changes older than the compaction point
+        afterwards raises.
         """
         cutoff = self._version if upto_version is None else upto_version
         if cutoff > self._version:

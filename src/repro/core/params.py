@@ -54,6 +54,14 @@ ENV_OVERRIDES: tuple[tuple[str, str], ...] = (
 
 _INT_ENV_FIELDS = ("num_workers", "shard_size")
 
+#: Environment overrides honoured by :class:`TemporalParams`, with the
+#: same when-default-only semantics as :data:`ENV_OVERRIDES`. CI smoke
+#: jobs use ``REPRO_EVIDENCE_DECAY`` to re-run the temporal suite under
+#: decay-weighted evidence without touching any call site.
+TEMPORAL_ENV_OVERRIDES: tuple[tuple[str, str], ...] = (
+    ("evidence_decay", "REPRO_EVIDENCE_DECAY"),
+)
+
 #: Recognised ``truth_backend`` settings — the single source of truth
 #: for every entry point that validates one (this class,
 #: :class:`repro.truth.accu.Accu`,
@@ -334,6 +342,7 @@ class DependenceParams:
 
 
 _ENV_FIELDS = frozenset(name for name, _ in ENV_OVERRIDES)
+_TEMPORAL_ENV_FIELDS = frozenset(name for name, _ in TEMPORAL_ENV_OVERRIDES)
 
 
 @dataclass(frozen=True, slots=True)
@@ -449,6 +458,16 @@ class TemporalParams:
     ``rarity_weight`` controls how much simultaneous co-updates are
     discounted when many sources performed the same update (common
     updates are weak evidence — temporal intuition 2).
+
+    ``evidence_decay`` (opt-in) down-weights each co-adoption's evidence
+    by ``decay ** |Δt|`` where ``Δt`` is the gap between the two
+    sources' adoption times: a copy lands promptly, so agreement between
+    adoptions far apart in time says little about copying — stale
+    assertions are *weakened* evidence, not hard counts. The default 1.0
+    is bitwise-unchanged behaviour (the weighting branch is never
+    entered); values in (0, 1) enable the decay. Honours the
+    ``REPRO_EVIDENCE_DECAY`` environment override
+    (:data:`TEMPORAL_ENV_OVERRIDES`) when the field holds its default.
     """
 
     alpha: float = 0.2
@@ -460,8 +479,28 @@ class TemporalParams:
     rarity_weight: float = 1.0
     freshness_adjustment: float = 0.0
     nt_floor: float = 0.01
+    evidence_decay: float = 1.0
+
+    def _apply_env_overrides(self) -> None:
+        defaults = {
+            f.name: f.default
+            for f in fields(self)
+            if f.name in _TEMPORAL_ENV_FIELDS
+        }
+        for name, variable in TEMPORAL_ENV_OVERRIDES:
+            raw = os.environ.get(variable)
+            if not raw or getattr(self, name) != defaults[name]:
+                continue
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ParameterError(
+                    f"{variable} must be a float, got {raw!r}"
+                ) from None
+            object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
+        self._apply_env_overrides()
         if not 0.0 < self.alpha < 1.0:
             raise ParameterError(f"alpha must be in (0, 1), got {self.alpha}")
         if not 0.0 < self.copy_rate < 1.0:
@@ -496,6 +535,10 @@ class TemporalParams:
         if not 0.0 <= self.nt_floor < 1.0:
             raise ParameterError(
                 f"nt_floor must be in [0, 1), got {self.nt_floor}"
+            )
+        if not 0.0 < self.evidence_decay <= 1.0:
+            raise ParameterError(
+                f"evidence_decay must be in (0, 1], got {self.evidence_decay}"
             )
 
     @property

@@ -13,6 +13,16 @@ needs:
 * observation subsampling, modelling the "incomplete observations"
   challenge of section 3.1 (we only see periodic snapshots of a web
   source, not every update).
+
+Like the snapshot :class:`~repro.core.dataset.ClaimDataset`, the store
+is versioned for incremental consumers: every accepted claim advances a
+monotonic ``version`` and is logged, so
+:class:`~repro.dependence.temporal.StreamingTemporalDataset` can ask
+``dirty_objects_since(v)`` / ``new_claims_since(v)`` and repair only
+what changed. Temporal claims are append-only — an update history is a
+record of what a source asserted *when*, so a "correction" is simply a
+later update, never a removal; the mutation algebra's retractions and
+corrections belong to the snapshot store.
 """
 
 from __future__ import annotations
@@ -20,9 +30,10 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
+from operator import itemgetter
 
 from repro.core.claims import Claim, TemporalClaim
-from repro.core.dataset import ClaimDataset
+from repro.core.dataset import ClaimDataset, MutationDelta
 from repro.core.types import ObjectId, SourceId, Value
 from repro.exceptions import DataError
 
@@ -64,11 +75,16 @@ class TemporalDataset:
         self._by_source: dict[SourceId, set[ObjectId]] = {}
         self._by_object: dict[ObjectId, set[SourceId]] = {}
         self._sorted = True
+        # Append-only mutation log: (version, claim) per accepted claim,
+        # versions strictly increasing — the temporal mirror of the
+        # snapshot dataset's log (adds only; histories never shrink).
+        self._version = 0
+        self._log: list[tuple[int, TemporalClaim]] = []
         for claim in claims:
             self.add(claim)
 
-    def add(self, claim: TemporalClaim) -> None:
-        """Insert one temporal claim."""
+    def add(self, claim: TemporalClaim) -> bool:
+        """Insert one temporal claim; ``False`` for an exact duplicate."""
         if not isinstance(claim, TemporalClaim):
             raise DataError(
                 f"expected a TemporalClaim, got {type(claim).__name__}"
@@ -77,7 +93,7 @@ class TemporalDataset:
         for time, value in history:
             if time == claim.time:
                 if value == claim.value:
-                    return
+                    return False
                 raise DataError(
                     f"source {claim.source!r} asserts two values for "
                     f"{claim.object!r} at time {claim.time}: "
@@ -89,6 +105,52 @@ class TemporalDataset:
         self._by_source.setdefault(claim.source, set()).add(claim.object)
         self._by_object.setdefault(claim.object, set()).add(claim.source)
         self._sorted = False
+        self._version += 1
+        self._log.append((self._version, claim))
+        return True
+
+    def add_claims(self, claims: Iterable[TemporalClaim]) -> MutationDelta:
+        """Insert a batch, reporting what changed (the streaming surface).
+
+        Returns a :class:`~repro.core.dataset.MutationDelta` — the same
+        delta type the snapshot ingest path reports — with accepted and
+        duplicate counts, the set of objects whose histories changed,
+        and the dataset version after the batch.
+        """
+        added = 0
+        duplicates = 0
+        dirty: set[ObjectId] = set()
+        for claim in claims:
+            if self.add(claim):
+                added += 1
+                dirty.add(claim.object)
+            else:
+                duplicates += 1
+        return MutationDelta(
+            added=added,
+            duplicates=duplicates,
+            dirty_objects=dirty,
+            version=self._version,
+        )
+
+    @property
+    def version(self) -> int:
+        """Monotonic dataset version; advanced by every accepted claim."""
+        return self._version
+
+    def _log_since(self, version: int) -> list[tuple[int, TemporalClaim]]:
+        if version < 0:
+            raise DataError(f"version must be >= 0, got {version}")
+        idx = bisect_right(self._log, version, key=itemgetter(0))
+        return self._log[idx:]
+
+    def new_claims_since(self, version: int) -> list[TemporalClaim]:
+        """Claims accepted after ``version``, in acceptance order."""
+        return [claim for _, claim in self._log_since(version)]
+
+    def dirty_objects_since(self, version: int) -> set[ObjectId]:
+        """Objects whose update histories changed after ``version``."""
+        return {claim.object for _, claim in self._log_since(version)}
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:

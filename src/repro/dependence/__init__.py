@@ -40,10 +40,17 @@ from repro.dependence.sharding import (
     SweepConfig,
 )
 from repro.dependence.streaming import StreamingDependenceEngine
+from repro.dependence.temporal import (
+    CoAdoptionCollector,
+    StreamingTemporalDataset,
+    discover_temporal_dependence,
+    temporal_pair_posterior,
+)
 
 __all__ = [
     "AccuracySplit",
     "BatchedPosteriorEngine",
+    "CoAdoptionCollector",
     "ColumnarAgreeStore",
     "CopierClique",
     "DependenceGraph",
@@ -58,6 +65,7 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "StreamingDependenceEngine",
+    "StreamingTemporalDataset",
     "SweepConfig",
     "accuracy_split",
     "analyze_pair",
@@ -67,9 +75,11 @@ __all__ = [
     "copier_cliques",
     "direction_evidence",
     "discover_dependence",
+    "discover_temporal_dependence",
     "independent_core",
     "pair_key",
     "pair_posterior",
     "resolve_posterior_backend",
+    "temporal_pair_posterior",
     "uniform_value_probabilities",
 ]

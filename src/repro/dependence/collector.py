@@ -106,6 +106,15 @@ class ProviderCap:
                 )
         return providers[:cap]
 
+    def clear(self, item: ObjectId) -> None:
+        """Forget a truncation record (the item shrank back under the cap).
+
+        Keeps :attr:`truncated` a pure function of the *current* provider
+        sets when items lose providers (retraction/correction), matching
+        what a cold enumeration of the final state would record.
+        """
+        self._truncated.pop(item, None)
+
     def absorb(self, truncated: Mapping[ObjectId, int]) -> None:
         """Fold a worker cap's truncation record into this one.
 

@@ -57,32 +57,41 @@ backends emit the columnar store directly — shard record blocks
 concatenate into the arrays without ever materialising per-pair Python
 lists.
 
-Incremental maintenance under ingest
-------------------------------------
+Incremental maintenance under mutation
+--------------------------------------
 
 The cache subscribes to its dataset's mutation log
-(:meth:`~repro.core.dataset.ClaimDataset.new_claims_since`). Because
-claims are only ever *added* (values never change, claims are never
-removed), an ingest batch is fully described by "which sources are new
-per dirty object", and :meth:`EvidenceCache.sync` repairs exactly the
-structure those objects touch:
+(:meth:`~repro.core.dataset.ClaimDataset.mutations_since`), which
+covers the full mutation algebra — adds, retractions and corrections —
+and :meth:`EvidenceCache.sync` repairs exactly the structure the dirty
+objects touch:
 
-* the pair slots gain the dirty objects' new agreement/``kd``
-  contributions (agreement lists keep sorted-object order via bisection,
-  so the soft sums still accumulate in cold-rebuild order);
-* per-pair overlap counts are maintained; a pair crossing the
+* for add-only deltas the pair slots gain the dirty objects' new
+  agreement/``kd`` contributions (agreement lists keep sorted-object
+  order via bisection, so the soft sums still accumulate in
+  cold-rebuild order);
+* for retractions and corrections the delta carries each touched
+  source's *old* value, so the sync applies the **inverse delta**: the
+  object's previously collected contributions are retired — agreement
+  entries removed (tombstoned in the columnar store), ``kd`` counts
+  decremented, entry refs released — and the current state is
+  re-collected from scratch for that object;
+* per-pair overlap counts are maintained both ways: a pair crossing the
   ``min_overlap`` threshold is *backfilled* (its full structure is
-  collected from the two sources' coverage) — so the candidate set
-  stays exactly what a cold rebuild would derive;
+  collected from the two sources' coverage), one dropping below it is
+  retired — so the candidate set stays exactly what a cold rebuild
+  would derive;
 * dirty objects' provider counts (``m``, ``k_false`` inputs) are
   recomputed; clean objects are untouched;
 * with a hot-object cap (``params.max_providers_per_object``), a dirty
   object's capped provider prefix may change — its old contributions
-  are removed and the new prefix's re-collected, and pairs dropping
-  below ``min_overlap`` are retired.
+  are removed and the new prefix's re-collected;
+* under the ``resident`` backend the dirty rows are re-shipped to the
+  pinned workers, with objects that fell below two providers shipped as
+  tombstone rows so worker state never drifts.
 
 The invariant, asserted by the equivalence tests: after *any* sequence
-of ingest batches, the evidence served for every pair is bit-for-bit
+of mutation batches, the evidence served for every pair is bit-for-bit
 identical to a cold ``EvidenceCache`` built on the final dataset.
 :meth:`refresh`/:meth:`collect_all` sync automatically, so iterating
 callers never observe a stale structural state.
@@ -108,13 +117,14 @@ from __future__ import annotations
 import warnings
 from bisect import bisect_left, insort
 from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
 
 try:
     import numpy as np
 except ImportError:  # pragma: no cover - numpy ships with the toolchain
     np = None  # the "list" entry store and serial backend need none of it
 
-from repro.core.dataset import ClaimDataset
+from repro.core.dataset import ABSENT, ClaimDataset
 from repro.core.params import DependenceParams
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.bayes import PairEvidence, ValueProbabilities
@@ -890,8 +900,12 @@ class EvidenceCache:
         The parent-side repair is already done (and is authoritative);
         this ships each dirty object's *final* row — kept providers and
         entry codes — to its shard's worker, so the next warm build or
-        worker-side sweep sees exactly the state a cold pack would.
-        Bytes shipped are exposed via :attr:`last_sync_shipped_bytes`.
+        worker-side sweep sees exactly the state a cold pack would. A
+        dirty object that fell below two providers (retractions) ships
+        an empty tombstone row, which the worker-side ``apply_delta``
+        interprets as "delete this object" — without it the worker would
+        keep sweeping the stale pre-retraction row forever. Bytes
+        shipped are exposed via :attr:`last_sync_shipped_bytes`.
         """
         self._last_sync_shipped_bytes = 0
         if self._executor is None or not self._resident_fresh:
@@ -902,22 +916,31 @@ class EvidenceCache:
         executor = self._executor
         before = executor.bytes_shipped
         src_code = self._resident_src_code
+        dataset = self._dataset
         if self._plan.n_shards == 0 or any(
             source not in src_code
-            for new_sources in delta.values()
-            for source in new_sources
+            for obj in dirty_sorted
+            for source in dataset.claims_about_view(obj)
         ):
             # A zero-shard plan (no object had two providers at build
             # time) leaves freshly eligible rows nowhere to route; new
             # sources invalidate the code space of every row. Both are
-            # solved the same way: re-plan and re-ship.
+            # solved the same way: re-plan and re-ship. (The check walks
+            # the dirty objects' *current* providers: a mutated claim's
+            # source set can gain members through corrections too, not
+            # just through the adds the old delta shape carried.)
             self._resident_rearm()
         else:
-            dataset = self._dataset
             rows_by_shard: dict[int, list] = {}
             for obj in dirty_sorted:
                 providers = dataset.claims_about_view(obj)
                 if len(providers) < 2:
+                    # Tombstone: the worker deletes the object's row (a
+                    # no-op if it never held one, e.g. an object that
+                    # was always below the two-provider floor).
+                    rows_by_shard.setdefault(
+                        self._plan.shard_of(obj), []
+                    ).append((obj, [], []))
                     continue
                 row_src, row_entry = self._resident_row(obj, providers)
                 rows_by_shard.setdefault(
@@ -1008,7 +1031,7 @@ class EvidenceCache:
         self._last_sync_routing = {}
         if dataset.version == self._synced_version:
             return set()
-        delta = dataset.new_claims_since(self._synced_version)
+        delta = dataset.mutations_since(self._synced_version)
         self._synced_version = dataset.version
         self._refreshed = False
         backfilled: set[PairKey] = set()
@@ -1038,47 +1061,122 @@ class EvidenceCache:
     def _apply_object_delta(
         self,
         obj: ObjectId,
-        new_sources: set[SourceId],
+        touched: Mapping[SourceId, Any],
         backfilled: set[PairKey],
     ) -> None:
+        """Repair one dirty object's pair contributions.
+
+        ``touched`` is the object's slice of
+        :meth:`~repro.core.dataset.ClaimDataset.mutations_since`: each
+        mutated source mapped to its value at the cache's previous
+        synced version (:data:`~repro.core.dataset.ABSENT` when it
+        asserted nothing then). Pure adds take the incremental
+        only-new-pairs path; any retraction or correction takes the
+        inverse-delta path — retire every contribution the old state
+        made, then re-collect the current state — which is
+        history-independent and therefore bit-for-bit equal to a cold
+        rebuild.
+        """
         dataset = self._dataset
         providers = dataset.claims_about_view(obj)
-        if len(providers) < 2:
-            return
-        all_sorted = sorted(providers)
         cap = self._cap_limit
-        if cap is not None and len(all_sorted) > cap:
-            # The capped prefix may have changed: retire the old
-            # prefix's contributions, collect the new prefix's. When the
-            # new sources all sort past the prefix (the common case for
-            # a hot object) the prefix — and every contribution — is
-            # unchanged, and only the popularity inputs need refreshing.
-            old_sorted = [s for s in all_sorted if s not in new_sources]
-            kept_old = old_sorted[:cap]
-            kept_new = list(self._cap.kept(obj, all_sorted))
-            if kept_new != kept_old:
+        if any(old is not ABSENT for old in touched.values()):
+            # Inverse delta: reconstruct the provider→value map the
+            # cache collected (untouched sources keep their current
+            # value; touched sources their logged old value), retire its
+            # capped prefix's contributions, then re-collect the current
+            # prefix. Entry dedup plus object-sorted segments make the
+            # final structure independent of this retire/re-add detour.
+            old_values = {
+                s: c.value for s, c in providers.items() if s not in touched
+            }
+            for source, old in touched.items():
+                if old is not ABSENT:
+                    old_values[source] = old
+            kept_old: list[SourceId] = []
+            if len(old_values) >= 2:
+                old_sorted = sorted(old_values)
+                kept_old = old_sorted[:cap] if cap is not None else old_sorted
+            kept_new: list[SourceId] = []
+            if len(providers) >= 2:
+                kept_new = list(self._cap.kept(obj, sorted(providers)))
+            # A source untouched by the delta and kept in both prefixes
+            # contributes the same value to the same pairs before and
+            # after: pairs with two such endpoints need no retire/re-add
+            # (their agreement entries, kd counts and co-counts are all
+            # unchanged — only the object's value probabilities moved,
+            # which _dirty_probs_objects already covers).
+            stable = (set(kept_old) & set(kept_new)) - set(touched)
+            if len(kept_old) >= 2:
                 self._remove_object_pairs(
-                    obj, kept_old, providers, backfilled
+                    obj, kept_old, old_values, backfilled, stable=stable
                 )
-                for i, s1 in enumerate(kept_new):
-                    for s2 in kept_new[i + 1 :]:
+            for i, s1 in enumerate(kept_new):
+                in_stable = s1 in stable
+                for s2 in kept_new[i + 1 :]:
+                    if in_stable and s2 in stable:
+                        continue
+                    self._add_pair_on_object(
+                        obj, s1, s2, providers, backfilled
+                    )
+            if cap is not None and len(providers) <= cap:
+                # A shrunk object is no longer truncated; a cold rebuild
+                # would not record it.
+                self._cap.clear(obj)
+            if obj not in self._groups:
+                # Nothing agrees on the object any more (or it fell
+                # below two providers): no popularity inputs to refresh.
+                self._dirty_probs_objects.add(obj)
+                return
+        elif len(providers) < 2:
+            return
+        else:
+            # A source can be added *and* retracted between syncs: its
+            # first logged old value is ABSENT (nothing to retire) and
+            # it is absent now (nothing to collect) — drop it.
+            new_sources = {s for s in touched if s in providers}
+            all_sorted = sorted(providers)
+            if cap is not None and len(all_sorted) > cap:
+                # The capped prefix may have changed: retire the old
+                # prefix's contributions, collect the new prefix's. When
+                # the new sources all sort past the prefix (the common
+                # case for a hot object) the prefix — and every
+                # contribution — is unchanged, and only the popularity
+                # inputs need refreshing.
+                old_sorted = [s for s in all_sorted if s not in new_sources]
+                kept_old = old_sorted[:cap]
+                kept_new = list(self._cap.kept(obj, all_sorted))
+                if kept_new != kept_old:
+                    self._remove_object_pairs(
+                        obj,
+                        kept_old,
+                        {s: providers[s].value for s in kept_old},
+                        backfilled,
+                    )
+                    for i, s1 in enumerate(kept_new):
+                        for s2 in kept_new[i + 1 :]:
+                            self._add_pair_on_object(
+                                obj, s1, s2, providers, backfilled
+                            )
+            else:
+                # Providers only grew: everything previously collected
+                # for this object stands; only pairs with a new endpoint
+                # appear.
+                new_sorted = sorted(new_sources)
+                old_sorted = [s for s in all_sorted if s not in new_sources]
+                for s_new in new_sorted:
+                    for s_old in old_sorted:
+                        key = (
+                            (s_new, s_old) if s_new < s_old else (s_old, s_new)
+                        )
+                        self._add_pair_on_object(
+                            obj, key[0], key[1], providers, backfilled
+                        )
+                for i, s1 in enumerate(new_sorted):
+                    for s2 in new_sorted[i + 1 :]:
                         self._add_pair_on_object(
                             obj, s1, s2, providers, backfilled
                         )
-        else:
-            # Providers only grow: everything previously collected for
-            # this object stands; only pairs with a new endpoint appear.
-            new_sorted = sorted(new_sources)
-            old_sorted = [s for s in all_sorted if s not in new_sources]
-            for s_new in new_sorted:
-                for s_old in old_sorted:
-                    key = (s_new, s_old) if s_new < s_old else (s_old, s_new)
-                    self._add_pair_on_object(
-                        obj, key[0], key[1], providers, backfilled
-                    )
-            for i, s1 in enumerate(new_sorted):
-                for s2 in new_sorted[i + 1 :]:
-                    self._add_pair_on_object(obj, s1, s2, providers, backfilled)
         # Provider counts changed: refresh the object's popularity inputs.
         if self._with_popularity and obj in self._groups:
             self._value_counts[obj] = [
@@ -1155,14 +1253,26 @@ class EvidenceCache:
         self,
         obj: ObjectId,
         kept_old: list[SourceId],
-        providers: Mapping,
+        values: Mapping[SourceId, Value],
         backfilled: set[PairKey],
+        stable: frozenset[SourceId] | set[SourceId] = frozenset(),
     ) -> None:
-        """Retire the contributions the old capped prefix made for ``obj``."""
+        """Retire the contributions the old capped prefix made for ``obj``.
+
+        ``values`` maps each kept source to the value it asserted in the
+        state being retired — the *current* claims for a cap-prefix
+        retirement, the reconstructed old map for a mutation's inverse
+        delta. Pairs with both endpoints in ``stable`` are skipped: the
+        caller established their contribution survives the delta
+        unchanged, so neither their entries nor their co-counts move.
+        """
         counts = self._co_counts
         for i, s1 in enumerate(kept_old):
-            v1 = providers[s1].value
+            v1 = values[s1]
+            in_stable = s1 in stable
             for s2 in kept_old[i + 1 :]:
+                if in_stable and s2 in stable:
+                    continue
                 key = (s1, s2)
                 if counts is not None:
                     remaining = counts[key] - 1
@@ -1177,7 +1287,7 @@ class EvidenceCache:
                     # (A backfilled slot already reflects the final state
                     # of every object, this one included.)
                     self._dirty_pairs.add(key)
-                    if providers[s2].value != v1:
+                    if values[s2] != v1:
                         slot.kd -= 1
                     else:
                         eid = self._groups[obj][v1]
@@ -1583,9 +1693,12 @@ class EvidenceCache:
         when their structure did not change. The value-group expansion
         of dirty objects happens here, not during sync, so callers that
         never consume the tracking never pay for it; expanding against
-        the *current* dataset is safe because claims are append-only
-        (today's value groups contain sync-time's) and capped-prefix
-        changes are structural touches already marked.
+        the *current* dataset is safe because any pair whose agreement
+        set changed — including through retractions, corrections and
+        capped-prefix shifts — was structurally touched during sync and
+        is already marked; the expansion only needs the pairs whose
+        structure stood while the object's probabilities moved, and
+        those agree on the object *now*.
 
         Non-destructive — call :meth:`clear_dirty_pairs` once the pairs
         have actually been re-scored, so a failure in between never

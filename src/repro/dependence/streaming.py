@@ -29,7 +29,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from repro.core.claims import Claim
-from repro.core.dataset import ClaimDataset, IngestDelta
+from repro.core.dataset import ClaimDataset, MutationBatch, MutationDelta
 from repro.core.params import DependenceParams
 from repro.core.types import SourceId
 from repro.dependence.bayes import (
@@ -150,15 +150,20 @@ class StreamingDependenceEngine:
     # lifecycle: ingest / refresh / discover
     # ------------------------------------------------------------------
 
-    def ingest(self, claims: Iterable[Claim]) -> IngestDelta:
-        """Absorb a claim batch and repair the evidence structure.
+    def ingest(
+        self, claims: MutationBatch | Iterable[Claim]
+    ) -> MutationDelta:
+        """Absorb a mutation batch and repair the evidence structure.
 
-        The structural repair touches only the pair slots of the dirty
-        objects (plus any pairs newly crossing the overlap threshold);
-        everything else is reused. Returns the dataset's
-        :class:`~repro.core.dataset.IngestDelta`.
+        Accepts a :class:`~repro.core.dataset.MutationBatch` (mixed
+        adds/retractions/corrections) or, as before, a bare iterable of
+        claims (an add-only batch). The structural repair touches only
+        the pair slots of the dirty objects (plus any pairs crossing the
+        overlap threshold in either direction); everything else is
+        reused. Returns the dataset's
+        :class:`~repro.core.dataset.MutationDelta`.
         """
-        delta = self._dataset.add_claims(claims)
+        delta = self._dataset.apply(claims)
         if delta:
             self._cache.sync()
         return delta

@@ -52,15 +52,16 @@ equivalence tests compare against.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
-from repro.core.claims import ValuePeriod
+from repro.core.claims import TemporalClaim, ValuePeriod
+from repro.core.dataset import MutationDelta
 from repro.core.params import TemporalParams
 from repro.core.temporal_dataset import TemporalDataset
 from repro.core.types import ObjectId, SourceId, Value
 from repro.dependence.bayes import PairDependence, normalized_posteriors
-from repro.dependence.collector import PairSlotCollector, pair_key
+from repro.dependence.collector import PairKey, PairSlotCollector, pair_key
 from repro.dependence.graph import DependenceGraph
 from repro.exceptions import DataError
 
@@ -503,6 +504,14 @@ def _event_log_ratio(
     if order == "tie" and event.n_adopters > 2 and params.rarity_weight > 0:
         # Simultaneous adoption shared widely: mostly the world changing.
         log_ratio /= 1.0 + params.rarity_weight * (event.n_adopters - 2)
+    if params.evidence_decay != 1.0:
+        # Opt-in age decay (ONA's truth-projection DECAY**Δt shape): a
+        # copy lands promptly, so a co-adoption whose two sides are far
+        # apart in time is weak evidence either way — the whole
+        # per-value log-ratio is scaled down, soft evidence rather than
+        # a hard count. Gated so decay=1.0 never touches the float path
+        # (bitwise-unchanged default).
+        log_ratio *= params.evidence_decay ** abs(event.lag)
     return log_ratio
 
 
@@ -673,3 +682,239 @@ def discover_temporal_dependence(
                 )
             )
     return graph
+
+
+class StreamingTemporalDataset:
+    """Streaming mirror of the snapshot engine for the temporal modality.
+
+    The snapshot side pairs a mutable :class:`~repro.core.dataset.
+    ClaimDataset` with an incrementally repaired
+    :class:`~repro.dependence.evidence.EvidenceCache`; this class pairs
+    a :class:`~repro.core.temporal_dataset.TemporalDataset` with an
+    incrementally maintained :class:`CoAdoptionCollector`. Each
+    :meth:`ingest` batch of :class:`~repro.core.claims.TemporalClaim`
+    updates lands in the dataset (advancing its mutation-log version)
+    and then repairs exactly the co-adoption state the batch dirtied:
+    per dirty object, the object's contribution is retired from every
+    affected pair slot and re-collected from the current histories —
+    adopter counts, per-source adoption lists and hot-object cap
+    records included — by splicing the object's run back at its sorted
+    position. The maintained collector is therefore *equal* to a cold
+    :class:`CoAdoptionCollector` of the post-ingest dataset — slot
+    record order included, so :meth:`discover` posteriors match a cold
+    run bit for bit.
+
+    Temporal claims are append-only (see
+    :mod:`repro.core.temporal_dataset`): a correction in this modality
+    is a later update, so there is no retraction surface to mirror —
+    the dirty-object repair covers out-of-order arrivals (an update
+    landing *before* an already-known one reorders the first-adoption
+    map, and the repair recomputes it from scratch).
+    """
+
+    def __init__(
+        self,
+        dataset: TemporalDataset | None = None,
+        *,
+        candidate_pairs: list[tuple[SourceId, SourceId]] | None = None,
+        max_providers_per_object: int | None = None,
+        sweep=None,
+    ) -> None:
+        self._dataset = dataset if dataset is not None else TemporalDataset()
+        self._collector = CoAdoptionCollector(
+            self._dataset,
+            candidate_pairs,
+            max_providers_per_object=max_providers_per_object,
+            sweep=sweep,
+        )
+        self._synced_version = self._dataset.version
+        # Per-pair count of objects on whose kept provider prefix the
+        # pair currently co-occurs. Cold builds admit a slot exactly for
+        # pairs with a live co-occurrence; under a provider cap a later
+        # arrival can displace a source from a prefix and drop a pair's
+        # count to zero, at which point its (then necessarily empty)
+        # slot must be withdrawn to keep slot admission equal to cold.
+        self._pair_refs: dict[PairKey, int] = {}
+        cap = self._collector._cap.cap
+        for obj in self._dataset.objects:
+            kept = sorted(self._dataset.sources_for(obj))[:cap]
+            for i, s1 in enumerate(kept):
+                for s2 in kept[i + 1 :]:
+                    key = (s1, s2)
+                    self._pair_refs[key] = self._pair_refs.get(key, 0) + 1
+
+    @property
+    def dataset(self) -> TemporalDataset:
+        """The live temporal store."""
+        return self._dataset
+
+    @property
+    def collector(self) -> CoAdoptionCollector:
+        """The incrementally maintained co-adoption structure."""
+        return self._collector
+
+    @property
+    def synced_version(self) -> int:
+        """The dataset version the collector reflects."""
+        return self._synced_version
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+    def ingest(self, claims: Iterable[TemporalClaim]) -> MutationDelta:
+        """Absorb an update batch and repair the dirtied co-adoption state.
+
+        Returns the dataset's :class:`~repro.core.dataset.MutationDelta`.
+        A mid-batch rejection (conflicting same-time value, wrong claim
+        type) still repairs whatever prefix landed before re-raising, so
+        the collector never serves stale slots.
+        """
+        claims = list(claims)
+        # Pre-state per candidate object, captured before any add lands:
+        # the repair needs to know which (value, source) adoptions to
+        # retire from the counts and slots.
+        before: dict[ObjectId, tuple[list, dict]] = {}
+        for claim in claims:
+            if not isinstance(claim, TemporalClaim):
+                continue  # dataset.add raises; nothing will land for it
+            obj = claim.object
+            if obj in before:
+                continue
+            providers = sorted(self._dataset.sources_for(obj))
+            before[obj] = (
+                providers,
+                {
+                    s: _first_adoptions(self._dataset, s, obj)
+                    for s in providers
+                },
+            )
+        try:
+            delta = self._dataset.add_claims(claims)
+        finally:
+            dirty = self._dataset.dirty_objects_since(self._synced_version)
+            for obj in sorted(dirty):
+                self._repair_object(obj, *before[obj])
+            if dirty:
+                self._collector._packed = None
+            self._collector._built_size = len(self._dataset)
+            self._synced_version = self._dataset.version
+        return delta
+
+    def _repair_object(
+        self,
+        obj: ObjectId,
+        old_providers: list[SourceId],
+        old_adoptions: Mapping[SourceId, Mapping[Value, float]],
+    ) -> None:
+        collector = self._collector
+        counts = collector._adopter_counts
+        # Retire the object's old adoption bookkeeping.
+        for source, adoptions in old_adoptions.items():
+            for value in adoptions:
+                key = (obj, value)
+                remaining = counts[key] - 1
+                if remaining:
+                    counts[key] = remaining
+                else:
+                    del counts[key]
+            by_source = collector._adoptions_by_source.get(source)
+            if by_source is not None:
+                by_source[:] = [k for k in by_source if k[0] != obj]
+        # Re-collect the current state.
+        new_providers = sorted(self._dataset.sources_for(obj))
+        providers: list[tuple[SourceId, dict[Value, float]]] = []
+        for source in new_providers:
+            adoptions = _first_adoptions(self._dataset, source, obj)
+            providers.append((source, adoptions))
+            by_source = collector._adoptions_by_source.setdefault(source, [])
+            for value in adoptions:
+                key = (obj, value)
+                counts[key] = counts.get(key, 0) + 1
+                by_source.append(key)
+        cap = collector._cap
+        kept = cap.kept(obj, providers)
+        if cap.cap is not None and len(providers) <= cap.cap:
+            cap.clear(obj)
+        new_runs: dict[PairKey, list] = {}
+        for i, (s1, adoptions1) in enumerate(kept):
+            for s2, adoptions2 in kept[i + 1 :]:
+                run = []
+                for value, t1 in adoptions1.items():
+                    t2 = adoptions2.get(value)
+                    if t2 is not None:
+                        run.append((obj, value, t1, t2))
+                if run:
+                    new_runs[(s1, s2)] = run
+        # Every pair that held (or now holds) records for this object:
+        # pairs among the old kept prefix cover retirement, pairs among
+        # the new kept prefix cover (re-)collection. Providers only grow,
+        # but a new source can displace an old one from a capped prefix,
+        # so both sides are needed.
+        old_kept = (
+            old_providers if cap.cap is None else old_providers[: cap.cap]
+        )
+        refs = self._pair_refs
+        affected: set[PairKey] = set(new_runs)
+        for i, s1 in enumerate(old_kept):
+            for s2 in old_kept[i + 1 :]:
+                key = (s1, s2)
+                affected.add(key)
+                remaining = refs[key] - 1
+                if remaining:
+                    refs[key] = remaining
+                else:
+                    del refs[key]
+        kept_sources = [s for s, _ in kept]
+        for i, s1 in enumerate(kept_sources):
+            for s2 in kept_sources[i + 1 :]:
+                key = (s1, s2)
+                affected.add(key)
+                refs[key] = refs.get(key, 0) + 1
+        slots = collector._slots
+        for key in sorted(affected):
+            run = new_runs.get(key, [])
+            slot = slots.get(key)
+            if slot is None:
+                # A cold build admits a slot for every pair with a live
+                # co-occurrence on some item, records or not.
+                if key in refs and not collector._fixed:
+                    slots[key] = list(run)
+                continue
+            if key not in refs and not collector._fixed:
+                # The pair's last co-occurrence just went away (a new
+                # arrival displaced a source from this object's capped
+                # prefix); a cold build would not admit it at all.
+                del slots[key]
+                continue
+            # Splice: drop the object's old records, insert the new run
+            # at its object-ascending position (the order a cold build's
+            # sorted group sweep produces).
+            out: list = []
+            inserted = not run
+            for rec in slot:
+                if rec[0] == obj:
+                    continue
+                if not inserted and rec[0] > obj:
+                    out.extend(run)
+                    inserted = True
+                out.append(rec)
+            if not inserted:
+                out.extend(run)
+            slot[:] = out
+
+    def discover(self, **kwargs) -> DependenceGraph:
+        """Analyse every pair over the maintained co-adoption structure.
+
+        Exactly :func:`discover_temporal_dependence` with this
+        dataset/collector pair — bit-for-bit what a cold collector
+        would produce.
+        """
+        return discover_temporal_dependence(
+            self._dataset, collector=self._collector, **kwargs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StreamingTemporalDataset({len(self._dataset)} claims, "
+            f"{len(self._collector)} pairs, v{self._synced_version})"
+        )

@@ -9,9 +9,17 @@ immutable snapshot resolved at call start (latest-wins, or an explicit
 pinned version), so a publish landing mid-call cannot tear an answer.
 
 The refresh loop runs the caller's ``refresh`` callable (typically
-:meth:`Session.publish <repro.session.Session.publish>` over pending
+:meth:`Session.refresh <repro.session.Session.refresh>` over pending
 ingest) in the default executor, keeping the event loop free to serve
-queries while a truth round computes.
+queries while a truth round computes. The feed it drains is the full
+mutation algebra, not just appends: producers queue
+:class:`~repro.core.dataset.MutationBatch` objects carrying adds,
+retractions and corrections through
+:meth:`Session.feed <repro.session.Session.feed>`, and each refresh
+applies them in arrival order before re-running truth — the published
+:class:`~repro.serve.snapshot.Snapshot` records the mutation-log
+version it reflects (:attr:`Snapshot.mutation_version
+<repro.serve.snapshot.Snapshot.mutation_version>`).
 """
 
 from __future__ import annotations

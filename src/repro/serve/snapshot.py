@@ -15,9 +15,13 @@ same answers, no matter how many rounds the writer publishes meanwhile.
 A snapshot is *stamped* with its serving ``version`` exactly once —
 normally by :meth:`~repro.serve.store.SnapshotStore.publish` — and
 carries the ``dataset_version`` and ``round_id`` of the truth round it
-froze. :meth:`fingerprint` digests all array bytes plus the metadata, so
-torn reads and persistence corruption are detectable as inequality of a
-single hex string.
+froze. ``dataset_version`` is the dataset's *mutation-log* version: the
+:class:`~repro.core.dataset.ClaimDataset` counter that every add,
+retraction and correction advances, so a snapshot states exactly which
+prefix of the mutation log it reflects (:attr:`Snapshot.mutation_version`
+spells this out). :meth:`fingerprint` digests all array bytes plus the
+metadata, so torn reads and persistence corruption are detectable as
+inequality of a single hex string.
 """
 
 from __future__ import annotations
@@ -230,6 +234,19 @@ class Snapshot:
     def version(self) -> int | None:
         """The serving version, once stamped by a store (else ``None``)."""
         return self._version
+
+    @property
+    def mutation_version(self) -> int:
+        """The mutation-log version of the dataset state this round froze.
+
+        Every mutation — add, retraction, correction — applied at or
+        below this version is reflected in the frozen arrays; anything
+        logged later is not. The same number as :attr:`dataset_version`
+        (a :class:`~repro.core.dataset.ClaimDataset` has exactly one
+        version counter, advanced by its mutation log), surfaced under
+        its precise name for the serving layer's consistency story.
+        """
+        return self.dataset_version
 
     def _stamp(self, version: int) -> None:
         """Assign the serving version; exactly once, by the store."""

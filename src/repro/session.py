@@ -36,7 +36,7 @@ from collections.abc import Iterable
 from dataclasses import replace
 
 from repro.core.claims import Claim
-from repro.core.dataset import ClaimDataset, IngestDelta
+from repro.core.dataset import ClaimDataset, MutationBatch, MutationDelta
 from repro.core.params import DependenceParams, IterationParams
 from repro.dependence.streaming import StreamingDependenceEngine
 from repro.exceptions import ParameterError, ServeError
@@ -110,9 +110,10 @@ class Session:
         )
         self.min_overlap = min_overlap
         self.store = SnapshotStore(retention=retention)
-        # Claims queued by feed() (possibly from other threads / the
-        # event loop) and drained by the next publish()/refresh().
-        self._pending: list[Claim] = []
+        # Mutation batches queued by feed() (possibly from other threads
+        # / the event loop) and drained in arrival order by the next
+        # publish()/refresh().
+        self._pending: list[MutationBatch] = []
         self._feed_lock = threading.Lock()
         self._published_dataset_version: int | None = None
 
@@ -151,27 +152,41 @@ class Session:
     # write lifecycle: ingest -> discover -> run_truth -> publish
     # ------------------------------------------------------------------
 
-    def ingest(self, claims: Iterable[Claim]) -> IngestDelta:
+    def ingest(self, claims: Iterable[Claim]) -> MutationDelta:
         """Absorb a claim batch now (structural repair, dirty objects only)."""
         return self._engine.ingest(claims)
 
-    def feed(self, claims: Iterable[Claim]) -> int:
-        """Queue claims for the *next* publish; safe from any thread.
+    def apply(self, batch: MutationBatch | Iterable[Claim]) -> MutationDelta:
+        """Apply one mixed add/retract/correct batch now.
 
-        The serving loop's ingest side: producers feed claims without
-        touching engine state; the next :meth:`publish` (typically the
-        background refresh) drains the queue in arrival order. Returns
-        the queued count.
+        The unified ingest surface: one
+        :class:`~repro.core.dataset.MutationBatch` lands as a single
+        versioned transaction and the evidence structure is repaired
+        incrementally (inverse deltas for retractions/corrections).
+        A bare claim iterable is accepted as an add-only batch —
+        :meth:`ingest` is exactly that wrapper.
         """
-        batch = list(claims)
-        with self._feed_lock:
-            self._pending.extend(batch)
-        return len(batch)
+        return self._engine.ingest(batch)
 
-    def _drain_feed(self) -> list[Claim]:
+    def feed(self, claims: MutationBatch | Iterable[Claim]) -> int:
+        """Queue a mutation batch for the *next* publish; safe from any thread.
+
+        The serving loop's ingest side: producers feed claims — or a
+        full :class:`~repro.core.dataset.MutationBatch` with
+        retractions and corrections — without touching engine state; the
+        next :meth:`publish` (typically the background refresh) drains
+        the queue in arrival order. Returns the queued mutation count.
+        """
+        if not isinstance(claims, MutationBatch):
+            claims = MutationBatch.from_claims(claims)
         with self._feed_lock:
-            batch, self._pending = self._pending, []
-        return batch
+            self._pending.append(claims)
+        return len(claims)
+
+    def _drain_feed(self) -> list[MutationBatch]:
+        with self._feed_lock:
+            batches, self._pending = self._pending, []
+        return batches
 
     def discover(self, **kwargs):
         """Dependence posteriors for every candidate pair (restricted rescore)."""
@@ -197,8 +212,10 @@ class Session:
         the same truth under a new version); :meth:`refresh` is the
         change-detecting variant the background loop uses.
         """
-        batch = self._drain_feed()
-        if batch:
+        for batch in self._drain_feed():
+            # Applied separately, in arrival order: a retraction queued
+            # after the add it withdraws must see the add already
+            # applied, exactly as if each producer had called apply().
             self._engine.ingest(batch)
         snapshot = self._engine.publish(self.store)
         self._published_dataset_version = snapshot.dataset_version
@@ -280,7 +297,7 @@ class Session:
             "discover": dict(self._engine.last_discover_stats),
             "truth": dict(self._engine.last_truth_stats),
             "claims": len(self.dataset),
-            "pending": len(self._pending),
+            "pending": sum(len(batch) for batch in self._pending),
             "dirty": self.dirty,
         }
 

@@ -25,6 +25,7 @@ HEALTHY = {
         "ingest_vs_rebuild": {
             "speedups_by_dirty_fraction": {"2%": 12.0, "5%": 9.0, "10%": 6.5}
         },
+        "mutation_sync": {"speedup": 3.9, "mutations": 300},
         "serial_vs_sharded": {"speedups": {"numpy": 2.1, "process_4": 1.6}},
         "streaming_rescore": {"pairs": 1225, "rescored": 77},
         "sync_delta": {
@@ -67,6 +68,7 @@ def test_healthy_trajectory_passes(tmp_path):
         "batch_vs_per_pair.speedup",
         "round_refresh.speedup",
         "ingest_vs_rebuild.speedup[5%]",
+        "mutation_sync.speedup",
         "serial_vs_sharded.speedups.numpy",
         "streaming_rescore.rescored/pairs",
         "sync_delta.shipped_bytes_ratio",
@@ -78,6 +80,15 @@ def test_healthy_trajectory_passes(tmp_path):
         "truth_round.depen_restricted_rescore.reused",
     ):
         assert metric in result.stdout
+
+
+def test_mutation_sync_gate_catches_slow_sync(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    doctored["results"]["mutation_sync"]["speedup"] = 1.4  # below 3.0
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "mutation_sync.speedup" in result.stdout
+    assert "REGRESSION" in result.stdout
 
 
 def test_serving_torn_read_gate_is_zero_tolerance(tmp_path):

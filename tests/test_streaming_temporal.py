@@ -1,0 +1,258 @@
+"""Streaming temporal engine: incremental ingest == cold rebuild.
+
+:class:`StreamingTemporalDataset` mirrors the snapshot streaming engine
+for the temporal modality: each ingest batch repairs exactly the
+co-adoption state it dirtied, and the maintained collector must equal a
+cold :class:`CoAdoptionCollector` of the post-ingest dataset — slot
+record order, adopter counts, cap truncation records and discover
+posteriors, bit for bit, for every provider cap. Also covered here:
+the TemporalDataset versioning surface the stream consumes, and the
+opt-in ``evidence_decay`` down-weighting (default 1.0 must be a
+bitwise no-op).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.claims import TemporalClaim
+from repro.core.params import TemporalParams
+from repro.core.temporal_dataset import TemporalDataset
+from repro.dependence.temporal import (
+    CoAdoptionCollector,
+    StreamingTemporalDataset,
+    discover_temporal_dependence,
+)
+from repro.exceptions import DataError, ParameterError
+
+
+def _random_temporal_claims(rng, seen, n=40, n_sources=6, n_objects=10):
+    """Random update claims, consistent with everything generated before.
+
+    ``seen`` maps (source, object, time) -> value across *all* batches
+    drawn from it, so no batch ever asserts a second value for an
+    already-used timestamp (which the dataset rejects by design).
+    """
+    claims = []
+    for _ in range(n):
+        key = (
+            f"S{rng.randrange(n_sources)}",
+            f"o{rng.randrange(n_objects)}",
+            float(rng.randrange(0, 30)),
+        )
+        value = seen.setdefault(key, f"v{rng.randrange(4)}")
+        claims.append(
+            TemporalClaim(
+                source=key[0], object=key[1], value=value, time=key[2]
+            )
+        )
+    rng.shuffle(claims)
+    return claims
+
+
+def _sorted_adoptions(collector):
+    return {
+        source: sorted(adoptions)
+        for source, adoptions in collector._adoptions_by_source.items()
+        if adoptions
+    }
+
+
+def _assert_collector_equal(maintained, cold, context=""):
+    assert maintained._slots.keys() == cold._slots.keys(), context
+    for key in cold._slots:
+        assert maintained._slots[key] == cold._slots[key], (context, key)
+    assert maintained._adopter_counts == cold._adopter_counts, context
+    assert _sorted_adoptions(maintained) == _sorted_adoptions(cold), context
+    assert dict(maintained._cap.truncated) == dict(cold._cap.truncated), (
+        context
+    )
+
+
+def _assert_same_graph(incremental, cold, context=""):
+    pairs = {(p.s1, p.s2) for p in cold}
+    assert {(p.s1, p.s2) for p in incremental} == pairs, context
+    for pair in cold:
+        other = incremental.get(pair.s1, pair.s2)
+        assert other.p_independent == pair.p_independent, (context, pair)
+        assert other.p_s1_copies_s2 == pair.p_s1_copies_s2, (context, pair)
+        assert other.p_s2_copies_s1 == pair.p_s2_copies_s1, (context, pair)
+
+
+class TestStreamingTemporalEquivalence:
+    @pytest.mark.parametrize("cap", [None, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_ingest_matches_cold_rebuild(self, cap, seed):
+        rng = random.Random(seed)
+        seen = {}
+        stream = StreamingTemporalDataset(
+            TemporalDataset(_random_temporal_claims(rng, seen)),
+            max_providers_per_object=cap,
+        )
+        for round_no in range(3):
+            delta = stream.ingest(
+                _random_temporal_claims(rng, seen, n=15)
+            )
+            assert stream.synced_version == stream.dataset.version
+            assert delta.version == stream.dataset.version
+            cold = CoAdoptionCollector(
+                stream.dataset, max_providers_per_object=cap
+            )
+            context = f"cap={cap} seed={seed} round={round_no}"
+            _assert_collector_equal(stream.collector, cold, context)
+            _assert_same_graph(
+                stream.discover(),
+                discover_temporal_dependence(
+                    stream.dataset, collector=cold
+                ),
+                context,
+            )
+
+    def test_duplicate_only_batch_is_a_noop(self):
+        rng = random.Random(7)
+        seen = {}
+        claims = _random_temporal_claims(rng, seen)
+        stream = StreamingTemporalDataset(TemporalDataset(claims))
+        version = stream.dataset.version
+        delta = stream.ingest(claims[:10])
+        assert not delta
+        assert delta.duplicates == 10
+        assert stream.dataset.version == version
+
+    def test_mid_batch_rejection_repairs_landed_prefix(self):
+        rng = random.Random(11)
+        seen = {}
+        stream = StreamingTemporalDataset(
+            TemporalDataset(_random_temporal_claims(rng, seen))
+        )
+        good = _random_temporal_claims(rng, seen, n=5)
+        used_key = next(iter(seen))
+        conflicting = TemporalClaim(
+            source=used_key[0],
+            object=used_key[1],
+            value=seen[used_key] + "-conflict",
+            time=used_key[2],
+        )
+        with pytest.raises(DataError):
+            stream.ingest(good + [conflicting])
+        # The rejected claim never landed; the five before it did, and
+        # the collector must reflect exactly that landed prefix.
+        assert stream.synced_version == stream.dataset.version
+        _assert_collector_equal(
+            stream.collector, CoAdoptionCollector(stream.dataset)
+        )
+
+    def test_starts_empty(self):
+        stream = StreamingTemporalDataset()
+        assert len(stream) == 0
+        stream.ingest(
+            [TemporalClaim(source="A", object="o", value="x", time=1.0)]
+        )
+        assert len(stream) == 1
+
+
+class TestTemporalDatasetVersioning:
+    def test_version_advances_per_accepted_claim(self):
+        dataset = TemporalDataset()
+        claim = TemporalClaim(source="A", object="o", value="x", time=1.0)
+        assert dataset.version == 0
+        assert dataset.add(claim)
+        assert dataset.version == 1
+        assert not dataset.add(claim)  # exact duplicate
+        assert dataset.version == 1
+
+    def test_add_claims_delta(self):
+        dataset = TemporalDataset()
+        claims = [
+            TemporalClaim(source="A", object="o1", value="x", time=1.0),
+            TemporalClaim(source="A", object="o2", value="y", time=2.0),
+            TemporalClaim(source="A", object="o1", value="x", time=1.0),
+        ]
+        delta = dataset.add_claims(claims)
+        assert delta.added == 2
+        assert delta.duplicates == 1
+        assert delta.dirty_objects == {"o1", "o2"}
+        assert delta.version == dataset.version == 2
+
+    def test_claims_and_dirty_objects_since(self):
+        dataset = TemporalDataset()
+        first = TemporalClaim(source="A", object="o1", value="x", time=1.0)
+        dataset.add(first)
+        mark = dataset.version
+        later = TemporalClaim(source="B", object="o2", value="y", time=2.0)
+        dataset.add(later)
+        assert dataset.new_claims_since(0) == [first, later]
+        assert dataset.new_claims_since(mark) == [later]
+        assert dataset.dirty_objects_since(mark) == {"o2"}
+        assert dataset.new_claims_since(dataset.version) == []
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(DataError):
+            TemporalDataset().new_claims_since(-1)
+
+
+class TestEvidenceDecay:
+    @pytest.fixture(autouse=True)
+    def _clean_decay_env(self, monkeypatch):
+        # CI re-runs this file with REPRO_EVIDENCE_DECAY exported; the
+        # assertions below are about the parameter itself, so they start
+        # from a clean environment (the env-override tests set it back).
+        monkeypatch.delenv("REPRO_EVIDENCE_DECAY", raising=False)
+
+    @staticmethod
+    def _dataset():
+        rng = random.Random(5)
+        return TemporalDataset(_random_temporal_claims(rng, {}, n=60))
+
+    def test_default_decay_is_one(self):
+        assert TemporalParams().evidence_decay == 1.0
+
+    def test_decay_one_is_bitwise_identical(self):
+        dataset = self._dataset()
+        _assert_same_graph(
+            discover_temporal_dependence(
+                dataset, params=TemporalParams(evidence_decay=1.0)
+            ),
+            discover_temporal_dependence(dataset),
+        )
+
+    def test_decay_changes_posteriors(self):
+        dataset = self._dataset()
+        default = discover_temporal_dependence(dataset)
+        decayed = discover_temporal_dependence(
+            dataset, params=TemporalParams(evidence_decay=0.8)
+        )
+        assert any(
+            decayed.get(p.s1, p.s2).p_independent != p.p_independent
+            for p in default
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.2, 1.5])
+    def test_decay_out_of_range_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            TemporalParams(evidence_decay=bad)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVIDENCE_DECAY", "0.8")
+        assert TemporalParams().evidence_decay == 0.8
+        # An explicit value beats the environment.
+        assert TemporalParams(evidence_decay=0.9).evidence_decay == 0.9
+
+    def test_env_override_bad_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVIDENCE_DECAY", "fast")
+        with pytest.raises(ParameterError):
+            TemporalParams()
+
+    def test_env_override_smoke_discovery(self, monkeypatch):
+        # The CI smoke: discovery under a decayed environment still runs
+        # end to end and matches an explicit-parameter run exactly.
+        dataset = self._dataset()
+        explicit = discover_temporal_dependence(
+            dataset, params=TemporalParams(evidence_decay=0.9)
+        )
+        monkeypatch.setenv("REPRO_EVIDENCE_DECAY", "0.9")
+        _assert_same_graph(
+            discover_temporal_dependence(dataset), explicit
+        )
