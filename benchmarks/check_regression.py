@@ -84,6 +84,18 @@ GATES: dict[str, list[tuple[str, Callable[[dict], float], str, float]]] = {
             5.0,
         ),
     ],
+    "recovery": [
+        # Supervised recovery from one SIGKILLed resident worker: the
+        # respawn + state re-ship + batch retry must stay within 3x of
+        # a clean sync of the same shape (the bench also asserts the
+        # repaired cache equals a cold rebuild bit-for-bit).
+        (
+            "recovery.overhead_ratio",
+            lambda s: s["overhead_ratio"],
+            "max",
+            3.0,
+        ),
+    ],
     "pair_posterior_batch": [
         # The batched posterior kernel vs the scalar pair_posterior
         # loop over the same refreshed evidence — the acceptance floor

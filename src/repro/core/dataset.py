@@ -288,7 +288,7 @@ class ClaimDataset:
         )
 
     def apply(self, batch: MutationBatch | Iterable[Claim]) -> MutationDelta:
-        """Apply one mixed mutation batch as a versioned transaction.
+        """Apply one mixed mutation batch as an all-or-nothing transaction.
 
         Accepts a :class:`MutationBatch` or, for convenience, a bare
         iterable of claims (treated as an add-only batch). Mutations are
@@ -296,34 +296,126 @@ class ClaimDataset:
         adds/corrections are tolerated (ingest pipelines replay), while
         conflicting blind re-assertions, retractions of absent claims
         and corrections without a target raise
-        :class:`~repro.exceptions.DataError`, with everything applied
-        before the offending mutation retained.
+        :class:`~repro.exceptions.DataError` — and the whole batch rolls
+        back: dataset state, mutation log and version afterwards are
+        exactly as if ``apply`` had never been called, so a poison batch
+        can be quarantined and every other producer's data keeps
+        flowing. Rollback restores first-touch snapshots of the affected
+        index rows wholesale (not inverse replay), which preserves the
+        inner dicts' insertion order bit-for-bit — downstream float
+        accumulation over provider rows is order-sensitive, so this is
+        what keeps a rolled-back dataset's evidence identical to a
+        never-applied one.
         """
         if not isinstance(batch, MutationBatch):
             batch = MutationBatch.from_claims(batch)
+        start_version = self._version
+        start_log = len(self._log)
+        # Only retractions delete *top-level* index entries; a deleted
+        # key re-inserted during rollback would land at the end of its
+        # dict, perturbing iteration order (and with it every
+        # order-sensitive downstream accumulation). Capture the key
+        # orders up front for such batches so rollback can rebuild the
+        # original order exactly — O(n) lists, paid only by batches
+        # that retract, and the rebuild only on the failure path.
+        key_orders: list[tuple[dict, list]] | None = None
+        if batch.retractions:
+            key_orders = [
+                (index, list(index))
+                for index in (
+                    self._by_key,
+                    self._by_source,
+                    self._by_object,
+                    self._by_object_value,
+                )
+            ]
+        saved_keys: dict[tuple[SourceId, ObjectId], Claim | None] = {}
+        saved_sources: dict[SourceId, dict | None] = {}
+        saved_objects: dict[ObjectId, dict | None] = {}
+        saved_values: dict[ObjectId, dict | None] = {}
+
+        def snapshot(source: SourceId, obj: ObjectId) -> None:
+            # First touch only: the snapshot must be the pre-batch
+            # state, not some mid-batch intermediate.
+            key = (source, obj)
+            if key not in saved_keys:
+                saved_keys[key] = self._by_key.get(key)
+            if source not in saved_sources:
+                row = self._by_source.get(source)
+                saved_sources[source] = None if row is None else dict(row)
+            if obj not in saved_objects:
+                row = self._by_object.get(obj)
+                saved_objects[obj] = None if row is None else dict(row)
+            if obj not in saved_values:
+                row = self._by_object_value.get(obj)
+                saved_values[obj] = (
+                    None
+                    if row is None
+                    else {value: set(ps) for value, ps in row.items()}
+                )
+
         duplicates = 0
         added = retracted = corrected = 0
         dirty: set[ObjectId] = set()
-        for source, obj in batch.retractions:
-            self.retract(source, obj)
-            retracted += 1
-            dirty.add(obj)
-        for claim in batch.corrections:
-            before = self._version
-            self.correct(claim)
-            if self._version == before:
-                duplicates += 1
-            else:
-                corrected += 1
-                dirty.add(claim.object)
-        for claim in batch.adds:
-            before = self._version
-            self.add(claim)
-            if self._version == before:
-                duplicates += 1
-            else:
-                added += 1
-                dirty.add(claim.object)
+        try:
+            for source, obj in batch.retractions:
+                snapshot(source, obj)
+                self.retract(source, obj)
+                retracted += 1
+                dirty.add(obj)
+            for claim in batch.corrections:
+                if isinstance(claim, Claim):
+                    snapshot(claim.source, claim.object)
+                before = self._version
+                self.correct(claim)
+                if self._version == before:
+                    duplicates += 1
+                else:
+                    corrected += 1
+                    dirty.add(claim.object)
+            for claim in batch.adds:
+                if isinstance(claim, Claim):
+                    snapshot(claim.source, claim.object)
+                before = self._version
+                self.add(claim)
+                if self._version == before:
+                    duplicates += 1
+                else:
+                    added += 1
+                    dirty.add(claim.object)
+        except BaseException:
+            for key, old_claim in saved_keys.items():
+                if old_claim is None:
+                    self._by_key.pop(key, None)
+                else:
+                    self._by_key[key] = old_claim
+            for source, row in saved_sources.items():
+                if row is None:
+                    self._by_source.pop(source, None)
+                else:
+                    self._by_source[source] = row
+            for obj, row in saved_objects.items():
+                if row is None:
+                    self._by_object.pop(obj, None)
+                else:
+                    self._by_object[obj] = row
+            for obj, row in saved_values.items():
+                if row is None:
+                    self._by_object_value.pop(obj, None)
+                else:
+                    self._by_object_value[obj] = row
+            if key_orders is not None:
+                # Keys the restore re-inserted sit at the end of their
+                # dicts; rebuild each index in its pre-batch order (all
+                # batch-added keys are gone by now, so filtering the
+                # captured order by membership is exact).
+                for index, order in key_orders:
+                    restored = {key: index[key] for key in order if key in index}
+                    index.clear()
+                    index.update(restored)
+            del self._log[start_log:]
+            self._version = start_version
+            raise
         return MutationDelta(
             added=added,
             duplicates=duplicates,

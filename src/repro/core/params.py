@@ -50,9 +50,12 @@ ENV_OVERRIDES: tuple[tuple[str, str], ...] = (
     ("pool", "REPRO_POOL"),
     ("truth_backend", "REPRO_TRUTH_BACKEND"),
     ("posterior_backend", "REPRO_POSTERIOR_BACKEND"),
+    ("max_retries", "REPRO_MAX_RETRIES"),
+    ("task_deadline", "REPRO_TASK_DEADLINE"),
 )
 
-_INT_ENV_FIELDS = ("num_workers", "shard_size")
+_INT_ENV_FIELDS = ("num_workers", "shard_size", "max_retries")
+_FLOAT_ENV_FIELDS = ("task_deadline",)
 
 #: Environment overrides honoured by :class:`TemporalParams`, with the
 #: same when-default-only semantics as :data:`ENV_OVERRIDES`. CI smoke
@@ -196,11 +199,24 @@ class DependenceParams:
     default) picks batch whenever the evidence cache is columnar and
     numpy is importable.
 
+    ``max_retries`` / ``task_deadline`` / ``degrade_on_failure``
+    configure the supervised execution layer
+    (:class:`~repro.exec.supervisor.SupervisedExecutor`) that wraps
+    the process-crossing backends: how often a failed task batch is
+    retried (with exponential backoff and jitter), the per-batch
+    wall-clock budget in seconds after which a hung worker is killed
+    and the batch retried (``None`` waits forever), and whether
+    exhausting the retries steps down the degradation ladder
+    (``resident → process → numpy → serial``) instead of raising.
+    Execution policy, never results: every backend is bit-for-bit
+    equivalent, so retrying or degrading cannot change an answer.
+
     Execution-policy fields honour environment overrides
     (:data:`ENV_OVERRIDES`): ``REPRO_PARALLEL_BACKEND``,
     ``REPRO_NUM_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_ENTRY_STORE``,
-    ``REPRO_POOL``, ``REPRO_TRUTH_BACKEND`` and
-    ``REPRO_POSTERIOR_BACKEND`` replace the matching
+    ``REPRO_POOL``, ``REPRO_TRUTH_BACKEND``,
+    ``REPRO_POSTERIOR_BACKEND``, ``REPRO_MAX_RETRIES`` and
+    ``REPRO_TASK_DEADLINE`` replace the matching
     field when it holds its
     default value — so CI can exercise a whole test suite under the
     process pool without touching any call site. Explicit *non-default*
@@ -224,6 +240,9 @@ class DependenceParams:
     overlap_policy: str = "warn"
     truth_backend: str = "auto"
     posterior_backend: str = "auto"
+    max_retries: int = 2
+    task_deadline: float | None = None
+    degrade_on_failure: bool = True
 
     def _apply_env_overrides(self) -> None:
         defaults = {
@@ -240,6 +259,13 @@ class DependenceParams:
                 except ValueError:
                     raise ParameterError(
                         f"{variable} must be an integer, got {raw!r}"
+                    ) from None
+            elif name in _FLOAT_ENV_FIELDS:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise ParameterError(
+                        f"{variable} must be a float, got {raw!r}"
                     ) from None
             object.__setattr__(self, name, value)
 
@@ -328,6 +354,14 @@ class DependenceParams:
             raise ParameterError(
                 "posterior_backend must be 'auto', 'batch' or 'scalar', got "
                 f"{self.posterior_backend!r}"
+            )
+        if self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ParameterError(
+                f"task_deadline must be > 0 or None, got {self.task_deadline}"
             )
 
     @property

@@ -255,6 +255,15 @@ class EvidenceCache:
         self._backend = params.parallel_backend
         self._num_workers = params.num_workers
         self._shard_size = params.shard_size
+        # Supervision policy for internally created executors: retries,
+        # per-batch deadline and the degradation ladder (see
+        # repro.exec.supervisor). Captured as plain fields so the exec
+        # package stays a lazy import.
+        self._supervision = (
+            params.max_retries,
+            params.task_deadline,
+            params.degrade_on_failure,
+        )
         if params.entry_store == "columnar":
             require_numpy()  # fail at construction, not mid-build
         self._columnar = params.entry_store == "columnar" or (
@@ -528,12 +537,24 @@ class EvidenceCache:
                 )
             )
         if self._executor is None:
-            from repro.exec import make_executor
+            from repro.exec import SupervisorPolicy, make_executor
 
+            max_retries, task_deadline, degrade = self._supervision
             self._executor = make_executor(
                 self._backend,
                 self._num_workers,
                 persistent=self._persistent_pool,
+                supervise=SupervisorPolicy(
+                    max_retries=max_retries,
+                    task_deadline=task_deadline,
+                    degrade_on_failure=degrade,
+                ),
+                # The cache owns the source of truth, so the supervisor
+                # can re-pack any shard a dead worker took down and
+                # retry without the cache ever seeing the loss.
+                state_provider=(
+                    self._resident_pack_shards if self._resident else None
+                ),
             )
             self._owns_executor = True
         if self._resident:
@@ -784,7 +805,16 @@ class EvidenceCache:
         worker, and re-run the whole batch — safe because every
         resident task is idempotent (``adopt`` and ``delta`` replace,
         ``sweep`` is pure).
+
+        A supervised executor (every internally created one) does all
+        of this itself — re-adoption through its state provider,
+        bounded retries, backoff, the degradation ladder — so the call
+        goes straight through; the legacy re-ship loop below only
+        serves caller-supplied raw executors.
         """
+        if getattr(self._executor, "handles_worker_loss", False):
+            return self._executor.run_shards(task, deltas)
+
         from repro.exec import ResidentWorkerLost
 
         pending_reship: set[int] = set()
@@ -1756,6 +1786,20 @@ class EvidenceCache:
     def owns_executor(self) -> bool:
         """Whether :meth:`close` closes the executor (vs borrowing it)."""
         return self._owns_executor
+
+    def execution_health(self) -> dict:
+        """The supervised executor's health counters, if one is live.
+
+        ``{"supervised": False}`` for in-process execution, borrowed
+        raw executors, or before the first sharded build; otherwise the
+        supervisor's :meth:`~repro.exec.supervisor.SupervisedExecutor.health`
+        dict (current backend, degradation state, retry/deadline/loss
+        counters) under ``"supervised": True``.
+        """
+        health = getattr(self._executor, "health", None)
+        if health is None:
+            return {"supervised": False}
+        return {"supervised": True, **health()}
 
     @property
     def last_build_shipped_bytes(self) -> int:

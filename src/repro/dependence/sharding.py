@@ -426,10 +426,13 @@ class ParallelSweepExecutor:
             try:
                 return list(self._pool.map(worker, payloads))
             except BrokenProcessPool:
-                # A dead worker poisons the whole pool; drop it so the
-                # next run forks a fresh one — parity with the
-                # ephemeral mode, which recovers by construction.
-                self.close()
+                # Shared recovery with PoolExecutor: warn naming the
+                # backend, drop the poisoned pool so the next run forks
+                # a fresh one — parity with the ephemeral mode, which
+                # recovers by construction.
+                from repro.exec.base import discard_broken_pool
+
+                discard_broken_pool(self.backend, self.close)
                 raise
         workers = min(self.num_workers, len(payloads))
         with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -128,6 +128,17 @@ class StreamingDependenceEngine:
         """The incrementally maintained evidence cache."""
         return self._cache
 
+    def execution_health(self) -> dict:
+        """The cache's supervised-executor health counters.
+
+        ``{"supervised": False}`` for in-process execution; otherwise
+        the :class:`~repro.exec.supervisor.SupervisedExecutor` health
+        dict — current backend (after any degradation), retry/deadline
+        counters, worker liveness — so a serving layer can report
+        execution state without reaching through the cache.
+        """
+        return self._cache.execution_health()
+
     @property
     def graph(self) -> DependenceGraph:
         """The most recently discovered dependence graph."""

@@ -49,6 +49,21 @@ class OverlapCalibrationWarning(UserWarning):
     """
 
 
+class ExecutorFailureWarning(UserWarning):
+    """A parallel-execution backend failed and was discarded or replaced.
+
+    Emitted when a worker pool breaks (``BrokenProcessPool`` — the pool
+    is torn down before the error propagates so no dead workers
+    linger), and when a :class:`~repro.exec.supervisor.SupervisedExecutor`
+    steps down the degradation ladder after exhausting its retries.
+    Results are unaffected in both cases — every backend is
+    merge-canonicalised to bit-for-bit identical output — only the
+    transport changes, so a warning (naming the failed backend) is the
+    right severity: visible in logs and ``-W error`` runs, fatal to
+    neither.
+    """
+
+
 class LinkageError(ReproError):
     """Record-linkage input could not be parsed or clustered."""
 

@@ -22,19 +22,34 @@ from repro.exec.base import (
     ExecutorCapabilities,
     SerialExecutor,
     ShardExecutor,
+    discard_broken_pool,
 )
+from repro.exec.faults import FaultInjected, FaultPlan, FaultSpec, active_plan
 from repro.exec.pool import PoolExecutor
 from repro.exec.resident import ResidentPoolExecutor, ResidentWorkerLost
+from repro.exec.supervisor import (
+    SupervisedExecutor,
+    SupervisorPolicy,
+    TaskDeadlineExceeded,
+)
 from repro.exec.tasks import TASKS, resolve_task, task_is_stateful
 
 __all__ = [
     "ExecutorCapabilities",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "PoolExecutor",
     "ResidentPoolExecutor",
     "ResidentWorkerLost",
     "SerialExecutor",
     "ShardExecutor",
+    "SupervisedExecutor",
+    "SupervisorPolicy",
     "TASKS",
+    "TaskDeadlineExceeded",
+    "active_plan",
+    "discard_broken_pool",
     "make_executor",
     "resolve_task",
     "task_is_stateful",
@@ -42,7 +57,12 @@ __all__ = [
 
 
 def make_executor(
-    backend: str, num_workers: int = 1, *, persistent: bool = False
+    backend: str,
+    num_workers: int = 1,
+    *,
+    persistent: bool = False,
+    supervise: SupervisorPolicy | None = None,
+    state_provider=None,
 ) -> ShardExecutor:
     """Build the executor serving a parallel-backend policy value.
 
@@ -51,11 +71,30 @@ def make_executor(
     gets the stateless pool (persistent or ephemeral); ``resident``
     gets the pinned resident-state pool, which is persistent by
     construction.
+
+    Passing ``supervise`` (a :class:`SupervisorPolicy`) wraps the
+    process-crossing transports in a :class:`SupervisedExecutor`:
+    per-batch deadlines, bounded retries with backoff, and the
+    degradation ladder. ``state_provider`` (see
+    :class:`SupervisedExecutor`) additionally makes worker loss on
+    stateful tasks invisible to the caller. In-process executors run
+    unsupervised — there is no transport to fail.
     """
     if backend == "process":
-        return PoolExecutor(num_workers, persistent=persistent)
-    if backend == "resident":
-        return ResidentPoolExecutor(num_workers)
-    if backend in ("serial", "numpy"):
+        inner: ShardExecutor = PoolExecutor(num_workers, persistent=persistent)
+    elif backend == "resident":
+        inner = ResidentPoolExecutor(num_workers)
+    elif backend in ("serial", "numpy"):
         return SerialExecutor()
-    raise ValueError(f"unknown parallel backend {backend!r}")
+    else:
+        raise ValueError(f"unknown parallel backend {backend!r}")
+    if supervise is None:
+        return inner
+    return SupervisedExecutor(
+        inner,
+        backend=backend,
+        num_workers=num_workers,
+        persistent=persistent,
+        policy=supervise,
+        state_provider=state_provider,
+    )

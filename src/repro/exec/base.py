@@ -26,12 +26,37 @@ shipping deltas against resident state; the latter is informational
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.exceptions import ExecutorFailureWarning
 from repro.exec.tasks import resolve_task
 
-__all__ = ["ExecutorCapabilities", "ShardExecutor", "SerialExecutor"]
+__all__ = [
+    "ExecutorCapabilities",
+    "ShardExecutor",
+    "SerialExecutor",
+    "discard_broken_pool",
+]
+
+
+def discard_broken_pool(backend: str, close: Callable[[], None]) -> None:
+    """Tear down a broken process pool, audibly.
+
+    The shared recovery step for every ``BrokenProcessPool`` site: a
+    dead worker poisons the whole pool, so the pool is discarded before
+    the error propagates (the next run — or a supervised retry — starts
+    clean) and a :class:`~repro.exceptions.ExecutorFailureWarning`
+    names the backend that failed instead of recovering silently.
+    """
+    warnings.warn(
+        f"{backend!r} pool worker died (BrokenProcessPool); the pool was "
+        "discarded and will be rebuilt on the next run",
+        ExecutorFailureWarning,
+        stacklevel=3,
+    )
+    close()
 
 
 @dataclass(frozen=True)

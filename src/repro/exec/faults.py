@@ -1,0 +1,269 @@
+"""Deterministic fault injection at task boundaries.
+
+Robustness code is only trustworthy if its failure paths run — this
+module makes workers fail *on schedule*. A :class:`FaultPlan` is a
+seeded list of :class:`FaultSpec` clauses, each naming a fault kind, a
+task-name pattern and a trigger; the plan hooks
+:func:`repro.exec.tasks.resolve_task`, so every executor — serial
+in-process, the stateless pool, resident workers — hits the same
+boundary without any executor knowing faults exist.
+
+The schedule travels through the ``REPRO_FAULTS`` environment variable
+(inherited by worker processes under both fork and spawn), so tests,
+benches and the CI chaos job configure it the same way::
+
+    REPRO_FAULTS="seed=42;kill:resident.sweep:every=25;hang:sweep:at=3:secs=30"
+
+Grammar: clauses separated by ``;``. The first clause may be
+``seed=N`` (default 0). Every other clause is
+``kind:pattern[:key=val]*`` where
+
+``kind``
+    ``kill`` (SIGKILL the worker process), ``hang`` (sleep ``secs``,
+    default 3600 — long enough that only a deadline ends it), ``slow``
+    (sleep ``secs``, default 0.01, then run normally) or ``corrupt``
+    (raise :class:`FaultInjected`, simulating a payload the worker
+    cannot decode).
+``pattern``
+    substring-matched against the registry task name (``sweep``
+    matches ``evidence.sweep_shard`` and ``resident.sweep``).
+``at=N`` / ``every=N`` / ``rate=F``
+    fire on the Nth matching call in this process, on every Nth, or
+    with probability ``F`` per call. Rate draws hash
+    ``seed:clause:task:count`` with blake2b, so they are reproducible
+    regardless of ``PYTHONHASHSEED``. Exactly one trigger per clause.
+``secs=F``
+    sleep length for ``hang``/``slow``.
+``times=N``
+    stop firing after N fires (per process).
+``scope=worker|any``
+    ``worker`` (the default) only fires in spawned worker processes —
+    a ``kill`` in the test runner itself is never what anyone wants;
+    ``any`` fires everywhere (for exercising the in-process path with
+    non-lethal kinds).
+
+Counters are per process and per clause: a respawned worker starts
+fresh, which is what lets a supervised retry of the same batch make
+progress past an ``at=N`` fault.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ParameterError
+
+__all__ = ["FaultInjected", "FaultSpec", "FaultPlan", "active_plan"]
+
+ENV_VAR = "REPRO_FAULTS"
+
+_KINDS = ("kill", "hang", "slow", "corrupt")
+_SCOPES = ("worker", "any")
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired (the ``corrupt`` kind surfaces as this)."""
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause: what to do, where, and when."""
+
+    kind: str
+    pattern: str
+    at: int | None = None
+    every: int | None = None
+    rate: float | None = None
+    seconds: float | None = None
+    times: int | None = None
+    scope: str = "worker"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ParameterError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not self.pattern:
+            raise ParameterError("fault pattern must be non-empty")
+        triggers = sum(
+            value is not None for value in (self.at, self.every, self.rate)
+        )
+        if triggers != 1:
+            raise ParameterError(
+                f"fault clause {self.kind}:{self.pattern} needs exactly one "
+                "trigger (at=, every= or rate=)"
+            )
+        if self.at is not None and self.at < 1:
+            raise ParameterError(f"at must be >= 1, got {self.at}")
+        if self.every is not None and self.every < 1:
+            raise ParameterError(f"every must be >= 1, got {self.every}")
+        if self.rate is not None and not 0.0 < self.rate <= 1.0:
+            raise ParameterError(f"rate must be in (0, 1], got {self.rate}")
+        if self.seconds is not None and self.seconds < 0:
+            raise ParameterError(f"secs must be >= 0, got {self.seconds}")
+        if self.times is not None and self.times < 1:
+            raise ParameterError(f"times must be >= 1, got {self.times}")
+        if self.scope not in _SCOPES:
+            raise ParameterError(
+                f"scope must be one of {_SCOPES}, got {self.scope!r}"
+            )
+
+
+def _draw(seed: int, clause: int, name: str, count: int) -> float:
+    """Deterministic uniform in [0, 1) — independent of PYTHONHASHSEED."""
+    digest = hashlib.blake2b(
+        f"{seed}:{clause}:{name}:{count}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class FaultPlan:
+    """A seeded fault schedule with per-process trigger counters."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...] = (), seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        # calls[i] counts this process's matching calls for clause i;
+        # fires[i] counts how often it actually fired (for times=).
+        self._calls = [0] * len(self.specs)
+        self._fires = [0] * len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, schedule: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see module docstring)."""
+        seed = 0
+        specs: list[FaultSpec] = []
+        clauses = [c.strip() for c in schedule.split(";") if c.strip()]
+        for position, clause in enumerate(clauses):
+            if position == 0 and clause.startswith("seed="):
+                try:
+                    seed = int(clause[len("seed="):])
+                except ValueError:
+                    raise ParameterError(
+                        f"{ENV_VAR} seed must be an integer, got {clause!r}"
+                    ) from None
+                continue
+            parts = clause.split(":")
+            if len(parts) < 2:
+                raise ParameterError(
+                    f"{ENV_VAR} clause {clause!r} must be "
+                    "kind:pattern[:key=val]*"
+                )
+            kind, pattern = parts[0], parts[1]
+            kwargs: dict[str, object] = {}
+            for part in parts[2:]:
+                key, sep, raw = part.partition("=")
+                if not sep:
+                    raise ParameterError(
+                        f"{ENV_VAR} option {part!r} in clause {clause!r} "
+                        "must be key=value"
+                    )
+                try:
+                    if key in ("at", "every", "times"):
+                        kwargs[key] = int(raw)
+                    elif key == "rate":
+                        kwargs[key] = float(raw)
+                    elif key == "secs":
+                        kwargs["seconds"] = float(raw)
+                    elif key == "scope":
+                        kwargs["scope"] = raw
+                    else:
+                        raise ParameterError(
+                            f"{ENV_VAR} unknown option {key!r} in clause "
+                            f"{clause!r} (at/every/rate/secs/times/scope)"
+                        )
+                except ValueError:
+                    raise ParameterError(
+                        f"{ENV_VAR} option {part!r} in clause {clause!r} "
+                        "has a malformed value"
+                    ) from None
+            specs.append(FaultSpec(kind=kind, pattern=pattern, **kwargs))
+        return cls(tuple(specs), seed)
+
+    def _should_fire(self, index: int, spec: FaultSpec, name: str) -> bool:
+        if spec.pattern not in name:
+            return False
+        if spec.scope == "worker" and not _in_worker_process():
+            return False
+        self._calls[index] += 1
+        if spec.times is not None and self._fires[index] >= spec.times:
+            return False
+        count = self._calls[index]
+        if spec.at is not None:
+            fire = count == spec.at
+        elif spec.every is not None:
+            fire = count % spec.every == 0
+        else:
+            fire = _draw(self.seed, index, name, count) < spec.rate
+        if fire:
+            self._fires[index] += 1
+        return fire
+
+    def fire(self, name: str) -> FaultSpec | None:
+        """Evaluate every clause against one task call; act on the first hit.
+
+        ``kill``/``hang``/``slow`` act directly (the latter two return
+        so the wrapped task still runs); ``corrupt`` raises
+        :class:`FaultInjected`. Returns the spec that fired, if any.
+        """
+        for index, spec in enumerate(self.specs):
+            if not self._should_fire(index, spec, name):
+                continue
+            if spec.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif spec.kind == "hang":
+                time.sleep(3600.0 if spec.seconds is None else spec.seconds)
+            elif spec.kind == "slow":
+                time.sleep(0.01 if spec.seconds is None else spec.seconds)
+            else:  # corrupt
+                raise FaultInjected(
+                    f"injected payload corruption in task {name!r}"
+                )
+            return spec
+        return None
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """Wrap a resolved task so the plan fires at its call boundary."""
+        if not any(spec.pattern in name for spec in self.specs):
+            return fn
+
+        def faulted(*args, **kwargs):
+            self.fire(name)
+            return fn(*args, **kwargs)
+
+        return faulted
+
+
+_EMPTY = FaultPlan()
+_PLAN: FaultPlan = _EMPTY
+_PLAN_SOURCE: str | None = None
+
+
+def active_plan() -> FaultPlan:
+    """The process-wide plan parsed from ``REPRO_FAULTS``.
+
+    Re-parses lazily whenever the variable's value changes (so a test
+    setting it via monkeypatch is picked up without any reset call);
+    counters restart on re-parse, matching the fresh counters a newly
+    spawned worker gets.
+    """
+    global _PLAN, _PLAN_SOURCE
+    source = os.environ.get(ENV_VAR) or None
+    if source != _PLAN_SOURCE:
+        _PLAN = FaultPlan.parse(source) if source else _EMPTY
+        _PLAN_SOURCE = source
+    return _PLAN

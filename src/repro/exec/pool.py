@@ -21,7 +21,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
-from repro.exec.base import ExecutorCapabilities, ShardExecutor
+from repro.exec.base import (
+    ExecutorCapabilities,
+    ShardExecutor,
+    discard_broken_pool,
+)
 from repro.exec.tasks import resolve_task, task_is_stateful
 
 __all__ = ["PoolExecutor"]
@@ -45,6 +49,10 @@ class PoolExecutor(ShardExecutor):
         self.num_workers = int(num_workers)
         self.persistent = bool(persistent)
         self._pool: ProcessPoolExecutor | None = None
+        # The pool a run() is currently blocked on (persistent or
+        # ephemeral) — what terminate() must reach from another thread
+        # when a deadline watchdog decides the batch is wedged.
+        self._active: ProcessPoolExecutor | None = None
 
     def submit(self, shard_id: int, task: str | Callable, delta: Any) -> Any:
         return self.run(task, [delta])[0]
@@ -67,21 +75,48 @@ class PoolExecutor(ShardExecutor):
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.num_workers
                 )
+            self._active = self._pool
             try:
                 return list(self._pool.map(_invoke, items))
             except BrokenProcessPool:
-                # A dead worker poisons the whole pool; drop it so the
-                # next run (if the caller retries) starts clean.
-                self.close()
+                discard_broken_pool("process", self.close)
                 raise
+            finally:
+                self._active = None
         workers = min(self.num_workers, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        self._active = pool
+        try:
             return list(pool.map(_invoke, items))
+        finally:
+            self._active = None
+            pool.shutdown()
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def terminate(self) -> None:
+        """Hard stop: kill the live pool's workers without waiting.
+
+        ``shutdown()`` joins workers, so a hung worker would hang the
+        teardown too; the deadline watchdog needs a stop that cannot
+        block. Killing the processes breaks the pool, which unblocks
+        any ``run()`` currently waiting on it (it raises
+        ``BrokenProcessPool`` — a retryable failure to the supervisor).
+        """
+        pool = self._active or self._pool
+        self._pool = None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     @property
     def closed(self) -> bool:

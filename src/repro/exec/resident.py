@@ -35,6 +35,7 @@ from __future__ import annotations
 import pickle
 from bisect import bisect_left
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.exec.base import ExecutorCapabilities, ShardExecutor
@@ -100,11 +101,21 @@ class ResidentPoolExecutor(ShardExecutor):
 
     _MAX_CRASH_RETRIES = 3
 
+    #: Seconds each escalation step (terminate, then kill) waits for a
+    #: worker to die before escalating further.
+    _teardown_grace = 1.0
+
     def __init__(self, num_workers: int = 1):
         self.num_workers = max(1, int(num_workers))
         self._workers: list[_Worker | None] = [None] * self.num_workers
         self._bytes_shipped = 0
         self._closed = False
+        #: Per-batch response deadline in seconds (``None`` = wait
+        #: forever). A worker that has not answered within the budget is
+        #: treated exactly like a dead one: reaped and respawned, its
+        #: resident state reported lost. Set directly or via
+        #: :class:`~repro.exec.supervisor.SupervisedExecutor`.
+        self.task_deadline: float | None = None
 
     # -- introspection ---------------------------------------------------
 
@@ -125,6 +136,14 @@ class ResidentPoolExecutor(ShardExecutor):
         return [
             w.process.pid for w in self._workers if w is not None
         ]
+
+    def alive_workers(self) -> int:
+        """How many spawned workers are actually alive right now."""
+        return sum(
+            1
+            for w in self._workers
+            if w is not None and w.process.is_alive()
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -147,6 +166,23 @@ class ResidentPoolExecutor(ShardExecutor):
             worker = self._spawn(index)
         return worker
 
+    def _reap(self, process) -> None:
+        """Make sure one worker process is dead: terminate, then kill.
+
+        ``join(timeout)`` alone can leave a live child behind on a slow
+        exit (a zombie holding its pipe and memory for the rest of the
+        parent's life), so each escalation step gets a bounded grace
+        period and the last resort is SIGKILL — which cannot be caught,
+        so the final join always completes.
+        """
+        grace = self._teardown_grace
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=grace)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=grace)
+
     def _mark_dead(self, index: int) -> set:
         """Discard a dead worker; return the shards whose state died."""
         worker = self._workers[index]
@@ -157,9 +193,7 @@ class ResidentPoolExecutor(ShardExecutor):
             worker.conn.close()
         except OSError:
             pass
-        if worker.process.is_alive():
-            worker.process.terminate()
-        worker.process.join(timeout=1.0)
+        self._reap(worker.process)
         self._workers[index] = None
         return lost
 
@@ -179,10 +213,26 @@ class ResidentPoolExecutor(ShardExecutor):
                 worker.conn.close()
             except OSError:
                 pass
-            worker.process.join(timeout=1.0)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=1.0)
+            worker.process.join(timeout=self._teardown_grace)
+            self._reap(worker.process)
+            self._workers[index] = None
+
+    def terminate(self) -> None:
+        """Hard stop: kill every worker now, without the polite sentinel.
+
+        Used by the supervisor's deadline watchdog and by tests; unlike
+        :meth:`close` it never waits on a worker that is wedged in a
+        task — it goes straight to the terminate→kill escalation.
+        """
+        self._closed = True
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            self._reap(worker.process)
             self._workers[index] = None
 
     # -- execution -------------------------------------------------------
@@ -257,10 +307,22 @@ class ResidentPoolExecutor(ShardExecutor):
                 continue
             sent.append((index, worker, shard_ids))
         # Recv phase: always drain every surviving worker fully so no
-        # stale response is left queued for the next batch.
+        # stale response is left queued for the next batch. When a
+        # deadline is set, each worker's batch gets one wall-clock
+        # budget; a worker that blows it is indistinguishable from a
+        # hung one, so it is reaped like a dead worker (its resident
+        # state reported lost) instead of blocking the parent forever.
         for index, worker, shard_ids in sent:
+            deadline = self.task_deadline
+            budget_end = None if deadline is None else monotonic() + deadline
             received = 0
             for shard_id in shard_ids:
+                if budget_end is not None:
+                    remaining = budget_end - monotonic()
+                    if remaining <= 0 or not worker.conn.poll(remaining):
+                        lost |= self._mark_dead(index)
+                        failed.extend(shard_ids[received:])
+                        break
                 try:
                     raw = worker.conn.recv_bytes()
                 except (EOFError, OSError):

@@ -1,0 +1,435 @@
+"""Supervised execution: deadlines, retries, and a degradation ladder.
+
+:class:`SupervisedExecutor` wraps any :class:`~repro.exec.base.ShardExecutor`
+and turns the three ad-hoc recovery idioms that used to live in
+``evidence.py``, ``pool.py`` and ``sharding.py`` into one policy
+surface (:class:`SupervisorPolicy`, populated from
+:class:`~repro.core.params.DependenceParams`):
+
+- **Deadlines** catch *hangs*, not just deaths. The resident pool
+  enforces its own per-batch deadline natively (a worker that misses
+  it is reaped like a crashed one); for the stateless process pool a
+  watchdog thread calls :meth:`~repro.exec.pool.PoolExecutor.terminate`
+  when the batch blows its budget and raises
+  :class:`TaskDeadlineExceeded` — retryable like any worker death.
+- **Bounded retries with backoff + jitter** absorb transient failures:
+  ``ResidentWorkerLost``, ``BrokenProcessPool``, deadline hits, pipe
+  errors and injected corruption are retried up to
+  ``max_retries`` times with exponentially growing, jittered sleeps.
+- **State re-adoption**: given a ``state_provider`` (a callable
+  packing named shards' state from the source of truth — the
+  evidence cache's ``_resident_pack_shards``), the supervisor tracks
+  which shards the workers hold and re-ships exactly the lost ones
+  before retrying, so worker loss is invisible to the caller
+  (``handles_worker_loss`` advertises this to the evidence layer).
+- **The degradation ladder** ``resident → process → numpy → serial``
+  kicks in once retries are exhausted: the broken transport is torn
+  down and the batch re-runs on the next rung (straight to the
+  in-process serial executor for stateful work — it supports resident
+  tasks against an ordinary dict, and the state provider re-adopts
+  there on first touch). Every backend is merge-canonicalised to
+  bit-for-bit identical results, so degrading changes *where* work
+  runs, never *what* it returns. Each step emits an
+  :class:`~repro.exceptions.ExecutorFailureWarning`.
+
+The wrapper is transparent otherwise: capabilities, byte accounting
+(cumulative across replaced transports) and incidental attributes like
+``worker_pids`` delegate to the current inner executor.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import warnings
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import ExecutorFailureWarning, ParameterError
+from repro.exec.base import SerialExecutor, ShardExecutor
+from repro.exec.resident import ResidentWorkerLost
+from repro.exec.tasks import task_is_stateful
+
+__all__ = [
+    "SupervisedExecutor",
+    "SupervisorPolicy",
+    "TaskDeadlineExceeded",
+]
+
+#: The degradation order for stateless work. Stateful work (or any
+#: executor with a state provider) degrades straight to ``serial`` —
+#: the in-process executor is the reference implementation of the
+#: stateful contract, so resident state can be re-adopted there.
+LADDER = ("resident", "process", "numpy", "serial")
+
+
+class TaskDeadlineExceeded(RuntimeError):
+    """A task batch exceeded its wall-clock deadline and was killed."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Recovery policy applied by :class:`SupervisedExecutor`.
+
+    ``max_retries`` bounds how often one batch is retried on the same
+    rung before degrading (or giving up); ``task_deadline`` is the
+    per-batch wall-clock budget in seconds (``None`` disables deadline
+    enforcement); ``degrade_on_failure`` enables the backend ladder.
+    The backoff between retries is
+    ``base * factor**(attempt-1) * (1 + jitter * U[0,1))`` seconds,
+    with the jitter draw seeded so runs are reproducible.
+    """
+
+    max_retries: int = 2
+    task_deadline: float | None = None
+    degrade_on_failure: bool = True
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ParameterError(
+                f"task_deadline must be > 0 or None, got {self.task_deadline}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ParameterError(
+                "need backoff_base >= 0 and backoff_factor >= 1, got "
+                f"base={self.backoff_base}, factor={self.backoff_factor}"
+            )
+        if self.backoff_jitter < 0:
+            raise ParameterError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}"
+            )
+
+    @classmethod
+    def from_params(cls, params) -> "SupervisorPolicy":
+        """Lift the supervision fields off a ``DependenceParams``."""
+        return cls(
+            max_retries=params.max_retries,
+            task_deadline=params.task_deadline,
+            degrade_on_failure=params.degrade_on_failure,
+        )
+
+
+class SupervisedExecutor(ShardExecutor):
+    """Policy-enforcing wrapper around a concrete :class:`ShardExecutor`.
+
+    Parameters
+    ----------
+    inner:
+        The executor doing the actual work (owned: closed and replaced
+        by the supervisor).
+    backend:
+        The policy name ``inner`` serves (``"resident"``, ``"process"``,
+        ...) — the rung the ladder starts from.
+    num_workers / persistent:
+        Reused when the ladder builds a replacement executor.
+    policy:
+        The :class:`SupervisorPolicy`; defaults are production-safe.
+    state_provider:
+        Optional ``callable(sorted_shard_ids) -> {shard_id: state}``
+        packing shard state from the source of truth. Required for
+        transparent worker-loss recovery on stateful tasks; without it
+        :class:`~repro.exec.resident.ResidentWorkerLost` propagates to
+        the caller exactly as with a raw executor.
+    sleep:
+        Injectable sleep for tests (defaults to :func:`time.sleep`).
+    """
+
+    # Exceptions worth retrying: transports break loudly and
+    # recoverably. Anything else (unknown task, parameter errors,
+    # data errors) is a caller bug and propagates immediately.
+    _RETRYABLE = (BrokenProcessPool, EOFError, OSError, RuntimeError)
+
+    #: After a deadline kill, how long to wait for the watchdogged
+    #: thread to observe its broken pool before moving on.
+    _WATCHDOG_GRACE = 5.0
+
+    def __init__(
+        self,
+        inner: ShardExecutor,
+        *,
+        backend: str,
+        num_workers: int = 1,
+        persistent: bool = False,
+        policy: SupervisorPolicy | None = None,
+        state_provider: Callable[[Sequence[int]], Mapping[int, Any]] | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self._inner = inner
+        self._backend = backend
+        self._original_backend = backend
+        self._num_workers = num_workers
+        self._persistent = persistent
+        self.policy = policy or SupervisorPolicy()
+        self._state_provider = state_provider
+        self._sleep = sleep or time.sleep
+        self._rng = random.Random(self.policy.seed)
+        self._adopted: set[int] = set()
+        self._bytes_base = 0
+        self._stats = {
+            "retries": 0,
+            "degrades": 0,
+            "deadline_hits": 0,
+            "worker_losses": 0,
+            "readoptions": 0,
+        }
+        self._apply_deadline()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def capabilities(self):  # type: ignore[override]
+        return self._inner.capabilities
+
+    @property
+    def handles_worker_loss(self) -> bool:
+        """Whether lost resident state is re-shipped and retried here."""
+        return self._state_provider is not None
+
+    @property
+    def backend(self) -> str:
+        """The rung currently executing (may differ after degradation)."""
+        return self._backend
+
+    @property
+    def inner(self) -> ShardExecutor:
+        """The executor currently doing the work."""
+        return self._inner
+
+    @property
+    def bytes_shipped(self) -> int:
+        # Cumulative across transport replacements: a degrade resets
+        # the inner executor's counter, not the caller's accounting.
+        return self._bytes_base + self._inner.bytes_shipped
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def probe(self) -> bool:
+        """Cheap health probe: are all spawned workers still alive?"""
+        pids = getattr(self._inner, "worker_pids", None)
+        alive = getattr(self._inner, "alive_workers", None)
+        if pids is not None and alive is not None:
+            return alive() == len(pids())
+        return True
+
+    def health(self) -> dict:
+        """Counters and current state for a serving ``health()`` surface."""
+        return {
+            "backend": self._backend,
+            "original_backend": self._original_backend,
+            "degraded": self._backend != self._original_backend,
+            "healthy": self.probe(),
+            "adopted_shards": len(self._adopted),
+            **self._stats,
+        }
+
+    def __getattr__(self, name: str):
+        # Transparent delegation for incidental surface (worker_pids,
+        # alive_workers, task_deadline...). Underscored names never
+        # delegate — they would mask genuine AttributeErrors during
+        # construction.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def terminate(self) -> None:
+        terminate = getattr(self._inner, "terminate", None)
+        if terminate is not None:
+            terminate()
+        else:
+            self._inner.close()
+
+    # -- execution -------------------------------------------------------
+
+    def submit(self, shard_id: int, task: str | Callable, delta: Any) -> Any:
+        return self._execute(
+            task,
+            {shard_id},
+            lambda: self._inner.submit(shard_id, task, delta),
+        )
+
+    def run(self, task: str | Callable, deltas: Sequence[Any]) -> list[Any]:
+        deltas = list(deltas)
+        return self._execute(
+            task,
+            set(range(len(deltas))),
+            lambda: self._inner.run(task, deltas),
+        )
+
+    def run_shards(
+        self, task: str | Callable, deltas: Mapping[int, Any]
+    ) -> dict[int, Any]:
+        deltas = dict(deltas)
+        return self._execute(
+            task,
+            set(deltas),
+            lambda: self._inner.run_shards(task, deltas),
+        )
+
+    def _execute(self, task, shard_ids: set, call: Callable[[], Any]):
+        stateful = task_is_stateful(task)
+        adopting = task == "resident.adopt"
+        attempt = 0
+        while True:
+            try:
+                if stateful and not adopting and self.handles_worker_loss:
+                    self._ensure_adopted(shard_ids)
+                result = self._call_with_deadline(call)
+                if adopting:
+                    self._adopted |= shard_ids
+                return result
+            except ResidentWorkerLost as exc:
+                if not self.handles_worker_loss:
+                    # Without a state provider the caller owns recovery
+                    # (the raw-executor contract); retrying here would
+                    # just lose the same state again.
+                    raise
+                self._adopted.difference_update(exc.shard_ids)
+                self._stats["worker_losses"] += 1
+                failure: BaseException = exc
+            except TaskDeadlineExceeded as exc:
+                self._stats["deadline_hits"] += 1
+                failure = exc
+            except self._RETRYABLE as exc:
+                failure = exc
+            attempt += 1
+            if attempt > self.policy.max_retries:
+                if self.policy.degrade_on_failure and self._degrade(
+                    stateful, failure
+                ):
+                    attempt = 0
+                    continue
+                raise failure
+            self._stats["retries"] += 1
+            self._backoff(attempt)
+
+    def _ensure_adopted(self, shard_ids: set) -> None:
+        missing = shard_ids - self._adopted
+        if not missing:
+            return
+        states = self._state_provider(sorted(missing))
+        self._call_with_deadline(
+            lambda: self._inner.run_shards("resident.adopt", states)
+        )
+        self._adopted |= set(states)
+        self._stats["readoptions"] += 1
+
+    def _backoff(self, attempt: int) -> None:
+        policy = self.policy
+        delay = policy.backoff_base * policy.backoff_factor ** (attempt - 1)
+        delay *= 1.0 + policy.backoff_jitter * self._rng.random()
+        if delay > 0:
+            self._sleep(delay)
+
+    # -- deadline enforcement --------------------------------------------
+
+    def _apply_deadline(self) -> None:
+        # The resident pool enforces deadlines natively (poll-based
+        # recv); push the budget down so a hung worker is reaped at
+        # the transport, where its state loss can be reported exactly.
+        if hasattr(self._inner, "task_deadline"):
+            self._inner.task_deadline = self.policy.task_deadline
+
+    def _call_with_deadline(self, call: Callable[[], Any]):
+        deadline = self.policy.task_deadline
+        inner = self._inner
+        if (
+            deadline is None
+            or hasattr(inner, "task_deadline")  # enforced natively
+            or not hasattr(inner, "terminate")  # in-process: nothing to kill
+        ):
+            return call()
+        box: dict[str, Any] = {}
+        done = threading.Event()
+
+        def runner() -> None:
+            try:
+                box["result"] = call()
+            except BaseException as exc:
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=runner, name="repro-task-watchdog", daemon=True
+        )
+        thread.start()
+        if not done.wait(deadline):
+            # The batch is wedged. Kill the pool out from under it —
+            # that breaks the blocked map() call, so the worker thread
+            # unwinds promptly instead of leaking.
+            inner.terminate()
+            done.wait(self._WATCHDOG_GRACE)
+            raise TaskDeadlineExceeded(
+                f"task batch exceeded its {deadline}s deadline on the "
+                f"{self._backend!r} backend; workers were killed"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    # -- degradation ladder ----------------------------------------------
+
+    def _next_backend(self, stateful: bool) -> str | None:
+        if self._backend == "serial":
+            return None
+        if stateful or self._state_provider is not None:
+            return "serial"
+        try:
+            position = LADDER.index(self._backend)
+        except ValueError:
+            return "serial"
+        return LADDER[position + 1] if position + 1 < len(LADDER) else None
+
+    def _make_inner(self, backend: str) -> ShardExecutor:
+        from repro.exec.pool import PoolExecutor
+        from repro.exec.resident import ResidentPoolExecutor
+
+        if backend == "process":
+            return PoolExecutor(self._num_workers, persistent=self._persistent)
+        if backend == "resident":
+            return ResidentPoolExecutor(self._num_workers)
+        return SerialExecutor()
+
+    def _degrade(self, stateful: bool, failure: BaseException) -> bool:
+        target = self._next_backend(stateful)
+        if target is None:
+            return False
+        warnings.warn(
+            f"{self._backend!r} backend failed after "
+            f"{self.policy.max_retries} retries "
+            f"({type(failure).__name__}: {failure}); degrading to "
+            f"{target!r} — results are unaffected (all backends are "
+            "bit-for-bit equivalent), only the transport changes",
+            ExecutorFailureWarning,
+            stacklevel=4,
+        )
+        self._bytes_base += self._inner.bytes_shipped
+        try:
+            self.terminate()
+        except Exception:
+            pass
+        self._inner = self._make_inner(target)
+        self._backend = target
+        # Worker-held state died with the old transport; the provider
+        # re-adopts lazily on the next stateful call.
+        self._adopted.clear()
+        self._stats["degrades"] += 1
+        self._apply_deadline()
+        return True

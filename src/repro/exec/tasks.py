@@ -45,7 +45,15 @@ TASKS: dict[str, tuple[str, str, bool]] = {
 
 
 def resolve_task(task: str | Callable) -> tuple[Callable, bool]:
-    """Resolve a task name (or bare callable) to ``(fn, stateful)``."""
+    """Resolve a task name (or bare callable) to ``(fn, stateful)``.
+
+    Resolution is the one boundary every transport crosses — serial
+    in-process, pool workers, resident workers all resolve here at call
+    time — so it is also where the fault-injection harness
+    (:mod:`repro.exec.faults`, ``REPRO_FAULTS``) hooks in: when a fault
+    plan is active, the resolved callable is wrapped so the schedule
+    fires exactly at the task-call boundary.
+    """
     if callable(task):
         return task, False
     try:
@@ -55,7 +63,13 @@ def resolve_task(task: str | Callable) -> tuple[Callable, bool]:
             f"unknown executor task {task!r}; registered: {sorted(TASKS)}"
         ) from None
     module = importlib.import_module(module_name)
-    return getattr(module, attribute), stateful
+    fn = getattr(module, attribute)
+    from repro.exec.faults import active_plan
+
+    plan = active_plan()
+    if plan:
+        fn = plan.wrap(task, fn)
+    return fn, stateful
 
 
 def task_is_stateful(task: str | Callable) -> bool:

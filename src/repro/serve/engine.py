@@ -25,6 +25,7 @@ version it reflects (:attr:`Snapshot.mutation_version
 from __future__ import annotations
 
 import asyncio
+import time
 from collections.abc import Callable
 
 from repro.exceptions import ServeError
@@ -50,10 +51,19 @@ class ServingEngine:
         Optional zero-argument callable producing the next
         :class:`~repro.serve.snapshot.Snapshot` to publish (or ``None``
         when there is nothing new). Run in the event loop's default
-        executor by the background loop; exceptions stop the loop and
-        surface on :meth:`stop`.
+        executor by the background loop. A refresh that raises does
+        *not* stop the loop: the failure is recorded (see
+        :meth:`health`), the loop backs off exponentially (capped at
+        ``32 ×`` the refresh interval) and keeps going — the last-good
+        snapshot keeps answering reads throughout. Only
+        :meth:`refresh_once` re-raises, for callers driving refresh
+        explicitly.
     refresh_interval:
         Seconds the background loop sleeps between refresh calls.
+    health_hook:
+        Optional zero-argument callable returning a dict merged into
+        :meth:`health` — the :class:`~repro.session.Session` uses it to
+        surface its dead-letter-queue depth next to the loop state.
     """
 
     def __init__(
@@ -62,6 +72,7 @@ class ServingEngine:
         refresh: Callable[[], Snapshot | None] | None = None,
         *,
         refresh_interval: float = 0.05,
+        health_hook: Callable[[], dict] | None = None,
     ) -> None:
         if refresh_interval <= 0:
             raise ServeError(
@@ -70,9 +81,14 @@ class ServingEngine:
         self.store = store
         self._refresh = refresh
         self._refresh_interval = refresh_interval
+        self._health_hook = health_hook
         self._task: asyncio.Task | None = None
         self._stats = {"queries": 0, "recommends": 0, "explains": 0,
                        "refreshes": 0}
+        self._consecutive_failures = 0
+        self._total_failures = 0
+        self._last_error: str | None = None
+        self._last_success_monotonic: float | None = None
         # Scorecards are pure functions of one snapshot; memoised per
         # served version (bounded by the store's retention in practice —
         # one entry per version that ever answered a recommend).
@@ -175,28 +191,62 @@ class ServingEngine:
             raise ServeError("refresh loop is already running")
         self._task = asyncio.get_running_loop().create_task(self._loop())
 
+    def _record_success(self) -> None:
+        self._stats["refreshes"] += 1
+        self._consecutive_failures = 0
+        self._last_success_monotonic = time.monotonic()
+
+    def _record_failure(self, exc: BaseException) -> None:
+        self._consecutive_failures += 1
+        self._total_failures += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+
     async def _loop(self) -> None:
+        # The serving loop must survive its refresh: one poison batch or
+        # wedged executor stopping publishes silently (nothing noticed
+        # until stop()) is exactly the failure mode this engine exists
+        # to prevent. Failures are recorded for health(), the sleep
+        # backs off exponentially while they persist, and the last-good
+        # snapshot keeps serving reads the whole time.
         loop = asyncio.get_running_loop()
         while True:
-            snapshot = await loop.run_in_executor(None, self._refresh)
-            self._stats["refreshes"] += 1
-            if snapshot is not None and snapshot.version is None:
-                self.store.publish(snapshot)
-            await asyncio.sleep(self._refresh_interval)
+            delay = self._refresh_interval
+            try:
+                snapshot = await loop.run_in_executor(None, self._refresh)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self._record_failure(exc)
+                delay *= min(32, 2 ** min(self._consecutive_failures, 5))
+            else:
+                self._record_success()
+                if snapshot is not None and snapshot.version is None:
+                    self.store.publish(snapshot)
+            await asyncio.sleep(delay)
 
     async def refresh_once(self) -> Snapshot | None:
-        """One refresh+publish cycle, awaitable (no loop required)."""
+        """One refresh+publish cycle, awaitable (no loop required).
+
+        Unlike the background loop this re-raises a refresh failure —
+        the caller asked for this specific refresh, so they get its
+        outcome — but the failure is recorded in :meth:`health` either
+        way.
+        """
         if self._refresh is None:
             raise ServeError("ServingEngine has no refresh callable")
         loop = asyncio.get_running_loop()
-        snapshot = await loop.run_in_executor(None, self._refresh)
-        self._stats["refreshes"] += 1
+        try:
+            snapshot = await loop.run_in_executor(None, self._refresh)
+        except Exception as exc:
+            self._record_failure(exc)
+            raise
+        self._record_success()
         if snapshot is not None and snapshot.version is None:
             self.store.publish(snapshot)
         return snapshot
 
     async def stop(self) -> None:
-        """Cancel the background loop and re-raise any refresh failure."""
+        """Cancel the background loop (refresh failures never kill it)."""
         task = self._task
         self._task = None
         if task is None:
@@ -206,6 +256,31 @@ class ServingEngine:
             await task
         except asyncio.CancelledError:
             pass
+
+    def health(self) -> dict:
+        """Loop liveness, failure counters and snapshot staleness.
+
+        ``snapshot_staleness`` is the seconds since the last successful
+        refresh (``None`` before the first); ``latest_version`` is the
+        served snapshot's version (``None`` when nothing is published
+        yet). A ``health_hook`` passed at construction merges its dict
+        in — the session reports its quarantine depth this way.
+        """
+        staleness = None
+        if self._last_success_monotonic is not None:
+            staleness = time.monotonic() - self._last_success_monotonic
+        report = {
+            "running": self.running,
+            "refreshes": self._stats["refreshes"],
+            "consecutive_failures": self._consecutive_failures,
+            "total_failures": self._total_failures,
+            "last_error": self._last_error,
+            "snapshot_staleness": staleness,
+            "latest_version": self.store.stats().get("latest_version"),
+        }
+        if self._health_hook is not None:
+            report.update(self._health_hook())
+        return report
 
     def stats(self) -> dict:
         """Per-call counters plus the store's own stats."""

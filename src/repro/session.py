@@ -32,8 +32,9 @@ concurrent traffic.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from collections.abc import Iterable
-from dataclasses import replace
+from dataclasses import dataclass, replace
 
 from repro.core.claims import Claim
 from repro.core.dataset import ClaimDataset, MutationBatch, MutationDelta
@@ -54,7 +55,24 @@ POLICY_FIELDS = (
     "num_workers",
     "shard_size",
     "pool",
+    "max_retries",
+    "task_deadline",
+    "degrade_on_failure",
 )
+
+
+@dataclass(frozen=True)
+class QuarantinedBatch:
+    """One fed mutation batch that failed to apply, and why.
+
+    Held in the session's bounded dead-letter queue: the dataset
+    rolled the batch back atomically, the serving loop kept going, and
+    the producer's poison pill is preserved here for inspection or
+    replay instead of stalling everyone else's ingest.
+    """
+
+    batch: MutationBatch
+    error: str
 
 
 class Session:
@@ -68,6 +86,10 @@ class Session:
         Passed to the underlying streaming engine.
     retention:
         Snapshot versions the session's store keeps reachable.
+    dead_letter_limit:
+        Bound on the quarantine queue for fed batches that fail to
+        apply (oldest evicted first; the eviction count survives in
+        :meth:`stats`).
     dataset / claims:
         Adopt an existing store, or seed from an iterable of claims.
     **policy:
@@ -84,6 +106,7 @@ class Session:
         min_overlap: int = 1,
         default_accuracy: float = 0.8,
         retention: int = 8,
+        dead_letter_limit: int = 16,
         dataset: ClaimDataset | None = None,
         claims: Iterable[Claim] | None = None,
         **policy,
@@ -116,6 +139,17 @@ class Session:
         self._pending: list[MutationBatch] = []
         self._feed_lock = threading.Lock()
         self._published_dataset_version: int | None = None
+        if dead_letter_limit < 1:
+            raise ParameterError(
+                f"dead_letter_limit must be >= 1, got {dead_letter_limit}"
+            )
+        # Poison batches drained from the feed: apply() rolled them
+        # back atomically, publish() carried on with the rest. Bounded
+        # so a misbehaving producer cannot grow memory without limit.
+        self._dead_letters: deque[QuarantinedBatch] = deque(
+            maxlen=dead_letter_limit
+        )
+        self._quarantined_total = 0
 
     # ------------------------------------------------------------------
     # state
@@ -211,12 +245,30 @@ class Session:
         stamped. Publishing an unchanged state is allowed (it re-serves
         the same truth under a new version); :meth:`refresh` is the
         change-detecting variant the background loop uses.
+
+        A fed batch that fails to apply — a retraction of an absent
+        claim, a conflicting re-assertion, malformed entries — is
+        quarantined to the dead-letter queue and the drain continues:
+        :meth:`ClaimDataset.apply <repro.core.dataset.ClaimDataset.apply>`
+        is transactional, so the failed batch leaves no trace and the
+        batches behind it in the queue still land. Direct :meth:`apply`
+        calls keep raising — quarantine is for the fire-and-forget feed
+        path, where the producer is long gone by the time the batch is
+        drained.
         """
         for batch in self._drain_feed():
             # Applied separately, in arrival order: a retraction queued
             # after the add it withdraws must see the add already
             # applied, exactly as if each producer had called apply().
-            self._engine.ingest(batch)
+            try:
+                self._engine.ingest(batch)
+            except Exception as exc:
+                self._dead_letters.append(
+                    QuarantinedBatch(
+                        batch=batch, error=f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                self._quarantined_total += 1
         snapshot = self._engine.publish(self.store)
         self._published_dataset_version = snapshot.dataset_version
         return snapshot
@@ -275,15 +327,42 @@ class Session:
             }
         return snapshot.explain_dependence(source, **kwargs)
 
+    @property
+    def dead_letters(self) -> tuple[QuarantinedBatch, ...]:
+        """Quarantined feed batches, oldest first (bounded; see stats)."""
+        return tuple(self._dead_letters)
+
+    @property
+    def quarantined_total(self) -> int:
+        """Every batch ever quarantined, including evicted ones."""
+        return self._quarantined_total
+
+    def execution_health(self) -> dict:
+        """The evidence layer's supervised-executor health (see cache)."""
+        return self._engine.execution_health()
+
+    def _serving_health(self) -> dict:
+        return {
+            "quarantine_depth": len(self._dead_letters),
+            "quarantined_total": self._quarantined_total,
+            "pending_batches": len(self._pending),
+            "execution": self.execution_health(),
+        }
+
     def serving(self, *, refresh_interval: float = 0.05) -> ServingEngine:
         """An asyncio front-end over this session's store.
 
         The engine's background loop drives :meth:`refresh` — drain the
         feed, re-run truth, publish — while readers await ``query`` /
-        ``recommend`` / ``explain_dependence`` concurrently.
+        ``recommend`` / ``explain_dependence`` concurrently. The
+        engine's ``health()`` folds in this session's quarantine and
+        supervised-execution state.
         """
         return ServingEngine(
-            self.store, self.refresh, refresh_interval=refresh_interval
+            self.store,
+            self.refresh,
+            refresh_interval=refresh_interval,
+            health_hook=self._serving_health,
         )
 
     # ------------------------------------------------------------------
@@ -299,6 +378,8 @@ class Session:
             "claims": len(self.dataset),
             "pending": sum(len(batch) for batch in self._pending),
             "dirty": self.dirty,
+            "quarantined": len(self._dead_letters),
+            "quarantined_total": self._quarantined_total,
         }
 
     def close(self) -> None:

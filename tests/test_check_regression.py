@@ -33,6 +33,12 @@ HEALTHY = {
             "delta_bytes": 7000,
             "shipped_bytes_ratio": 11.4,
         },
+        "recovery": {
+            "clean_sync_s": 0.05,
+            "recovery_sync_s": 0.12,
+            "worker_losses": 1,
+            "overhead_ratio": 2.4,
+        },
         "pair_posterior_batch": {"speedup": 7.1, "pairs": 1225},
         "serving": {
             "qps": 150000.0,
@@ -72,6 +78,7 @@ def test_healthy_trajectory_passes(tmp_path):
         "serial_vs_sharded.speedups.numpy",
         "streaming_rescore.rescored/pairs",
         "sync_delta.shipped_bytes_ratio",
+        "recovery.overhead_ratio",
         "pair_posterior_batch.speedup",
         "serving.qps",
         "serving.p99_ms",
@@ -116,6 +123,16 @@ def test_sync_delta_ratio_gate_catches_full_reships(tmp_path):
     result = _run(tmp_path, doctored)
     assert result.returncode == 1
     assert "sync_delta.shipped_bytes_ratio" in result.stdout
+    assert "REGRESSION" in result.stdout
+
+
+def test_recovery_gate_catches_slow_recovery(tmp_path):
+    doctored = copy.deepcopy(HEALTHY)
+    # A worker loss whose respawn + re-ship costs more than 3 clean syncs.
+    doctored["results"]["recovery"]["overhead_ratio"] = 4.5
+    result = _run(tmp_path, doctored)
+    assert result.returncode == 1
+    assert "recovery.overhead_ratio" in result.stdout
     assert "REGRESSION" in result.stdout
 
 

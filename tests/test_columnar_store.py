@@ -284,12 +284,15 @@ class TestPersistentPool:
             assert cache.collect_all(probs) == reference
             executor = cache._executor
             assert executor is not None and executor.persistent
-            pool = executor._pool
+            # The supervisor wraps the pool executor; unwrap to inspect
+            # the pool lifecycle itself.
+            pool_executor = executor.inner
+            pool = pool_executor._pool
             assert pool is not None  # warm after the first sharded build
             cache.build()  # rebuild: same workers, no re-fork
-            assert executor._pool is pool
+            assert pool_executor._pool is pool
             assert cache.collect_all(probs) == reference
-        assert executor._pool is None  # context exit released the pool
+        assert pool_executor._pool is None  # context exit released the pool
 
     def test_streaming_engine_close_releases_the_pool(self):
         rng = random.Random(13)

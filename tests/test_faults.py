@@ -1,0 +1,515 @@
+"""Fault injection and supervised execution.
+
+Two layers under test. The harness itself
+(:mod:`repro.exec.faults`): the ``REPRO_FAULTS`` grammar, per-process
+per-clause trigger counters, seeded rate draws, and the worker-only
+default scope. The supervisor (:mod:`repro.exec.supervisor`): bounded
+retries with exponential jittered backoff, deadline enforcement via
+watchdog, transparent resident-state re-adoption through a state
+provider, and the degradation ladder — plus the end-to-end acceptance
+scenarios: a SIGKILLed resident worker mid-sync and a hung worker
+blowing its deadline both leave the evidence cache bit-for-bit equal
+to a fault-free serial build.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.core.claims import Claim
+from repro.core.dataset import ClaimDataset
+from repro.core.params import DependenceParams
+from repro.dependence.bayes import uniform_value_probabilities
+from repro.dependence.evidence import EvidenceCache
+from repro.exceptions import ExecutorFailureWarning, ParameterError
+from repro.exec import (
+    ExecutorCapabilities,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    ResidentWorkerLost,
+    SerialExecutor,
+    ShardExecutor,
+    SupervisedExecutor,
+    SupervisorPolicy,
+    active_plan,
+    make_executor,
+)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan grammar and trigger semantics
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlanParsing:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=42;kill:resident.delta:at=5;"
+            "hang:sweep:every=3:secs=30:scope=any;"
+            "corrupt:delta:rate=0.25:times=2"
+        )
+        assert plan.seed == 42
+        kill, hang, corrupt = plan.specs
+        assert (kill.kind, kill.pattern, kill.at) == ("kill", "resident.delta", 5)
+        assert kill.scope == "worker"  # the default
+        assert (hang.every, hang.seconds, hang.scope) == (3, 30.0, "any")
+        assert (corrupt.rate, corrupt.times) == (0.25, 2)
+
+    def test_seed_defaults_to_zero(self):
+        assert FaultPlan.parse("slow:sweep:at=1").seed == 0
+
+    def test_empty_clauses_are_skipped(self):
+        plan = FaultPlan.parse(" ; slow:sweep:at=1 ; ")
+        assert len(plan.specs) == 1
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            "explode:sweep:at=1",  # unknown kind
+            "kill:sweep",  # no trigger
+            "kill:sweep:at=1:every=2",  # two triggers
+            "kill:sweep:at=0",  # at < 1
+            "corrupt:sweep:rate=1.5",  # rate out of range
+            "kill:sweep:at=x",  # malformed value
+            "kill:sweep:budget=3",  # unknown option
+            "kill:sweep:at=1:scope=moon",  # unknown scope
+            "kill",  # not kind:pattern
+            "seed=x;kill:sweep:at=1",  # bad seed
+            "hang:sweep:at=1:secs=-1",  # negative sleep
+            "kill:sweep:at=1:times=0",  # times < 1
+        ],
+    )
+    def test_malformed_schedules_rejected(self, schedule):
+        with pytest.raises(ParameterError):
+            FaultPlan.parse(schedule)
+
+    def test_spec_requires_exactly_one_trigger(self):
+        with pytest.raises(ParameterError, match="exactly one"):
+            FaultSpec(kind="kill", pattern="sweep")
+
+    def test_rate_draws_are_seeded_and_reproducible(self):
+        def fire_pattern(plan):
+            return [
+                plan.fire("resident.sweep") is not None for _ in range(300)
+            ]
+
+        schedule = "seed=7;slow:sweep:rate=0.2:secs=0:scope=any"
+        first = fire_pattern(FaultPlan.parse(schedule))
+        again = fire_pattern(FaultPlan.parse(schedule))
+        assert first == again
+        assert 20 < sum(first) < 120  # the rate actually draws
+        reseeded = fire_pattern(
+            FaultPlan.parse("seed=8;slow:sweep:rate=0.2:secs=0:scope=any")
+        )
+        assert first != reseeded
+
+    def test_wrap_leaves_unmatched_tasks_untouched(self):
+        plan = FaultPlan.parse("corrupt:resident.delta:at=1:scope=any")
+        fn = len
+        assert plan.wrap("evidence.sweep_shard", fn) is fn
+
+    def test_corrupt_fires_once_then_counts_past(self):
+        plan = FaultPlan.parse("corrupt:sweep:at=1:scope=any")
+        wrapped = plan.wrap("resident.sweep", len)
+        with pytest.raises(FaultInjected):
+            wrapped([1, 2])
+        assert wrapped([1, 2]) == 2  # at=1 already passed
+
+    def test_every_with_times_cap(self):
+        plan = FaultPlan.parse("corrupt:sweep:every=1:times=2:scope=any")
+        wrapped = plan.wrap("resident.sweep", len)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                wrapped([])
+        assert wrapped([1]) == 1  # capped after two fires
+
+    def test_worker_scope_never_fires_in_parent(self):
+        # The default scope: a kill clause must be inert in the test
+        # runner process (we are nobody's child worker).
+        plan = FaultPlan.parse("kill:sweep:every=1")
+        assert plan.fire("resident.sweep") is None
+
+    def test_slow_fires_and_lets_the_task_run(self):
+        plan = FaultPlan.parse("slow:sweep:at=1:secs=0:scope=any")
+        assert plan.fire("resident.sweep").kind == "slow"
+
+    def test_active_plan_tracks_env_changes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert not active_plan()
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt:sweep:at=1")
+        plan = active_plan()
+        assert plan and plan.specs[0].kind == "corrupt"
+        assert active_plan() is plan  # unchanged env: cached
+        monkeypatch.setenv("REPRO_FAULTS", "seed=3;slow:delta:at=2")
+        assert active_plan().seed == 3
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert not active_plan()
+
+
+# ---------------------------------------------------------------------------
+# SupervisedExecutor: retries, backoff, deadlines, re-adoption, ladder
+# ---------------------------------------------------------------------------
+
+
+class _FlakyExecutor(SerialExecutor):
+    """Fails the first ``failures`` run() calls, then behaves."""
+
+    def __init__(self, failures, exc_factory):
+        super().__init__()
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def run(self, task, deltas):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return super().run(task, deltas)
+
+
+class _WedgedExecutor(SerialExecutor):
+    """Hangs until terminate() is called, then behaves."""
+
+    def __init__(self):
+        super().__init__()
+        self.terminated = 0
+        self.hang = True
+
+    def run(self, task, deltas):
+        if self.hang:
+            time.sleep(2.0)
+        return super().run(task, deltas)
+
+    def terminate(self):
+        self.terminated += 1
+        self.hang = False
+
+
+class _FakeResidentExecutor(ShardExecutor):
+    """Records calls; loses shard state exactly once on sweep."""
+
+    capabilities = ExecutorCapabilities(
+        resident_state=True, serialization="none"
+    )
+
+    def __init__(self, lose_once=True):
+        self.calls = []
+        self.lose_once = lose_once
+        self._closed = False
+
+    def run_shards(self, task, deltas):
+        self.calls.append((task, sorted(deltas)))
+        if task == "resident.sweep" and self.lose_once:
+            self.lose_once = False
+            raise ResidentWorkerLost(tuple(sorted(deltas)))
+        return {shard_id: (task, shard_id) for shard_id in deltas}
+
+    def submit(self, shard_id, task, delta):
+        return self.run_shards(task, {shard_id: delta})[shard_id]
+
+    def close(self):
+        self._closed = True
+
+    @property
+    def closed(self):
+        return self._closed
+
+
+class TestSupervisedExecutor:
+    def _supervised(self, inner, backend="process", sleeps=None, **policy):
+        return SupervisedExecutor(
+            inner,
+            backend=backend,
+            policy=SupervisorPolicy(**policy),
+            sleep=(sleeps.append if sleeps is not None else lambda _d: None),
+        )
+
+    def test_transient_failures_retried_with_backoff(self):
+        sleeps = []
+        flaky = _FlakyExecutor(2, lambda: BrokenProcessPool("worker died"))
+        sup = self._supervised(flaky, sleeps=sleeps, max_retries=3)
+        assert sup.run(len, [[1], [1, 2]]) == [1, 2]
+        health = sup.health()
+        assert health["retries"] == 2
+        assert health["degrades"] == 0
+        assert not health["degraded"]
+        # Exponential growth with bounded jitter: base=0.05, factor=2,
+        # jitter=0.25 => first in [0.05, 0.0625), second in [0.1, 0.125).
+        assert len(sleeps) == 2
+        assert 0.05 <= sleeps[0] < 0.0625
+        assert 0.10 <= sleeps[1] < 0.1250
+
+    def test_backoff_is_seeded(self):
+        def delays(seed):
+            sleeps = []
+            flaky = _FlakyExecutor(2, lambda: BrokenProcessPool("x"))
+            sup = self._supervised(
+                flaky, sleeps=sleeps, max_retries=2, seed=seed
+            )
+            sup.run(len, [[1]])
+            return sleeps
+
+        assert delays(5) == delays(5)
+        assert delays(5) != delays(6)
+
+    def test_exhausted_retries_degrade_down_the_ladder(self):
+        flaky = _FlakyExecutor(10**9, lambda: BrokenProcessPool("dead"))
+        sup = self._supervised(flaky, max_retries=1)
+        with pytest.warns(ExecutorFailureWarning, match="degrading to 'numpy'"):
+            assert sup.run(len, [[1], []]) == [1, 0]
+        health = sup.health()
+        assert health["degraded"]
+        assert health["backend"] == "numpy"
+        assert health["original_backend"] == "process"
+        assert health["degrades"] == 1
+        assert flaky.calls == 2  # max_retries + 1 attempts on the old rung
+
+    def test_degrade_disabled_raises_the_failure(self):
+        flaky = _FlakyExecutor(10**9, lambda: BrokenProcessPool("dead"))
+        sup = self._supervised(
+            flaky, max_retries=1, degrade_on_failure=False
+        )
+        with pytest.raises(BrokenProcessPool):
+            sup.run(len, [[1]])
+
+    def test_bottom_rung_has_nowhere_to_go(self):
+        flaky = _FlakyExecutor(10**9, lambda: RuntimeError("still broken"))
+        sup = self._supervised(flaky, backend="serial", max_retries=0)
+        with pytest.raises(RuntimeError, match="still broken"):
+            sup.run(len, [[1]])
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        flaky = _FlakyExecutor(10**9, lambda: ValueError("caller bug"))
+        sup = self._supervised(flaky, max_retries=3)
+        with pytest.raises(ValueError, match="caller bug"):
+            sup.run(len, [[1]])
+        assert flaky.calls == 1
+        assert sup.health()["retries"] == 0
+
+    def test_deadline_watchdog_terminates_hung_batch(self):
+        wedged = _WedgedExecutor()
+        sup = self._supervised(
+            wedged, max_retries=1, task_deadline=0.2
+        )
+        sup._WATCHDOG_GRACE = 0.05
+        assert sup.run(len, [[1], [1, 2]]) == [1, 2]
+        assert wedged.terminated == 1
+        health = sup.health()
+        assert health["deadline_hits"] == 1
+        assert not health["degraded"]
+
+    def test_worker_loss_readopts_through_state_provider(self):
+        fake = _FakeResidentExecutor()
+        packed = []
+
+        def provider(shard_ids):
+            packed.append(tuple(shard_ids))
+            return {shard_id: f"state-{shard_id}" for shard_id in shard_ids}
+
+        sup = SupervisedExecutor(
+            fake,
+            backend="resident",
+            policy=SupervisorPolicy(max_retries=2),
+            state_provider=provider,
+            sleep=lambda _d: None,
+        )
+        assert sup.handles_worker_loss
+        out = sup.run_shards("resident.sweep", {0: None, 1: None})
+        assert out == {0: ("resident.sweep", 0), 1: ("resident.sweep", 1)}
+        # adopt, sweep (lost), re-adopt, sweep — the loss is invisible.
+        assert fake.calls == [
+            ("resident.adopt", [0, 1]),
+            ("resident.sweep", [0, 1]),
+            ("resident.adopt", [0, 1]),
+            ("resident.sweep", [0, 1]),
+        ]
+        assert packed == [(0, 1), (0, 1)]
+        health = sup.health()
+        assert health["worker_losses"] == 1
+        assert health["readoptions"] == 2
+        assert health["adopted_shards"] == 2
+
+    def test_worker_loss_without_provider_is_the_callers_problem(self):
+        fake = _FakeResidentExecutor()
+        sup = SupervisedExecutor(
+            fake,
+            backend="resident",
+            policy=SupervisorPolicy(max_retries=3),
+            sleep=lambda _d: None,
+        )
+        assert not sup.handles_worker_loss
+        with pytest.raises(ResidentWorkerLost):
+            sup.run_shards("resident.sweep", {0: None})
+        assert fake.calls == [("resident.sweep", [0])]  # no retry, no adopt
+
+    def test_make_executor_wires_supervision(self):
+        supervised = make_executor(
+            "process", 2, supervise=SupervisorPolicy(max_retries=1)
+        )
+        try:
+            assert isinstance(supervised, SupervisedExecutor)
+            assert supervised.backend == "process"
+        finally:
+            supervised.close()
+        raw = make_executor("process", 1)
+        try:
+            assert not isinstance(raw, SupervisedExecutor)
+        finally:
+            raw.close()
+        # In-process backends have no transport to supervise.
+        serial = make_executor("serial", supervise=SupervisorPolicy())
+        assert isinstance(serial, SerialExecutor)
+
+    def test_policy_validation(self):
+        with pytest.raises(ParameterError):
+            SupervisorPolicy(max_retries=-1)
+        with pytest.raises(ParameterError):
+            SupervisorPolicy(task_deadline=0.0)
+        with pytest.raises(ParameterError):
+            SupervisorPolicy(backoff_factor=0.5)
+
+    def test_supervision_params_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_TASK_DEADLINE", "2.5")
+        params = DependenceParams()
+        assert params.max_retries == 5
+        assert params.task_deadline == 2.5
+        # Explicit values always beat the environment.
+        explicit = DependenceParams(max_retries=1)
+        assert explicit.max_retries == 1
+        policy = SupervisorPolicy.from_params(params)
+        assert (policy.max_retries, policy.task_deadline) == (5, 2.5)
+
+
+# ---------------------------------------------------------------------------
+# acceptance scenarios: seeded faults against the real resident pool
+# ---------------------------------------------------------------------------
+
+
+def _random_claims(rng, n_sources=10, n_objects=40, coverage=20, n_values=3):
+    claims = []
+    for i in range(n_sources):
+        for obj in rng.sample(range(n_objects), coverage):
+            claims.append(
+                Claim(
+                    source=f"S{i:02d}",
+                    object=f"o{obj:03d}",
+                    value=f"v{rng.randrange(n_values)}",
+                )
+            )
+    rng.shuffle(claims)
+    return claims
+
+
+def _assert_same_evidence(incremental, cold, context=""):
+    assert set(incremental) == set(cold), context
+    for key in cold:
+        a, b = incremental[key], cold[key]
+        assert (a.s1, a.s2) == (b.s1, b.s2), (context, key)
+        assert a.kt_soft == b.kt_soft, (context, key)
+        assert a.kf_soft == b.kf_soft, (context, key)
+        assert a.kd == b.kd, (context, key)
+        assert a.shared_values == b.shared_values, (context, key)
+
+
+class TestFaultScenarios:
+    def _resident_cache(self, claims, **overrides):
+        params = DependenceParams(
+            parallel_backend="resident",
+            num_workers=2,
+            shard_size=7,
+            **overrides,
+        )
+        return EvidenceCache(ClaimDataset(list(claims)), params=params)
+
+    def test_sigkill_mid_sync_recovers_bit_for_bit(self, monkeypatch):
+        """A worker SIGKILLed mid delta-sync is respawned, re-adopted
+        and the whole batch retried — no degradation, results equal a
+        fault-free serial build at every round."""
+        monkeypatch.setenv("REPRO_FAULTS", "kill:resident.delta:at=4")
+        rng = random.Random(23)
+        cache = self._resident_cache(_random_claims(rng))
+        try:
+            for round_no in range(5):
+                cache.dataset.add_claims(
+                    [
+                        Claim(src, f"r{round_no}-{i}", f"w{i}")
+                        for i in range(4)
+                        for src in ("S00", "S01")
+                    ]
+                )
+                cache.sync()
+                probs = uniform_value_probabilities(cache.dataset)
+                cold = EvidenceCache(
+                    ClaimDataset(list(cache.dataset)),
+                    params=DependenceParams(),
+                )
+                _assert_same_evidence(
+                    cache.collect_all(probs),
+                    cold.collect_all(probs),
+                    context=f"round {round_no}",
+                )
+            health = cache.execution_health()
+            assert health["supervised"]
+            assert health["worker_losses"] >= 1
+            assert not health["degraded"]
+            assert health["backend"] == "resident"
+        finally:
+            cache.close()
+
+    def test_hung_worker_deadline_degrades_to_serial(self, monkeypatch):
+        """A worker that hangs past its deadline is reaped; once retries
+        are exhausted (the respawned worker hangs again — per-process
+        counters restart) the ladder lands on serial, bit-for-bit."""
+        monkeypatch.setenv("REPRO_FAULTS", "hang:resident.sweep:at=1:secs=30")
+        rng = random.Random(31)
+        claims = _random_claims(rng)
+        with pytest.warns(ExecutorFailureWarning, match="degrading"):
+            cache = self._resident_cache(
+                claims, max_retries=1, task_deadline=0.5
+            )
+        try:
+            probs = uniform_value_probabilities(cache.dataset)
+            observed = cache.collect_all(probs)
+            cold = EvidenceCache(
+                ClaimDataset(list(claims)), params=DependenceParams()
+            )
+            _assert_same_evidence(observed, cold.collect_all(probs))
+            health = cache.execution_health()
+            assert health["supervised"]
+            assert health["degraded"]
+            assert health["backend"] == "serial"
+            assert health["worker_losses"] >= 1
+        finally:
+            cache.close()
+
+    def test_corrupt_payload_degrades_stateless_ladder(self, monkeypatch):
+        """Injected payload corruption on the stateless pool: ephemeral
+        workers restart their counters every retry, so ``at=1`` refires
+        each attempt, retries exhaust, and the ladder steps to the
+        in-process rung — bit-for-bit."""
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "corrupt:evidence.sweep_shard:at=1"
+        )
+        rng = random.Random(47)
+        claims = _random_claims(rng)
+        params = DependenceParams(
+            parallel_backend="process", num_workers=2, shard_size=7
+        )
+        with pytest.warns(ExecutorFailureWarning, match="degrading"):
+            cache = EvidenceCache(ClaimDataset(list(claims)), params=params)
+        try:
+            assert cache.execution_health()["degraded"]
+            probs = uniform_value_probabilities(cache.dataset)
+            observed = cache.collect_all(probs)
+            cold = EvidenceCache(
+                ClaimDataset(list(claims)), params=DependenceParams()
+            )
+            _assert_same_evidence(observed, cold.collect_all(probs))
+        finally:
+            cache.close()

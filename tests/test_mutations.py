@@ -413,3 +413,121 @@ class TestStreamingAndSessionSurface:
             session.feed(MutationBatch(retractions=(("C", "o1"),)))
             session.publish()
             assert session.dataset.value_of("C", "o1") is None
+
+
+class TestTransactionalApply:
+    """``apply()`` is all-or-nothing: a poison batch leaves no trace.
+
+    The property mirrors the sync-equivalence one, but for *failed*
+    batches: whatever primitive raises — a ghost retraction (first
+    phase), a targetless correction (second) or a conflicting add
+    (last, with every earlier phase already applied) — the dataset's
+    claims, iteration order, version and mutation log are exactly what
+    they were before the call, and an :class:`EvidenceCache` synced
+    afterwards is bit-for-bit what a never-poisoned cache would be.
+    """
+
+    @staticmethod
+    def _poisoned(clean, dataset):
+        """Three variants of ``clean`` that must fail, by failing phase."""
+        retracted = set(clean.retractions)
+        victim = next(
+            claim
+            for claim in dataset
+            if (claim.source, claim.object) not in retracted
+        )
+        ghost_retract = MutationBatch(
+            adds=clean.adds,
+            retractions=clean.retractions + (("__ghost__", "o000"),),
+            corrections=clean.corrections,
+        )
+        bad_correct = MutationBatch(
+            adds=clean.adds,
+            retractions=clean.retractions,
+            corrections=clean.corrections
+            + (Claim(source="__ghost__", object="o000", value="v0"),),
+        )
+        dup_add = MutationBatch(
+            adds=clean.adds
+            + (
+                Claim(
+                    source=victim.source,
+                    object=victim.object,
+                    value="poison",
+                ),
+            ),
+            retractions=clean.retractions,
+            corrections=clean.corrections,
+        )
+        return (ghost_retract, bad_correct, dup_add)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_poison_batch_leaves_no_trace(self, seed):
+        rng = random.Random(seed)
+        dataset = ClaimDataset(_seed_claims(rng))
+        cache = EvidenceCache(dataset, params=REFERENCE_PARAMS, exact=True)
+        # Build some real history first, so the rollback has a live
+        # mutation log and warmed evidence to corrupt.
+        dataset.apply(_random_batch(rng, dataset))
+        cache.sync()
+
+        clean = _random_batch(rng, dataset)
+        for poison in self._poisoned(clean, dataset):
+            before_version = dataset.version
+            before_log = dataset.mutations_since(0)
+            before_claims = list(dataset)  # exact iteration order
+            with pytest.raises(DataError):
+                dataset.apply(poison)
+            assert dataset.version == before_version
+            assert dataset.mutations_since(0) == before_log
+            assert list(dataset) == before_claims
+
+        # The cache synced over the rolled-back dataset equals a cold
+        # rebuild — nothing half-applied leaked into evidence.
+        cache.sync()
+        probs = uniform_value_probabilities(dataset)
+        cold = EvidenceCache(dataset, params=REFERENCE_PARAMS, exact=True)
+        _assert_same_evidence(
+            cache.collect_all(probs),
+            cold.collect_all(probs),
+            context="after rollback",
+        )
+
+        # And the clean batch the poison was derived from still applies.
+        dataset.apply(clean)
+        cache.sync()
+        probs = uniform_value_probabilities(dataset)
+        cold = EvidenceCache(dataset, params=REFERENCE_PARAMS, exact=True)
+        _assert_same_evidence(
+            cache.collect_all(probs),
+            cold.collect_all(probs),
+            context="clean batch after rollbacks",
+        )
+
+    def test_partial_retraction_phase_rolls_back(self, tiny_dataset):
+        """The first retraction lands before the second raises — and is
+        then undone."""
+        batch = MutationBatch(
+            retractions=(("A", "o1"), ("__ghost__", "o1"))
+        )
+        with pytest.raises(DataError):
+            tiny_dataset.apply(batch)
+        assert tiny_dataset.value_of("A", "o1") is not None
+
+    def test_rolled_back_version_is_reusable(self, tiny_dataset):
+        version = tiny_dataset.version
+        with pytest.raises(DataError):
+            tiny_dataset.apply(
+                MutationBatch(retractions=(("__ghost__", "o1"),))
+            )
+        assert tiny_dataset.version == version
+        delta = tiny_dataset.apply(
+            MutationBatch(retractions=(("A", "o1"),))
+        )
+        assert delta.retracted == 1
+        assert tiny_dataset.version == version + 1

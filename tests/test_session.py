@@ -7,6 +7,7 @@ import pytest
 
 import repro
 from repro.core.claims import Claim
+from repro.core.dataset import MutationBatch
 from repro.core.params import DependenceParams
 from repro.exceptions import ParameterError, ServeError
 from repro.generators import simple_copier_world
@@ -212,6 +213,169 @@ def test_serving_engine_validates_interval(world):
     with repro.Session(dataset=dataset) as session:
         with pytest.raises(ServeError, match="refresh_interval"):
             session.serving(refresh_interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# supervised serving: loop survival, quarantine, health
+# ---------------------------------------------------------------------------
+
+
+def test_refresh_failure_never_kills_the_loop(world):
+    """Two consecutive refresh failures: the loop records them, backs
+    off, keeps serving the last-good snapshot, then recovers."""
+    dataset, _ = world
+
+    async def scenario():
+        failures = {"left": 2}
+
+        def refresh():
+            if failures["left"]:
+                failures["left"] -= 1
+                raise RuntimeError("wedged executor")
+            return None
+
+        with repro.Session(dataset=dataset, min_overlap=5) as session:
+            session.publish()
+            engine = ServingEngine(
+                session.store, refresh, refresh_interval=0.01
+            )
+            engine.start()
+            for _ in range(500):
+                if engine.health()["refreshes"] >= 1:
+                    break
+                await asyncio.sleep(0.01)
+            assert engine.running  # the failures did not kill the loop
+            health = engine.health()
+            assert health["refreshes"] >= 1
+            assert health["total_failures"] == 2
+            assert health["consecutive_failures"] == 0  # recovered
+            assert "wedged executor" in health["last_error"]
+            assert health["snapshot_staleness"] is not None
+            # Reads were served by the last-good snapshot throughout.
+            assert (await engine.query("obj0000")).version == 1
+            await engine.stop()
+            assert not engine.running
+
+    asyncio.run(scenario())
+
+
+def test_refresh_once_reraises_but_records(world):
+    dataset, _ = world
+
+    async def scenario():
+        def refresh():
+            raise RuntimeError("boom")
+
+        with repro.Session(dataset=dataset, min_overlap=5) as session:
+            session.publish()
+            engine = ServingEngine(session.store, refresh)
+            with pytest.raises(RuntimeError, match="boom"):
+                await engine.refresh_once()
+            health = engine.health()
+            assert health["total_failures"] == 1
+            assert health["consecutive_failures"] == 1
+            assert "boom" in health["last_error"]
+
+    asyncio.run(scenario())
+
+
+def test_poison_batch_quarantined_while_serving_continues(world):
+    """The acceptance scenario: a poison mutation batch fed to a live
+    serving session is quarantined to the dead-letter queue, the batch
+    behind it still lands, the engine keeps answering, and health()
+    reports the quarantine."""
+    dataset, _ = world
+
+    async def scenario():
+        with repro.Session(dataset=dataset, min_overlap=5) as session:
+            session.publish()
+            engine = session.serving(refresh_interval=0.01)
+            engine.start()
+            session.feed(
+                MutationBatch(retractions=(("__ghost__", "obj0000"),))
+            )
+            session.feed(
+                [Claim(source="live", object="obj0000", value="fresh")]
+            )
+            for _ in range(500):
+                if (
+                    session.quarantined_total >= 1
+                    and session.store.stats()["latest_version"] >= 2
+                ):
+                    break
+                await asyncio.sleep(0.01)
+            assert engine.running  # the poison never stopped the loop
+            assert session.quarantined_total == 1
+            (letter,) = session.dead_letters
+            assert letter.batch.retractions == (("__ghost__", "obj0000"),)
+            assert "DataError" in letter.error
+            # The batch queued *behind* the poison landed.
+            answer = await engine.query("obj0000")
+            assert answer.version >= 2
+            health = engine.health()
+            assert health["quarantine_depth"] == 1
+            assert health["quarantined_total"] == 1
+            assert health["pending_batches"] == 0
+            assert health["total_failures"] == 0  # refresh itself never failed
+            await engine.stop()
+            stats = session.stats()
+            assert stats["quarantined"] == 1
+            assert stats["quarantined_total"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_dead_letter_queue_is_bounded(world):
+    dataset, _ = world
+    with repro.Session(
+        dataset=dataset, min_overlap=5, dead_letter_limit=1
+    ) as session:
+        session.feed(MutationBatch(retractions=(("__ghost__", "a"),)))
+        session.feed(MutationBatch(retractions=(("__ghost__", "b"),)))
+        session.publish()
+        assert session.quarantined_total == 2
+        (letter,) = session.dead_letters  # oldest evicted, bound held
+        assert letter.batch.retractions[0][1] == "b"
+
+
+def test_dead_letter_limit_validated(world):
+    dataset, _ = world
+    with pytest.raises(ParameterError, match="dead_letter_limit"):
+        repro.Session(dataset=dataset, dead_letter_limit=0)
+
+
+def test_direct_apply_still_raises(world):
+    """Quarantine is only for the fire-and-forget feed path."""
+    from repro.exceptions import DataError
+
+    dataset, _ = world
+    with repro.Session(dataset=dataset, min_overlap=5) as session:
+        with pytest.raises(DataError):
+            session.apply(
+                MutationBatch(retractions=(("__ghost__", "obj0000"),))
+            )
+        assert session.quarantined_total == 0
+
+
+def test_session_execution_health_surfaces_supervisor(world):
+    dataset, _ = world
+    params = DependenceParams(parallel_backend="resident", num_workers=2)
+    with repro.Session(
+        dataset=dataset, params=params, min_overlap=5
+    ) as session:
+        session.publish()
+        health = session.execution_health()
+        assert health["supervised"]
+        assert health["backend"] == "resident"
+        assert not health["degraded"]
+    with repro.Session(dataset=dataset, min_overlap=5) as session:
+        # A default session is unsupervised — unless an env-override CI
+        # job promotes the default backend ("serial" is the default
+        # value, so the hook applies to it too).
+        if session.params.parallel_backend == "serial":
+            assert session.execution_health() == {"supervised": False}
+        else:
+            assert session.execution_health()["supervised"]
 
 
 # ---------------------------------------------------------------------------

@@ -703,6 +703,57 @@ class TestExecutorLifecycle:
             executor.close()
             assert executor.closed
 
+    @staticmethod
+    def _spawn_resident_workers(executor):
+        """Workers spawn lazily; adopt an empty shard on each to start
+        them, and return their pids."""
+        empty = {"objs": [], "src": [], "entry": [], "n_sources": 0}
+        executor.run_shards("resident.adopt", {0: dict(empty), 1: dict(empty)})
+        return executor.worker_pids()
+
+    def test_resident_terminate_kills_workers_without_handshake(self):
+        from repro.exec import make_executor
+
+        executor = make_executor("resident", 2)
+        pids = self._spawn_resident_workers(executor)
+        assert len(pids) == 2
+        assert all(self._alive(pid) for pid in pids)
+        executor.terminate()
+        assert executor.closed
+        # terminate() reaps as it kills: no zombies left behind (a
+        # reaped pid no longer accepts signal 0).
+        assert not any(self._alive(pid) for pid in pids)
+        executor.close()  # idempotent after terminate
+
+    def test_close_escalates_to_kill_for_wedged_worker(self):
+        import os
+        import signal
+
+        from repro.exec import make_executor
+
+        executor = make_executor("resident", 2)
+        executor._teardown_grace = 0.1
+        pids = self._spawn_resident_workers(executor)
+        assert len(pids) == 2
+        # SIGSTOP wedges the worker: it will never drain its pipe or
+        # honour the shutdown sentinel, and SIGTERM stays pending — only
+        # the final SIGKILL escalation can end it.
+        os.kill(pids[0], signal.SIGSTOP)
+        executor.close()
+        assert not any(self._alive(pid) for pid in pids)
+
+    def test_pool_terminate_kills_workers(self):
+        from repro.exec import make_executor
+
+        executor = make_executor("process", 2, persistent=True)
+        assert executor.run(len, [[1], [2, 3]]) == [1, 2]
+        processes = list(executor._pool._processes.values())
+        assert processes and all(p.is_alive() for p in processes)
+        executor.terminate()
+        for process in processes:
+            process.join(5)
+        assert not any(process.is_alive() for process in processes)
+
     def test_capabilities_are_declared(self):
         from repro.exec import make_executor
 
